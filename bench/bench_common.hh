@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness.
+ *
+ * Every bench regenerates one table or figure of the paper's
+ * evaluation. Workload scale is controlled by SPARCH_BENCH_NNZ
+ * (target nonzeros per benchmark matrix, default 60000): the paper's
+ * SuiteSparse matrices are replaced by structural proxies at that
+ * scale (DESIGN.md section 2, substitution 1), so *shapes* — who
+ * wins, rough factors, where crossovers fall — are the reproduction
+ * target, not absolute numbers.
+ */
+
+#ifndef SPARCH_BENCH_BENCH_COMMON_HH
+#define SPARCH_BENCH_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <string>
+
+#include "baselines/benchmarks.hh"
+#include "common/table_printer.hh"
+#include "core/sparch_simulator.hh"
+
+namespace sparch
+{
+namespace bench
+{
+
+/** Target nonzeros per proxy matrix (SPARCH_BENCH_NNZ). */
+inline std::uint64_t
+targetNnz(std::uint64_t fallback = 60000)
+{
+    if (const char *env = std::getenv("SPARCH_BENCH_NNZ"))
+        return std::strtoull(env, nullptr, 10);
+    return fallback;
+}
+
+/** Generate the proxy for one suite entry at the bench scale. */
+inline CsrMatrix
+suiteMatrix(const BenchmarkSpec &spec, std::uint64_t target)
+{
+    return generateBenchmark(spec, defaultScale(spec, target));
+}
+
+/** Run SpArch (Table I config unless overridden) on C = A^2. */
+inline SpArchResult
+runSparch(const CsrMatrix &a, const SpArchConfig &config = {})
+{
+    SpArchSimulator sim(config);
+    return sim.multiply(a, a);
+}
+
+} // namespace bench
+} // namespace sparch
+
+#endif // SPARCH_BENCH_BENCH_COMMON_HH

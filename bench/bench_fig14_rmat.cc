@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 14: performance on synthesized rMAT matrices vs the MKL
+ * proxy, sweeping vertex count (5k..80k) and edge factor (x4..x32) so
+ * density spans ~6e-3 to ~5e-5. The paper's claims to reproduce: (1)
+ * SpArch is ~10x faster throughout, and (2) SpArch degrades only
+ * ~2.7x from the densest to the sparsest point while MKL degrades
+ * ~5.9x.
+ *
+ * Vertex counts are scaled by SPARCH_BENCH_RMAT_DIV (default 8) to
+ * keep cycle simulation tractable; density, the x-axis of the paper's
+ * figure, is preserved by scaling the comparison within each edge
+ * factor.
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/platform_models.hh"
+#include "bench/bench_common.hh"
+#include "matrix/rmat.hh"
+
+int
+main()
+{
+    using namespace sparch;
+    using namespace sparch::bench;
+
+    unsigned div = 8;
+    if (const char *env = std::getenv("SPARCH_BENCH_RMAT_DIV"))
+        div = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+
+    TablePrinter table("Figure 14: FLOPS on rMAT benchmarks "
+                       "(vertex counts / " +
+                       std::to_string(div) + ")");
+    table.header({"matrix", "density", "SpArch GFLOP/s",
+                  "MKL-proxy GFLOP/s", "speedup"});
+
+    struct Point
+    {
+        unsigned kilo_vertices;
+        unsigned edge_factor;
+    };
+    // The paper's 19 points, ordered as in Fig. 14 (by density).
+    const Point points[] = {
+        {5, 32},  {5, 16},  {10, 32}, {5, 8},   {10, 16},
+        {20, 32}, {5, 4},   {10, 8},  {20, 16}, {40, 32},
+        {10, 4},  {20, 8},  {40, 16}, {20, 4},  {40, 8},
+        {80, 16}, {40, 4},  {80, 8},  {80, 4}};
+
+    std::vector<double> ours, mkls;
+    double first_ours = 0.0, last_ours = 0.0;
+    double first_mkl = 0.0, last_mkl = 0.0;
+    for (const Point &pt : points) {
+        const Index vertices = pt.kilo_vertices * 1000u / div;
+        const CsrMatrix a =
+            rmatGenerate(vertices, pt.edge_factor, 1234);
+        const double density =
+            static_cast<double>(a.nnz()) /
+            (static_cast<double>(a.rows()) * a.cols());
+
+        const SpArchResult sparch = runSparch(a);
+        const BaselineResult mkl = mklProxy(a, a);
+        ours.push_back(sparch.gflops);
+        mkls.push_back(mkl.gflops);
+        if (first_ours == 0.0) {
+            first_ours = sparch.gflops;
+            first_mkl = mkl.gflops;
+        }
+        last_ours = sparch.gflops;
+        last_mkl = mkl.gflops;
+
+        table.row({"rmat-" + std::to_string(pt.kilo_vertices) + "k-x" +
+                       std::to_string(pt.edge_factor),
+                   TablePrinter::sci(density, 1),
+                   TablePrinter::num(sparch.gflops),
+                   TablePrinter::num(mkl.gflops, 3),
+                   TablePrinter::num(sparch.gflops / mkl.gflops, 1)});
+    }
+    table.row({"GeoMean", "", TablePrinter::num(geoMean(ours)),
+               TablePrinter::num(geoMean(mkls), 3),
+               TablePrinter::num(geoMean(ours) / geoMean(mkls), 1)});
+    table.row({"Degradation dense->sparse (paper: 2.7x vs 5.9x)", "",
+               TablePrinter::num(first_ours / last_ours, 1) + "x",
+               TablePrinter::num(first_mkl / last_mkl, 1) + "x", ""});
+    table.print(std::cout);
+    return 0;
+}

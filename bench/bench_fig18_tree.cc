@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 18: design space exploration on merge-tree depth. Paper:
+ * 2 layers = 4.13 GFLOPS / 645 MB DRAM up to 6 layers = 10.45 GFLOPS
+ * / 208 MB; a 7th layer adds nothing (204 MB) — 6 layers (64-way) is
+ * the chosen design point.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+
+int
+main()
+{
+    using namespace sparch;
+    using namespace sparch::bench;
+
+    const CsrMatrix a =
+        suiteMatrix(findBenchmark("web-Google"), targetNnz());
+
+    TablePrinter t("Figure 18: merge tree depth sweep");
+    t.header({"layers", "merge ways", "GFLOPS", "DRAM MB",
+              "partial r/w MB", "rounds"});
+    for (unsigned layers = 2; layers <= 7; ++layers) {
+        SpArchConfig cfg;
+        cfg.mergeTree.layers = layers;
+        const SpArchResult r = runSparch(a, cfg);
+        t.row({std::to_string(layers),
+               std::to_string(1u << layers),
+               TablePrinter::num(r.gflops),
+               TablePrinter::num(
+                   static_cast<double>(r.bytesTotal) / 1e6, 3),
+               TablePrinter::num(
+                   static_cast<double>(r.bytesPartialRead +
+                                       r.bytesPartialWrite) /
+                       1e6,
+                   3),
+               std::to_string(r.mergeRounds)});
+    }
+    t.print(std::cout);
+    std::cout << "paper: 4.13 -> 10.45 GFLOPS and 645 -> 208 MB from "
+                 "2 to 6 layers; 7 layers adds nothing\n";
+    return 0;
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hardware building blocks:
+ * comparator-array merge steps (flat and boundary-tile), the
+ * hierarchical merger, the zero eliminator, the merge tree, and the
+ * reference SpGEMM kernels. These measure *simulator* throughput
+ * (how fast the model runs on the host), useful when sizing
+ * experiments.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "core/sparch_simulator.hh"
+#include "hw/comparator_array.hh"
+#include "hw/hierarchical_merger.hh"
+#include "hw/merge_tree.hh"
+#include "hw/zero_eliminator.hh"
+#include "matrix/generators.hh"
+#include "matrix/reference_spgemm.hh"
+
+namespace
+{
+
+using namespace sparch;
+
+std::vector<StreamElement>
+sortedElements(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<StreamElement> out;
+    Coord c = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        c += 1 + rng.nextBounded(4);
+        out.push_back({c, rng.nextDouble()});
+    }
+    return out;
+}
+
+void
+BM_ComparatorArrayMergeStep(benchmark::State &state)
+{
+    const auto width = static_cast<std::size_t>(state.range(0));
+    hw::ComparatorArray array(width);
+    const auto a = sortedElements(width, 1);
+    const auto b = sortedElements(width, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(array.mergeStep(a, b));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(width));
+}
+BENCHMARK(BM_ComparatorArrayMergeStep)->Arg(4)->Arg(16);
+
+void
+BM_BoundaryTileMergeStep(benchmark::State &state)
+{
+    const auto width = static_cast<std::size_t>(state.range(0));
+    hw::ComparatorArray array(width);
+    const auto a = sortedElements(width, 1);
+    const auto b = sortedElements(width, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(array.mergeStepBoundary(a, b));
+}
+BENCHMARK(BM_BoundaryTileMergeStep)->Arg(4)->Arg(16);
+
+void
+BM_HierarchicalMergeStep(benchmark::State &state)
+{
+    hw::HierarchicalMerger merger(16, 4);
+    const auto a = sortedElements(16, 1);
+    const auto b = sortedElements(16, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(merger.mergeStep(a, b));
+}
+BENCHMARK(BM_HierarchicalMergeStep);
+
+void
+BM_ZeroEliminator(benchmark::State &state)
+{
+    Rng rng(3);
+    std::vector<hw::ZeLane> lanes(
+        static_cast<std::size_t>(state.range(0)));
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        lanes[i].element = {static_cast<Coord>(i), 1.0};
+        lanes[i].valid = rng.nextBool(0.5);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hw::ZeroEliminator::eliminate(lanes));
+}
+BENCHMARK(BM_ZeroEliminator)->Arg(16)->Arg(64);
+
+void
+BM_MergeTree64Way(benchmark::State &state)
+{
+    const auto arrays_len = static_cast<std::size_t>(state.range(0));
+    std::vector<std::vector<StreamElement>> arrays;
+    for (unsigned i = 0; i < 64; ++i)
+        arrays.push_back(sortedElements(arrays_len, i + 10));
+
+    hw::MergeTreeConfig cfg;
+    for (auto _ : state) {
+        hw::MergeTree tree(cfg, "tree");
+        tree.startRound(64);
+        std::vector<std::size_t> cursor(64, 0);
+        std::size_t drained = 0;
+        while (!tree.done() || tree.rootHasData()) {
+            for (unsigned i = 0; i < 64; ++i) {
+                while (cursor[i] < arrays[i].size() &&
+                       tree.leafFreeSpace(i) > 0)
+                    tree.pushLeaf(i, arrays[i][cursor[i]++]);
+                if (cursor[i] == arrays[i].size()) {
+                    tree.finishLeaf(i);
+                    cursor[i] = arrays[i].size() + 1;
+                }
+            }
+            tree.clockUpdate();
+            tree.clockApply();
+            while (tree.rootHasPoppable()) {
+                tree.popRoot();
+                ++drained;
+            }
+        }
+        benchmark::DoNotOptimize(drained);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(arrays_len) * 64);
+}
+BENCHMARK(BM_MergeTree64Way)->Arg(256);
+
+void
+BM_ReferenceSpgemm(benchmark::State &state)
+{
+    const CsrMatrix a = generateUniform(1000, 1000, 8000, 5);
+    for (auto _ : state) {
+        switch (state.range(0)) {
+          case 0:
+            benchmark::DoNotOptimize(spgemmDenseAccumulator(a, a));
+            break;
+          case 1:
+            benchmark::DoNotOptimize(spgemmHash(a, a));
+            break;
+          case 2:
+            benchmark::DoNotOptimize(spgemmHeap(a, a));
+            break;
+          default:
+            benchmark::DoNotOptimize(spgemmSort(a, a));
+            break;
+        }
+    }
+}
+BENCHMARK(BM_ReferenceSpgemm)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3);
+
+void
+BM_SpArchEndToEnd(benchmark::State &state)
+{
+    const CsrMatrix a = generateUniform(
+        static_cast<Index>(state.range(0)),
+        static_cast<Index>(state.range(0)),
+        static_cast<std::uint64_t>(state.range(0)) * 8, 6);
+    SpArchSimulator sim;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.multiply(a, a));
+}
+BENCHMARK(BM_SpArchEndToEnd)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+#include "baselines/benchmarks.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "matrix/generators.hh"
+#include "matrix/rmat.hh"
+
+namespace sparch
+{
+
+const std::vector<BenchmarkSpec> &
+benchmarkSuite()
+{
+    // True dimensions and nonzero counts from the SuiteSparse and SNAP
+    // collections (the matrices of Figs. 11/12).
+    static const std::vector<BenchmarkSpec> suite = {
+        {"2cubes_sphere", 101492, 1647264, MatrixFamily::Fem},
+        {"amazon0312", 400727, 3200440, MatrixFamily::PowerLaw},
+        {"ca-CondMat", 23133, 186936, MatrixFamily::PowerLaw},
+        {"cage12", 130228, 2032536, MatrixFamily::Fem},
+        {"cit-Patents", 3774768, 16518948, MatrixFamily::PowerLaw},
+        {"cop20k_A", 121192, 2624331, MatrixFamily::Fem},
+        {"email-Enron", 36692, 367662, MatrixFamily::PowerLaw},
+        {"facebook", 4039, 176468, MatrixFamily::PowerLaw},
+        {"filter3D", 106437, 2707179, MatrixFamily::Fem},
+        {"m133-b3", 200200, 800800, MatrixFamily::Mesh},
+        {"mario002", 389874, 2101242, MatrixFamily::Mesh},
+        {"offshore", 259789, 4242673, MatrixFamily::Fem},
+        {"p2p-Gnutella31", 62586, 147892, MatrixFamily::PowerLaw},
+        {"patents_main", 240547, 560943, MatrixFamily::PowerLaw},
+        {"poisson3Da", 13514, 352762, MatrixFamily::Fem},
+        {"roadNet-CA", 1971281, 5533214, MatrixFamily::Road},
+        {"scircuit", 170998, 958936, MatrixFamily::Circuit},
+        {"web-Google", 916428, 5105039, MatrixFamily::PowerLaw},
+        {"webbase-1M", 1000005, 3105536, MatrixFamily::PowerLaw},
+        {"wiki-Vote", 8297, 103689, MatrixFamily::PowerLaw},
+    };
+    return suite;
+}
+
+const BenchmarkSpec &
+findBenchmark(const std::string &name)
+{
+    for (const auto &spec : benchmarkSuite()) {
+        if (spec.name == name)
+            return spec;
+    }
+    fatal("unknown benchmark '", name, "'");
+}
+
+CsrMatrix
+generateBenchmark(const BenchmarkSpec &spec, double scale,
+                  std::uint64_t seed)
+{
+    if (scale <= 0.0 || scale > 1.0)
+        fatal("benchmark scale must be in (0, 1], got ", scale);
+
+    const auto rows = std::max<Index>(
+        256, static_cast<Index>(std::llround(
+                 static_cast<double>(spec.rows) * scale)));
+    const double avg_degree = static_cast<double>(spec.nnz) /
+                              static_cast<double>(spec.rows);
+
+    switch (spec.family) {
+      case MatrixFamily::Fem:
+        // Mesh matrices: band of roughly 3x the average degree with
+        // local fill, plus the main diagonal.
+        return generateBanded(
+            rows,
+            std::max<Index>(4, static_cast<Index>(avg_degree * 1.5)),
+            avg_degree, seed);
+      case MatrixFamily::PowerLaw: {
+        const auto edge_factor = std::max<Index>(
+            1, static_cast<Index>(std::llround(avg_degree)));
+        return rmatGenerate(rows, edge_factor, seed);
+      }
+      case MatrixFamily::Road:
+        return generateRoadNetwork(rows, seed);
+      case MatrixFamily::Circuit:
+        return generateBlockDiagonal(
+            rows, std::max<Index>(32, rows / 64), avg_degree, 0.8,
+            seed);
+      case MatrixFamily::Mesh:
+        // Structured mesh operators: narrow band, uniform degree.
+        return generateBanded(
+            rows,
+            std::max<Index>(2, static_cast<Index>(avg_degree)),
+            avg_degree, seed);
+    }
+    panic("unreachable matrix family");
+}
+
+double
+defaultScale(const BenchmarkSpec &spec, std::uint64_t target_nnz)
+{
+    if (spec.nnz <= target_nnz)
+        return 1.0;
+    return static_cast<double>(target_nnz) /
+           static_cast<double>(spec.nnz);
+}
+
+} // namespace sparch

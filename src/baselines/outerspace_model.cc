@@ -1,0 +1,55 @@
+#include "baselines/outerspace_model.hh"
+
+#include <algorithm>
+
+#include "matrix/reference_spgemm.hh"
+
+namespace sparch
+{
+
+Bytes
+outerspaceTraffic(const CsrMatrix &a, const CsrMatrix &b,
+                  std::uint64_t output_nnz)
+{
+    const std::uint64_t m = a.multiplyFlops(b);
+    // Multiply phase: read A (by column) and B (by row) once each,
+    // write M partial-product elements. Merge phase: read the M
+    // elements back, write the final result. Section III-C summarizes
+    // this as "roughly 2.5M" elements for a 0.5M-element output.
+    const Bytes inputs = a.storageBytes() + b.storageBytes();
+    const Bytes partials = 2 * m * bytesPerElement;
+    const Bytes output = output_nnz * bytesPerElement +
+                         static_cast<Bytes>(a.rows() + 1) *
+                             bytesPerRowPtr;
+    return inputs + partials + output;
+}
+
+BaselineResult
+outerspaceModel(const CsrMatrix &a, const CsrMatrix &b,
+                const OuterSpaceConfig &config)
+{
+    SpgemmCounts counts;
+    // Output size via the cheap reference (structure only matters).
+    spgemmDenseAccumulator(a, b, &counts);
+
+    BaselineResult res;
+    res.flops = 2 * counts.multiplies;
+    res.dramBytes = outerspaceTraffic(a, b, counts.outputNnz);
+
+    const double mem_time = static_cast<double>(res.dramBytes) /
+                            (config.bandwidthGBs * 1e9 *
+                             config.bandwidthUtilization);
+    const double compute_time =
+        static_cast<double>(res.flops) /
+        (config.peakGflops * 1e9 * config.peakFraction);
+    res.seconds = std::max(mem_time, compute_time);
+    res.gflops = res.seconds > 0.0
+                     ? static_cast<double>(res.flops) / res.seconds /
+                           1e9
+                     : 0.0;
+    res.energyJ = config.energyPerFlopNj * 1e-9 *
+                  static_cast<double>(res.flops);
+    return res;
+}
+
+} // namespace sparch

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Minimal gem5-style status and error reporting.
+ *
+ * panic() is for internal invariant violations (simulator bugs); fatal()
+ * is for user errors (bad configuration, malformed input files); warn()
+ * and inform() are non-fatal status messages.
+ */
+
+#ifndef SPARCH_COMMON_LOGGING_HH
+#define SPARCH_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sparch
+{
+
+/** Exception thrown by fatal(): user-level configuration/input errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Exception thrown by panic(): internal invariant violations. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what)
+        : std::logic_error(what)
+    {}
+};
+
+namespace detail
+{
+
+inline void
+appendAll(std::ostringstream &)
+{}
+
+template <typename T, typename... Rest>
+void
+appendAll(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    appendAll(os, rest...);
+}
+
+} // namespace detail
+
+/**
+ * Report an unrecoverable internal error. Throws PanicError so tests can
+ * assert on invariant enforcement instead of killing the process.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    os << "panic: ";
+    detail::appendAll(os, args...);
+    throw PanicError(os.str());
+}
+
+/** Report an unrecoverable user error (bad config or input). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    os << "fatal: ";
+    detail::appendAll(os, args...);
+    throw FatalError(os.str());
+}
+
+/** Non-fatal warning to stderr. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::ostringstream os;
+    detail::appendAll(os, args...);
+    std::fprintf(stderr, "warn: %s\n", os.str().c_str());
+}
+
+/** Informational message to stderr. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::ostringstream os;
+    detail::appendAll(os, args...);
+    std::fprintf(stderr, "info: %s\n", os.str().c_str());
+}
+
+/** panic() unless the condition holds. */
+#define SPARCH_ASSERT(cond, ...)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::sparch::panic("assertion failed: " #cond " ", __VA_ARGS__); \
+        }                                                                 \
+    } while (0)
+
+} // namespace sparch
+
+#endif // SPARCH_COMMON_LOGGING_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Console table formatting used by the benchmark harness.
+ *
+ * Every bench regenerates a paper table or figure; this helper prints
+ * aligned columns with a title so the bench output reads like the paper's
+ * own tables.
+ */
+
+#ifndef SPARCH_COMMON_TABLE_PRINTER_HH
+#define SPARCH_COMMON_TABLE_PRINTER_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sparch
+{
+
+/** Accumulates rows of strings and prints them with aligned columns. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void
+    header(std::vector<std::string> cols)
+    {
+        header_ = std::move(cols);
+    }
+
+    /** Append a data row. */
+    void
+    row(std::vector<std::string> cols)
+    {
+        rows_.push_back(std::move(cols));
+    }
+
+    /** Format a double with the given precision. */
+    static std::string
+    num(double v, int precision = 2)
+    {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(precision) << v;
+        return os.str();
+    }
+
+    /** Format a double in scientific notation. */
+    static std::string
+    sci(double v, int precision = 2)
+    {
+        std::ostringstream os;
+        os << std::scientific << std::setprecision(precision) << v;
+        return os.str();
+    }
+
+    /** Render the full table. */
+    void
+    print(std::ostream &os) const
+    {
+        std::vector<std::size_t> widths;
+        auto widen = [&](const std::vector<std::string> &cols) {
+            if (widths.size() < cols.size())
+                widths.resize(cols.size(), 0);
+            for (std::size_t i = 0; i < cols.size(); ++i)
+                widths[i] = std::max(widths[i], cols[i].size());
+        };
+        widen(header_);
+        for (const auto &r : rows_)
+            widen(r);
+
+        os << "== " << title_ << " ==\n";
+        auto emit = [&](const std::vector<std::string> &cols) {
+            for (std::size_t i = 0; i < cols.size(); ++i) {
+                os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+                   << cols[i];
+            }
+            os << "\n";
+        };
+        if (!header_.empty()) {
+            emit(header_);
+            std::size_t total = 0;
+            for (auto w : widths)
+                total += w + 2;
+            os << std::string(total, '-') << "\n";
+        }
+        for (const auto &r : rows_)
+            emit(r);
+        os.flush();
+    }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Geometric mean helper used by the Fig. 11/12 benches. */
+inline double
+geoMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+} // namespace sparch
+
+#endif // SPARCH_COMMON_TABLE_PRINTER_HH

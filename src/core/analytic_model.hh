@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Analytic DRAM-traffic model (paper Section III-C, formulas (2)-(7)).
+ *
+ * The paper derives the expected number of times one multiplied result
+ * is re-read when N partial matrices are merged by a w-way merger in
+ * uniformly random order:
+ *
+ *   E = w/(w-1) * sum_{i=1..t} 1/(1/(w-1) + i)  ~  w/(w-1) * ln(t),
+ *
+ * with t = (N-1)/(w-1) rounds. From it the model reproduces the
+ * back-of-envelope traffic figures of Section III-C (13.9M vs 2.5M
+ * vs 1.5M vs 0.88M) used to explain the Fig. 16 breakdown.
+ */
+
+#ifndef SPARCH_CORE_ANALYTIC_MODEL_HH
+#define SPARCH_CORE_ANALYTIC_MODEL_HH
+
+#include <cstdint>
+
+namespace sparch
+{
+
+/** Inputs of the analytic traffic model. */
+struct AnalyticInputs
+{
+    /** Number of partial matrices to merge (columns of A). */
+    double numPartialMatrices = 140000;
+    /** Merge-tree ways w (Table I: 64). */
+    double mergeWays = 64;
+    /** Scalar multiplications M. */
+    double multiplies = 1e6;
+    /** Output nonzeros as a fraction of M (paper: ~0.5). */
+    double outputFraction = 0.5;
+    /** Row-prefetcher hit rate (paper: 0.62). */
+    double prefetchHitRate = 0.62;
+};
+
+/** Traffic estimates, in units of elements (x12 bytes for DRAM). */
+struct AnalyticTraffic
+{
+    /** Expected reads per multiplied result (formula (5)). */
+    double rereadFactor = 0.0;
+    /** OuterSPACE-style multiply+merge traffic (~2.5M). */
+    double outerspace = 0.0;
+    /** Pipelined merge only, random order, no condensing (~13.9M). */
+    double pipelineOnly = 0.0;
+    /** + matrix condensing (~2.5M). */
+    double withCondensing = 0.0;
+    /** + Huffman scheduler (~1.5M). */
+    double withHuffman = 0.0;
+    /** + row prefetcher (~0.88M). */
+    double withPrefetcher = 0.0;
+};
+
+/** Exact formula (5): E = w/(w-1) * sum_{i=1..t} 1/(1/(w-1)+i). */
+double rereadFactorExact(double num_partials, double ways);
+
+/** Log approximation, formula (7): E ~ w/(w-1) * ln t. */
+double rereadFactorApprox(double num_partials, double ways);
+
+/** Evaluate the whole Section III-C traffic chain. */
+AnalyticTraffic analyzeTraffic(const AnalyticInputs &in);
+
+} // namespace sparch
+
+#endif // SPARCH_CORE_ANALYTIC_MODEL_HH

@@ -1,0 +1,40 @@
+#include "core/condensed_matrix.hh"
+
+#include "common/logging.hh"
+
+namespace sparch
+{
+
+CondensedMatrix::CondensedMatrix(const CsrMatrix &csr) : csr_(&csr)
+{
+    column_rows_.resize(csr.maxRowNnz());
+    for (Index r = 0; r < csr.rows(); ++r) {
+        const Index len = csr.rowNnz(r);
+        for (Index j = 0; j < len; ++j)
+            column_rows_[j].push_back(r);
+    }
+}
+
+CondensedElement
+CondensedMatrix::element(Index j, Index k) const
+{
+    SPARCH_ASSERT(j < numColumns(), "condensed column ", j,
+                  " out of range");
+    SPARCH_ASSERT(k < columnLength(j), "element ", k,
+                  " out of range in condensed column ", j);
+    const Index row = column_rows_[j][k];
+    return {row, csr_->rowCols(row)[j], csr_->rowVals(row)[j]};
+}
+
+std::uint64_t
+CondensedMatrix::productWeight(Index j, const CsrMatrix &b) const
+{
+    SPARCH_ASSERT(j < numColumns(), "condensed column ", j,
+                  " out of range");
+    std::uint64_t weight = 0;
+    for (Index row : column_rows_[j])
+        weight += b.rowNnz(csr_->rowCols(row)[j]);
+    return weight;
+}
+
+} // namespace sparch

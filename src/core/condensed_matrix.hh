@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Matrix condensing (paper Section II-B, Fig. 7).
+ *
+ * All nonzeros of the left matrix are pushed left: condensed column j
+ * holds the j-th nonzero of every row that has more than j nonzeros,
+ * keeping each element's *original* column index for the multiply
+ * phase. "CSR format and our condensed format are two different views
+ * of the same data": the i-th element of a CSR row is in condensed
+ * column i. The number of condensed columns equals the longest row,
+ * which is what reduces partial matrices by three orders of magnitude.
+ */
+
+#ifndef SPARCH_CORE_CONDENSED_MATRIX_HH
+#define SPARCH_CORE_CONDENSED_MATRIX_HH
+
+#include <vector>
+
+#include "matrix/csr.hh"
+
+namespace sparch
+{
+
+/** One element of a condensed column. */
+struct CondensedElement
+{
+    Index row = 0;          //!< row in the left matrix
+    Index originalCol = 0;  //!< original column = right-matrix row
+    Value value = 0.0;
+};
+
+/**
+ * Condensed-column view over a CSR matrix. The underlying CSR payload
+ * is referenced, not copied; only a per-column row-id index is built
+ * (O(nnz) construction).
+ */
+class CondensedMatrix
+{
+  public:
+    /** Build the view; `csr` must outlive this object. */
+    explicit CondensedMatrix(const CsrMatrix &csr);
+
+    /** Number of condensed columns = longest row of the base matrix. */
+    Index numColumns() const
+    {
+        return static_cast<Index>(column_rows_.size());
+    }
+
+    /** Number of elements in condensed column j. */
+    Index
+    columnLength(Index j) const
+    {
+        return static_cast<Index>(column_rows_[j].size());
+    }
+
+    /** Rows contributing to condensed column j, ascending. */
+    const std::vector<Index> &columnRows(Index j) const
+    {
+        return column_rows_[j];
+    }
+
+    /** The k-th element of condensed column j (rows ascending). */
+    CondensedElement element(Index j, Index k) const;
+
+    /**
+     * Estimated nonzeros of (condensed column j) x B, the Huffman leaf
+     * weight: the sum of right-matrix row lengths over the column's
+     * elements (exact before inter-column duplicate elimination).
+     */
+    std::uint64_t productWeight(Index j, const CsrMatrix &b) const;
+
+    const CsrMatrix &base() const { return *csr_; }
+
+  private:
+    const CsrMatrix *csr_;
+    /** column_rows_[j] = sorted rows with more than j nonzeros. */
+    std::vector<std::vector<Index>> column_rows_;
+};
+
+} // namespace sparch
+
+#endif // SPARCH_CORE_CONDENSED_MATRIX_HH

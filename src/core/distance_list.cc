@@ -1,0 +1,53 @@
+#include "core/distance_list.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sparch
+{
+
+void
+DistanceList::noteUse(Index row, std::uint64_t pos)
+{
+    auto &queue = uses_[row];
+    SPARCH_ASSERT(queue.empty() || queue.back() < pos,
+                  "distance list positions must be recorded in order");
+    queue.push_back(pos);
+}
+
+void
+DistanceList::consumeUse(Index row, std::uint64_t pos)
+{
+    auto it = uses_.find(row);
+    SPARCH_ASSERT(it != uses_.end() && !it->second.empty(),
+                  "consuming unknown use of row ", row);
+    auto &queue = it->second;
+    if (queue.front() == pos) {
+        queue.pop_front();
+    } else {
+        auto qit = std::find(queue.begin(), queue.end(), pos);
+        SPARCH_ASSERT(qit != queue.end(), "consuming unrecorded use ",
+                      pos, " of row ", row);
+        queue.erase(qit);
+    }
+    if (queue.empty())
+        uses_.erase(it);
+}
+
+std::uint64_t
+DistanceList::nextUse(Index row) const
+{
+    auto it = uses_.find(row);
+    if (it == uses_.end() || it->second.empty())
+        return kInfinite;
+    return it->second.front();
+}
+
+void
+DistanceList::clear()
+{
+    uses_.clear();
+}
+
+} // namespace sparch

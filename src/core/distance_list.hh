@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Distance list builder (paper Section II-E, Fig. 10).
+ *
+ * "The Distance List Builder will process the look-ahead FIFO and
+ * calculates the next use time of each row." Each right-matrix row id
+ * keeps the queue of its known future use positions (stream indices of
+ * left-matrix elements inside the look-ahead window). The row
+ * prefetcher queries the head of that queue to rank buffer lines for
+ * Belady replacement; positions beyond the look-ahead horizon are
+ * unknown and report `kInfinite`, which is what makes the policy
+ * *near*-optimal rather than optimal.
+ */
+
+#ifndef SPARCH_CORE_DISTANCE_LIST_HH
+#define SPARCH_CORE_DISTANCE_LIST_HH
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace sparch
+{
+
+/** Per-row future-use queues over the look-ahead window. */
+class DistanceList
+{
+  public:
+    /** Sentinel for "no known future use". */
+    static constexpr std::uint64_t kInfinite =
+        std::numeric_limits<std::uint64_t>::max();
+
+    /** Record that stream position `pos` uses `row`; pos ascending. */
+    void noteUse(Index row, std::uint64_t pos);
+
+    /**
+     * Retire one recorded use of `row`. Retirement may be out of order
+     * across rows and even within a row (the 64 column fetchers drain
+     * their ports independently), so `pos` is removed wherever it sits
+     * in the queue.
+     */
+    void consumeUse(Index row, std::uint64_t pos);
+
+    /** Earliest known future use of `row`, or kInfinite. */
+    std::uint64_t nextUse(Index row) const;
+
+    /** Drop all state (start of a merge round). */
+    void clear();
+
+    /** Number of rows with at least one known future use. */
+    std::size_t trackedRows() const { return uses_.size(); }
+
+  private:
+    std::unordered_map<Index, std::deque<std::uint64_t>> uses_;
+};
+
+} // namespace sparch
+
+#endif // SPARCH_CORE_DISTANCE_LIST_HH

@@ -1,0 +1,239 @@
+#include "core/huffman_scheduler.hh"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <queue>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace sparch
+{
+
+const char *
+schedulerKindName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Huffman:
+        return "huffman";
+      case SchedulerKind::Sequential:
+        return "sequential";
+      case SchedulerKind::Random:
+        return "random";
+      default:
+        return "unknown";
+    }
+}
+
+const char *
+replacementPolicyName(ReplacementPolicy policy)
+{
+    switch (policy) {
+      case ReplacementPolicy::Belady:
+        return "belady";
+      case ReplacementPolicy::Lru:
+        return "lru";
+      case ReplacementPolicy::Fifo:
+        return "fifo";
+      default:
+        return "unknown";
+    }
+}
+
+std::uint64_t
+MergePlan::internalWeight() const
+{
+    std::uint64_t total = 0;
+    for (const auto &n : nodes) {
+        if (!n.isLeaf)
+            total += n.weight;
+    }
+    return total;
+}
+
+std::uint64_t
+MergePlan::totalWeight() const
+{
+    std::uint64_t total = 0;
+    for (const auto &n : nodes)
+        total += n.weight;
+    return total;
+}
+
+unsigned
+huffmanInitialWays(std::size_t num_leaves, unsigned ways)
+{
+    SPARCH_ASSERT(ways >= 2, "merger must be at least 2-way");
+    if (num_leaves <= ways)
+        return static_cast<unsigned>(num_leaves);
+    // Formula (1): kinit = (n - 2) mod (k - 1) + 2. This makes the
+    // remaining leaf count congruent to 1 mod (k-1), so every later
+    // round (including the root) merges exactly k nodes.
+    return static_cast<unsigned>((num_leaves - 2) % (ways - 1)) + 2;
+}
+
+namespace
+{
+
+/**
+ * Shared plan builder: repeatedly pick `count` nodes via `pick`, merge
+ * them into a new internal node, and offer the result back.
+ */
+template <typename PickFn, typename OfferFn>
+MergePlan
+buildWithPolicy(const std::vector<std::uint64_t> &leaf_weights,
+                unsigned ways, unsigned first_round_ways, PickFn &&pick,
+                OfferFn &&offer)
+{
+    MergePlan plan;
+    plan.nodes.reserve(leaf_weights.size() * 2);
+    for (std::size_t i = 0; i < leaf_weights.size(); ++i) {
+        MergeNode leaf;
+        leaf.column = static_cast<Index>(i);
+        leaf.isLeaf = true;
+        leaf.weight = leaf_weights[i];
+        plan.nodes.push_back(std::move(leaf));
+        offer(static_cast<std::uint32_t>(i));
+    }
+
+    std::size_t remaining = leaf_weights.size();
+    bool first = true;
+    while (remaining > 1) {
+        const unsigned take = first
+                                  ? first_round_ways
+                                  : static_cast<unsigned>(std::min<
+                                        std::size_t>(ways, remaining));
+        first = false;
+
+        MergeNode merged;
+        merged.isLeaf = false;
+        for (unsigned i = 0; i < take; ++i) {
+            const std::uint32_t child = pick();
+            merged.children.push_back(child);
+            merged.weight += plan.nodes[child].weight;
+        }
+        const auto id = static_cast<std::uint32_t>(plan.nodes.size());
+        plan.nodes.push_back(std::move(merged));
+        plan.rounds.push_back(id);
+        offer(id);
+        remaining -= take;
+        ++remaining; // the merged result re-enters the pool
+    }
+
+    SPARCH_ASSERT(!plan.nodes.empty(), "empty merge plan");
+    plan.root = static_cast<std::uint32_t>(plan.nodes.size() - 1);
+
+    // Degenerate single-leaf input: wrap it in one pass-through round
+    // so the pipeline still streams multiply -> merge -> write.
+    if (plan.rounds.empty()) {
+        MergeNode root;
+        root.isLeaf = false;
+        root.weight = plan.nodes[0].weight;
+        root.children = {0};
+        plan.nodes.push_back(std::move(root));
+        plan.root = 1;
+        plan.rounds.push_back(1);
+    }
+    return plan;
+}
+
+} // namespace
+
+MergePlan
+buildMergePlan(const std::vector<std::uint64_t> &leaf_weights,
+               unsigned ways, SchedulerKind kind, std::uint64_t seed)
+{
+    SPARCH_ASSERT(ways >= 2, "merger must be at least 2-way");
+    if (leaf_weights.empty())
+        return MergePlan{};
+
+    const unsigned kinit =
+        huffmanInitialWays(leaf_weights.size(), ways);
+
+    switch (kind) {
+      case SchedulerKind::Huffman: {
+        // Min-priority queue on estimated weight; ties broken by node
+        // id for determinism.
+        using Entry = std::pair<std::uint64_t, std::uint32_t>;
+        std::priority_queue<Entry, std::vector<Entry>,
+                            std::greater<Entry>> heap;
+        auto pick = [&heap]() {
+            const auto id = heap.top().second;
+            heap.pop();
+            return id;
+        };
+        MergePlan plan;
+        plan.nodes.reserve(leaf_weights.size() * 2);
+        for (std::size_t i = 0; i < leaf_weights.size(); ++i) {
+            MergeNode leaf;
+            leaf.column = static_cast<Index>(i);
+            leaf.isLeaf = true;
+            leaf.weight = leaf_weights[i];
+            plan.nodes.push_back(std::move(leaf));
+            heap.emplace(leaf.weight, static_cast<std::uint32_t>(i));
+        }
+        bool first = true;
+        while (heap.size() > 1) {
+            const unsigned take =
+                first ? kinit
+                      : static_cast<unsigned>(std::min<std::size_t>(
+                            ways, heap.size()));
+            first = false;
+            MergeNode merged;
+            merged.isLeaf = false;
+            for (unsigned i = 0; i < take; ++i) {
+                const std::uint32_t child = pick();
+                merged.children.push_back(child);
+                merged.weight += plan.nodes[child].weight;
+            }
+            const auto id =
+                static_cast<std::uint32_t>(plan.nodes.size());
+            plan.nodes.push_back(std::move(merged));
+            plan.rounds.push_back(id);
+            heap.emplace(plan.nodes[id].weight, id);
+        }
+        plan.root = static_cast<std::uint32_t>(plan.nodes.size() - 1);
+        if (plan.rounds.empty()) {
+            MergeNode root;
+            root.isLeaf = false;
+            root.weight = plan.nodes[0].weight;
+            root.children = {0};
+            plan.nodes.push_back(std::move(root));
+            plan.root = 1;
+            plan.rounds.push_back(1);
+        }
+        return plan;
+      }
+
+      case SchedulerKind::Sequential: {
+        std::deque<std::uint32_t> queue;
+        auto pick = [&queue]() {
+            const auto id = queue.front();
+            queue.pop_front();
+            return id;
+        };
+        auto offer = [&queue](std::uint32_t id) {
+            queue.push_back(id);
+        };
+        return buildWithPolicy(leaf_weights, ways, kinit, pick, offer);
+      }
+
+      case SchedulerKind::Random: {
+        Rng rng(seed);
+        std::vector<std::uint32_t> pool;
+        auto pick = [&pool, &rng]() {
+            const std::size_t at = rng.nextBounded(pool.size());
+            const auto id = pool[at];
+            pool[at] = pool.back();
+            pool.pop_back();
+            return id;
+        };
+        auto offer = [&pool](std::uint32_t id) { pool.push_back(id); };
+        return buildWithPolicy(leaf_weights, ways, kinit, pick, offer);
+      }
+    }
+    panic("unreachable scheduler kind");
+}
+
+} // namespace sparch

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Merge-order schedulers (paper Section II-C, Fig. 8).
+ *
+ * The merge of all partial matrices is abstracted as a k-ary tree whose
+ * leaves are the initial multiplied results (one per condensed column)
+ * and whose internal nodes are partially merged results. DRAM traffic
+ * for partial results is proportional to the total weight of internal
+ * nodes, so the scheduler's job is to minimize it. A k-ary Huffman tree
+ * is optimal under the paper's additive-weight approximation; the first
+ * round merges kinit = (num_leaves - 2) mod (k - 1) + 2 nodes (formula
+ * (1)) so that every later round, including the last, is full.
+ *
+ * Sequential (FIFO-order) and Random schedulers realize the Fig. 16
+ * ablation baselines.
+ */
+
+#ifndef SPARCH_CORE_HUFFMAN_SCHEDULER_HH
+#define SPARCH_CORE_HUFFMAN_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/sparch_config.hh"
+
+namespace sparch
+{
+
+/** One node of the planned merge tree. */
+struct MergeNode
+{
+    /** Leaf: the condensed-column id; internal: unused. */
+    Index column = 0;
+    /** True for initial multiplied results, false for merged results. */
+    bool isLeaf = true;
+    /** Estimated nonzeros (leaf: exact product size; internal: sum). */
+    std::uint64_t weight = 0;
+    /** Children node ids (empty for leaves). */
+    std::vector<std::uint32_t> children;
+};
+
+/** The complete merge schedule for one SpGEMM. */
+struct MergePlan
+{
+    /** All nodes; leaves first, internal nodes in execution order. */
+    std::vector<MergeNode> nodes;
+    /** Ids of internal nodes in the order rounds execute. */
+    std::vector<std::uint32_t> rounds;
+    /** Root node id (the final result). */
+    std::uint32_t root = 0;
+
+    /** Sum of internal-node weights (partial-result DRAM proxy). */
+    std::uint64_t internalWeight() const;
+    /** Paper's "total weight of all nodes" metric (Fig. 8). */
+    std::uint64_t totalWeight() const;
+};
+
+/**
+ * Build a merge plan.
+ *
+ * @param leaf_weights Estimated product size per condensed column.
+ * @param ways         Merger parallelism k (64 in Table I).
+ * @param kind         Huffman, Sequential, or Random.
+ * @param seed         Order seed for the Random scheduler.
+ */
+MergePlan buildMergePlan(const std::vector<std::uint64_t> &leaf_weights,
+                         unsigned ways, SchedulerKind kind,
+                         std::uint64_t seed = 1);
+
+/** Formula (1): size of the first merge round. */
+unsigned huffmanInitialWays(std::size_t num_leaves, unsigned ways);
+
+} // namespace sparch
+
+#endif // SPARCH_CORE_HUFFMAN_SCHEDULER_HH

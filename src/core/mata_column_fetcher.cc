@@ -1,0 +1,86 @@
+#include "core/mata_column_fetcher.hh"
+
+#include "common/logging.hh"
+
+namespace sparch
+{
+
+MataColumnFetcher::MataColumnFetcher(const SpArchConfig &config,
+                                     HbmModel &hbm, std::string name)
+    : Clocked(std::move(name)), config_(&config), hbm_(&hbm)
+{}
+
+void
+MataColumnFetcher::startRound(
+    const std::vector<MultTask> *tasks,
+    const std::vector<std::vector<std::uint64_t>> *port_queues,
+    Bytes rowptr_bytes)
+{
+    tasks_ = tasks;
+    port_queues_ = port_queues;
+    arrived_.assign(tasks ? tasks->size() : 0, false);
+    issued_.assign(port_queues ? port_queues->size() : 0, 0);
+    retired_.assign(port_queues ? port_queues->size() : 0, 0);
+    rr_port_ = 0;
+    while (!inflight_.empty())
+        inflight_.pop();
+
+    // Row-pointer metadata for the selected columns streams in at the
+    // start of the round.
+    if (rowptr_bytes > 0)
+        hbm_->read(DramStream::MatA, 0, rowptr_bytes, now_);
+}
+
+void
+MataColumnFetcher::clockUpdate()
+{
+    if (tasks_ == nullptr || port_queues_ == nullptr)
+        return;
+
+    // Land completed reads.
+    while (!inflight_.empty() && now_ >= inflight_.top().first) {
+        arrived_[inflight_.top().second] = true;
+        inflight_.pop();
+    }
+
+    // Issue new element reads, round-robin across the column
+    // fetchers; each runs a bounded window ahead of its consumer.
+    const auto n_ports = static_cast<unsigned>(port_queues_->size());
+    if (n_ports == 0)
+        return;
+    unsigned budget = config_->mataFetchWidth;
+    unsigned scanned = 0;
+    while (budget > 0 && scanned < n_ports) {
+        const unsigned p = (rr_port_ + scanned) % n_ports;
+        const auto &queue = (*port_queues_)[p];
+        if (issued_[p] >= queue.size() ||
+            issued_[p] - retired_[p] >= config_->aElementWindow) {
+            ++scanned;
+            continue;
+        }
+        const std::uint64_t pos = queue[issued_[p]];
+        const Cycle ready = hbm_->read(
+            DramStream::MatA, (*tasks_)[pos].addr, bytesPerElement,
+            now_);
+        inflight_.emplace(ready, pos);
+        ++issued_[p];
+        ++elements_fetched_;
+        --budget;
+    }
+    rr_port_ = (rr_port_ + 1) % n_ports;
+}
+
+void
+MataColumnFetcher::clockApply()
+{
+    ++now_;
+}
+
+void
+MataColumnFetcher::recordStats(StatSet &stats) const
+{
+    stats.set(name() + ".elements_fetched",
+              static_cast<double>(elements_fetched_));
+}
+
+} // namespace sparch

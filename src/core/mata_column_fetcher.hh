@@ -1,0 +1,92 @@
+/**
+ * @file
+ * MatA column fetcher (Section II-E, Fig. 10; Table I: "64 fetchers
+ * support 64 columns of left matrix").
+ *
+ * One fetcher per selected (condensed) column streams that column's
+ * elements from DRAM independently of the other columns — this is what
+ * keeps one slow or back-pressured column from starving the rest of
+ * the merge tree. Each fetcher runs a small in-flight window ahead of
+ * its multiplier consumption. The look-ahead FIFO of Table I is the
+ * *prediction* window of the distance-list builder and lives in the
+ * row prefetcher, which observes the same element stream in the global
+ * Fig. 7 load order.
+ */
+
+#ifndef SPARCH_CORE_MATA_COLUMN_FETCHER_HH
+#define SPARCH_CORE_MATA_COLUMN_FETCHER_HH
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "core/round_stream.hh"
+#include "core/sparch_config.hh"
+#include "dram/hbm.hh"
+#include "hw/clocked.hh"
+
+namespace sparch
+{
+
+/** The per-column left-matrix element fetchers. */
+class MataColumnFetcher : public hw::Clocked
+{
+  public:
+    MataColumnFetcher(const SpArchConfig &config, HbmModel &hbm,
+                      std::string name);
+
+    /**
+     * Begin a merge round.
+     * @param tasks        The round's element stream.
+     * @param port_queues  Per fresh port, global stream positions of
+     *                     its elements in order.
+     * @param rowptr_bytes Row-pointer metadata read up front.
+     */
+    void startRound(const std::vector<MultTask> *tasks,
+                    const std::vector<std::vector<std::uint64_t>>
+                        *port_queues,
+                    Bytes rowptr_bytes);
+
+    /** True when stream entry `pos` has arrived on chip. */
+    bool
+    arrivedAt(std::uint64_t pos) const
+    {
+        return arrived_[pos];
+    }
+
+    /** Called by the multiplier when a port's head element retires. */
+    void
+    noteConsumed(unsigned port)
+    {
+        ++retired_[port];
+    }
+
+    void clockUpdate() override;
+    void clockApply() override;
+    void recordStats(StatSet &stats) const override;
+
+  private:
+    const SpArchConfig *config_;
+    HbmModel *hbm_;
+    Cycle now_ = 0;
+
+    const std::vector<MultTask> *tasks_ = nullptr;
+    const std::vector<std::vector<std::uint64_t>> *port_queues_ =
+        nullptr;
+
+    std::vector<bool> arrived_;
+    std::vector<std::size_t> issued_;  //!< per-port issue cursor
+    std::vector<std::size_t> retired_; //!< per-port retire count
+    unsigned rr_port_ = 0;
+
+    /** In-flight reads ordered by completion time. */
+    using Flight = std::pair<Cycle, std::uint64_t>;
+    std::priority_queue<Flight, std::vector<Flight>,
+                        std::greater<Flight>> inflight_;
+
+    std::uint64_t elements_fetched_ = 0;
+};
+
+} // namespace sparch
+
+#endif // SPARCH_CORE_MATA_COLUMN_FETCHER_HH

@@ -1,0 +1,143 @@
+#include "core/multiplier_array.hh"
+
+#include "common/logging.hh"
+#include "core/mata_column_fetcher.hh"
+#include "core/row_prefetcher.hh"
+
+namespace sparch
+{
+
+MultiplierArray::MultiplierArray(const SpArchConfig &config,
+                                 std::string name)
+    : Clocked(std::move(name)), config_(&config)
+{}
+
+void
+MultiplierArray::connect(MataColumnFetcher *fetcher,
+                         RowPrefetcher *prefetcher, hw::MergeTree *tree)
+{
+    fetcher_ = fetcher;
+    prefetcher_ = prefetcher;
+    tree_ = tree;
+}
+
+void
+MultiplierArray::startRound(const std::vector<MultTask> *tasks,
+                            const CsrMatrix *b,
+                            const std::vector<std::vector<
+                                std::uint64_t>> *port_queues)
+{
+    tasks_ = tasks;
+    b_ = b;
+    port_queues_ = port_queues;
+    port_cursor_.assign(port_queues_->size(), 0);
+    product_cursor_.assign(port_queues_->size(), 0);
+    rr_port_ = 0;
+    remaining_ = 0;
+    for (const auto &q : *port_queues_)
+        remaining_ += q.size();
+
+    // Ports with no tasks at all are exhausted immediately. The 64
+    // column fetchers drain their ports independently, so one stalled
+    // port never blocks the others (Table I: "64 fetchers support 64
+    // columns of left matrix").
+    for (std::size_t p = 0; p < port_queues_->size(); ++p) {
+        if ((*port_queues_)[p].empty())
+            tree_->finishLeaf(static_cast<unsigned>(p));
+    }
+}
+
+bool
+MultiplierArray::done() const
+{
+    return remaining_ == 0;
+}
+
+void
+MultiplierArray::clockUpdate()
+{
+    if (tasks_ == nullptr || remaining_ == 0)
+        return;
+    if (!prefetcher_->windowWarm())
+        return;
+
+    const auto n_ports =
+        static_cast<unsigned>(port_queues_->size());
+    unsigned budget = config_->multipliers;
+    unsigned scanned = 0;
+
+    // Round-robin over ports; each port consumes its own queue head
+    // (in order within the port) when the element has arrived, its
+    // right-matrix row is buffered, and the leaf FIFO has space.
+    while (budget > 0 && scanned < n_ports) {
+        const unsigned p = (rr_port_ + scanned) % n_ports;
+        auto &cursor = port_cursor_[p];
+        if (cursor >= (*port_queues_)[p].size()) {
+            ++scanned;
+            continue;
+        }
+        const std::uint64_t pos = (*port_queues_)[p][cursor];
+        if (!fetcher_->arrivedAt(pos)) {
+            ++scanned;
+            continue; // element not fetched from DRAM yet
+        }
+        const MultTask &task = (*tasks_)[pos];
+        if (!prefetcher_->rowReady(pos)) {
+            ++row_wait_stalls_;
+            ++scanned;
+            continue;
+        }
+
+        auto b_cols = b_->rowCols(task.bRow);
+        auto b_vals = b_->rowVals(task.bRow);
+        const auto len = static_cast<Index>(b_cols.size());
+        Index &prod = product_cursor_[p];
+
+        bool blocked = false;
+        while (prod < len && budget > 0) {
+            if (tree_->leafFreeSpace(p) == 0) {
+                ++port_full_stalls_;
+                blocked = true;
+                break;
+            }
+            tree_->pushLeaf(p,
+                            {packCoord(task.aRow, b_cols[prod]),
+                             task.aValue * b_vals[prod]});
+            ++multiplies_;
+            ++prod;
+            --budget;
+        }
+        if (prod == len && !blocked) {
+            // Element fully expanded: retire it.
+            prod = 0;
+            ++cursor;
+            --remaining_;
+            fetcher_->noteConsumed(p);
+            prefetcher_->noteConsumed(pos);
+            if (cursor == (*port_queues_)[p].size())
+                tree_->finishLeaf(p);
+            // Stay on this port only if it still has budget-free work;
+            // otherwise move on next iteration.
+            continue;
+        }
+        ++scanned;
+    }
+    rr_port_ = n_ports == 0 ? 0 : (rr_port_ + 1) % n_ports;
+}
+
+void
+MultiplierArray::clockApply()
+{}
+
+void
+MultiplierArray::recordStats(StatSet &stats) const
+{
+    const std::string p = name() + ".";
+    stats.set(p + "multiplies", static_cast<double>(multiplies_));
+    stats.set(p + "row_wait_stalls",
+              static_cast<double>(row_wait_stalls_));
+    stats.set(p + "port_full_stalls",
+              static_cast<double>(port_full_stalls_));
+}
+
+} // namespace sparch

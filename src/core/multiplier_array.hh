@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Multiplier array (Section II-E, Table I: 2 groups of 8 FP64
+ * multipliers).
+ *
+ * Consumes the head of the look-ahead FIFO in order; each left element
+ * is multiplied against its right-matrix row, producing one partial
+ * product per right nonzero, streamed into the merge-tree leaf port of
+ * the element's (condensed) column. Throughput is bounded by the
+ * multiplier count per cycle and by leaf-FIFO back-pressure.
+ */
+
+#ifndef SPARCH_CORE_MULTIPLIER_ARRAY_HH
+#define SPARCH_CORE_MULTIPLIER_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/round_stream.hh"
+#include "core/sparch_config.hh"
+#include "hw/clocked.hh"
+#include "hw/merge_tree.hh"
+#include "matrix/csr.hh"
+
+namespace sparch
+{
+
+class MataColumnFetcher;
+class RowPrefetcher;
+
+/** The outer-product multiplier array. */
+class MultiplierArray : public hw::Clocked
+{
+  public:
+    MultiplierArray(const SpArchConfig &config, std::string name);
+
+    /** Wire the surrounding pipeline stages. */
+    void connect(MataColumnFetcher *fetcher, RowPrefetcher *prefetcher,
+                 hw::MergeTree *tree);
+
+    /**
+     * Begin a merge round.
+     * @param tasks       Element stream (Fig. 7 order).
+     * @param b           Right matrix.
+     * @param port_queues Per fresh port, the global stream positions
+     *                    of its elements in order; ports consume their
+     *                    queues independently (64 column fetchers).
+     */
+    void startRound(const std::vector<MultTask> *tasks,
+                    const CsrMatrix *b,
+                    const std::vector<std::vector<std::uint64_t>>
+                        *port_queues);
+
+    /** All tasks consumed and all fresh ports finished. */
+    bool done() const;
+
+    void clockUpdate() override;
+    void clockApply() override;
+    void recordStats(StatSet &stats) const override;
+
+    /** Scalar multiplications performed. */
+    std::uint64_t multiplies() const { return multiplies_; }
+
+  private:
+    const SpArchConfig *config_;
+    MataColumnFetcher *fetcher_ = nullptr;
+    RowPrefetcher *prefetcher_ = nullptr;
+    hw::MergeTree *tree_ = nullptr;
+
+    const std::vector<MultTask> *tasks_ = nullptr;
+    const CsrMatrix *b_ = nullptr;
+    const std::vector<std::vector<std::uint64_t>> *port_queues_ =
+        nullptr;
+    std::vector<std::size_t> port_cursor_;
+    std::vector<Index> product_cursor_; //!< progress inside port heads
+    unsigned rr_port_ = 0;
+    std::uint64_t remaining_ = 0;
+
+    std::uint64_t multiplies_ = 0;
+    std::uint64_t row_wait_stalls_ = 0;
+    std::uint64_t port_full_stalls_ = 0;
+};
+
+} // namespace sparch
+
+#endif // SPARCH_CORE_MULTIPLIER_ARRAY_HH

@@ -1,0 +1,194 @@
+#include "core/partial_matrix_io.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sparch
+{
+
+PartialMatrixFetcher::PartialMatrixFetcher(const SpArchConfig &config,
+                                           HbmModel &hbm,
+                                           std::string name)
+    : Clocked(std::move(name)), config_(&config), hbm_(&hbm)
+{}
+
+void
+PartialMatrixFetcher::startRound(std::vector<StoredInput> inputs)
+{
+    inputs_.clear();
+    for (auto &in : inputs) {
+        InputState state;
+        state.input = in;
+        inputs_.push_back(state);
+        if (in.data->empty()) {
+            inputs_.back().finished = true;
+            tree_->finishLeaf(in.port);
+        }
+    }
+}
+
+bool
+PartialMatrixFetcher::done() const
+{
+    for (const auto &s : inputs_) {
+        if (!s.finished)
+            return false;
+    }
+    return true;
+}
+
+void
+PartialMatrixFetcher::clockUpdate()
+{
+    for (auto &s : inputs_) {
+        if (s.finished)
+            continue;
+        const auto total = s.input.data->size();
+
+        // Issue the next burst when the previous one has fully landed
+        // and there is still data to fetch.
+        if (s.fetched < total && s.fetched == s.burst_end) {
+            const std::size_t burst = std::min(
+                config_->partialFetchBurst, total - s.fetched);
+            const Bytes addr = s.input.baseAddr +
+                static_cast<Bytes>(s.fetched) * bytesPerElement;
+            s.burst_ready = hbm_->read(
+                DramStream::PartialRead, addr,
+                static_cast<Bytes>(burst) * bytesPerElement, now_);
+            s.burst_end = s.fetched + burst;
+        }
+        if (s.fetched < s.burst_end && now_ >= s.burst_ready)
+            s.fetched = s.burst_end;
+
+        // Stream landed elements into the leaf port.
+        unsigned width = config_->mergeTree.mergerWidth;
+        while (width > 0 && s.delivered < s.fetched &&
+               tree_->leafFreeSpace(s.input.port) > 0) {
+            tree_->pushLeaf(s.input.port,
+                            (*s.input.data)[s.delivered]);
+            ++s.delivered;
+            ++elements_streamed_;
+            --width;
+        }
+        if (s.delivered == total) {
+            s.finished = true;
+            tree_->finishLeaf(s.input.port);
+        }
+    }
+}
+
+void
+PartialMatrixFetcher::clockApply()
+{
+    ++now_;
+}
+
+void
+PartialMatrixFetcher::recordStats(StatSet &stats) const
+{
+    stats.set(name() + ".elements_streamed",
+              static_cast<double>(elements_streamed_));
+}
+
+PartialMatrixWriter::PartialMatrixWriter(const SpArchConfig &config,
+                                         HbmModel &hbm, std::string name)
+    : Clocked(std::move(name)), config_(&config), hbm_(&hbm)
+{}
+
+void
+PartialMatrixWriter::startRound(bool final_round, Bytes base_addr,
+                                Bytes rowptr_bytes)
+{
+    final_round_ = final_round;
+    base_addr_ = base_addr;
+    rowptr_bytes_ = rowptr_bytes;
+    pending_ = 0;
+    last_write_done_ = 0;
+    captured_.clear();
+}
+
+bool
+PartialMatrixWriter::drained() const
+{
+    return tree_->done() && !tree_->rootHasData() && pending_ == 0 &&
+           now_ >= last_write_done_;
+}
+
+std::vector<StreamElement>
+PartialMatrixWriter::takeCaptured()
+{
+    return std::move(captured_);
+}
+
+void
+PartialMatrixWriter::writeBurst(std::size_t elems)
+{
+    const auto stream = final_round_ ? DramStream::FinalWrite
+                                     : DramStream::PartialWrite;
+    const Bytes addr = base_addr_ +
+        static_cast<Bytes>(captured_.size() - pending_) *
+            bytesPerElement;
+    last_write_done_ = std::max(
+        last_write_done_,
+        hbm_->write(stream, addr,
+                    static_cast<Bytes>(elems) * bytesPerElement, now_));
+    pending_ -= elems;
+    ++bursts_;
+}
+
+void
+PartialMatrixWriter::clockUpdate()
+{
+    // Drain the root; coalesce same-coordinate elements that slipped
+    // through across merger window boundaries.
+    unsigned width = config_->mergeTree.mergerWidth;
+    while (width > 0 && tree_->rootHasPoppable() &&
+           pending_ < config_->writerFifo) {
+        const StreamElement e = tree_->popRoot();
+        if (!captured_.empty() && pending_ > 0 &&
+            captured_.back().coord == e.coord) {
+            captured_.back().value += e.value;
+            ++additions_;
+        } else {
+            captured_.push_back(e);
+            ++pending_;
+        }
+        --width;
+    }
+
+    // Write a full burst, or flush the tail once the tree is done.
+    // The burst can never exceed the FIFO, or draining would stop
+    // before a burst completes.
+    const std::size_t burst =
+        std::min(config_->writerBurst, config_->writerFifo);
+    if (pending_ >= burst) {
+        writeBurst(burst);
+    } else if (pending_ > 0 && tree_->done() && !tree_->rootHasData()) {
+        writeBurst(pending_);
+        if (final_round_ && rowptr_bytes_ > 0) {
+            // CSR conversion also emits the row-pointer array.
+            last_write_done_ = std::max(
+                last_write_done_,
+                hbm_->write(DramStream::FinalWrite,
+                            base_addr_ + rowptr_bytes_, rowptr_bytes_,
+                            now_));
+        }
+    }
+}
+
+void
+PartialMatrixWriter::clockApply()
+{
+    ++now_;
+}
+
+void
+PartialMatrixWriter::recordStats(StatSet &stats) const
+{
+    const std::string p = name() + ".";
+    stats.set(p + "additions", static_cast<double>(additions_));
+    stats.set(p + "bursts", static_cast<double>(bursts_));
+}
+
+} // namespace sparch

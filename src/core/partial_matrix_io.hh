@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Partial matrix fetcher and writer (Section II-E, Fig. 10).
+ *
+ * The fetcher streams previously written partially merged results from
+ * DRAM back into merge-tree leaf ports ("It will fetch the requested
+ * matrix once the FIFO is near empty"). The writer drains the root of
+ * the merge tree into a FIFO (Table I: 1024 elements) and writes DRAM
+ * in bursts; on the final round it also converts the stream to CSR.
+ */
+
+#ifndef SPARCH_CORE_PARTIAL_MATRIX_IO_HH
+#define SPARCH_CORE_PARTIAL_MATRIX_IO_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/round_stream.hh"
+#include "core/sparch_config.hh"
+#include "dram/hbm.hh"
+#include "hw/clocked.hh"
+#include "hw/merge_tree.hh"
+
+namespace sparch
+{
+
+/** Streams stored partial results into merge-tree leaves. */
+class PartialMatrixFetcher : public hw::Clocked
+{
+  public:
+    PartialMatrixFetcher(const SpArchConfig &config, HbmModel &hbm,
+                         std::string name);
+
+    void connectTree(hw::MergeTree *tree) { tree_ = tree; }
+
+    /** Begin a round with the given stored inputs. */
+    void startRound(std::vector<StoredInput> inputs);
+
+    /** All stored inputs fully delivered. */
+    bool done() const;
+
+    void clockUpdate() override;
+    void clockApply() override;
+    void recordStats(StatSet &stats) const override;
+
+  private:
+    struct InputState
+    {
+        StoredInput input;
+        std::size_t delivered = 0; //!< elements pushed into the leaf
+        std::size_t fetched = 0;   //!< elements requested from DRAM
+        Cycle burst_ready = 0;     //!< cycle the current burst lands
+        std::size_t burst_end = 0; //!< fetched extent of that burst
+        bool finished = false;
+    };
+
+    const SpArchConfig *config_;
+    HbmModel *hbm_;
+    hw::MergeTree *tree_ = nullptr;
+    Cycle now_ = 0;
+
+    std::vector<InputState> inputs_;
+    std::uint64_t elements_streamed_ = 0;
+};
+
+/** Drains the merge-tree root and writes results to DRAM. */
+class PartialMatrixWriter : public hw::Clocked
+{
+  public:
+    PartialMatrixWriter(const SpArchConfig &config, HbmModel &hbm,
+                        std::string name);
+
+    void connectTree(hw::MergeTree *tree) { tree_ = tree; }
+
+    /**
+     * Begin a round.
+     * @param final_round Final results are written in CSR, which also
+     *        costs the row-pointer bytes (`rowptr_bytes`).
+     * @param base_addr   DRAM base address of the output region.
+     */
+    void startRound(bool final_round, Bytes base_addr,
+                    Bytes rowptr_bytes);
+
+    /** True once the tree is done and all output has drained. */
+    bool drained() const;
+
+    /** The captured output stream (sorted, duplicates combined). */
+    const std::vector<StreamElement> &captured() const
+    {
+        return captured_;
+    }
+
+    /** Move the captured output out (end of round). */
+    std::vector<StreamElement> takeCaptured();
+
+    void clockUpdate() override;
+    void clockApply() override;
+    void recordStats(StatSet &stats) const override;
+
+    /** Same-coordinate additions performed while draining. */
+    std::uint64_t additions() const { return additions_; }
+
+  private:
+    void writeBurst(std::size_t elems);
+
+    const SpArchConfig *config_;
+    HbmModel *hbm_;
+    hw::MergeTree *tree_ = nullptr;
+    Cycle now_ = 0;
+
+    bool final_round_ = false;
+    Bytes base_addr_ = 0;
+    Bytes rowptr_bytes_ = 0;
+    std::size_t pending_ = 0;     //!< buffered, not yet written
+    Cycle last_write_done_ = 0;
+    std::vector<StreamElement> captured_;
+
+    std::uint64_t additions_ = 0;
+    std::uint64_t bursts_ = 0;
+};
+
+} // namespace sparch
+
+#endif // SPARCH_CORE_PARTIAL_MATRIX_IO_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared per-round data structures of the SpArch pipeline.
+ *
+ * A merge round (one internal node of the merge plan) consumes up to 64
+ * input arrays: "fresh" inputs are condensed columns of the left matrix
+ * multiplied on the fly, "stored" inputs are partially merged results
+ * read back from DRAM. Fresh inputs share a single left-matrix element
+ * stream in the Fig. 7 load order; each element is one MultTask.
+ */
+
+#ifndef SPARCH_CORE_ROUND_STREAM_HH
+#define SPARCH_CORE_ROUND_STREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sparch
+{
+
+/** One left-matrix element awaiting multiplication. */
+struct MultTask
+{
+    Index aRow = 0;       //!< row of the left matrix
+    Index bRow = 0;       //!< original column = row of the right matrix
+    Value aValue = 0.0;   //!< left element value
+    unsigned port = 0;    //!< merge-tree leaf port of its column
+    Bytes addr = 0;       //!< DRAM address of the element
+};
+
+/** One stored partially merged result feeding a leaf port. */
+struct StoredInput
+{
+    const std::vector<StreamElement> *data = nullptr;
+    unsigned port = 0;
+    Bytes baseAddr = 0;
+};
+
+} // namespace sparch
+
+#endif // SPARCH_CORE_ROUND_STREAM_HH

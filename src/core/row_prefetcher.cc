@@ -1,0 +1,428 @@
+#include "core/row_prefetcher.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace sparch
+{
+
+RowPrefetcher::RowPrefetcher(const SpArchConfig &config, HbmModel &hbm,
+                             std::string name)
+    : Clocked(std::move(name)), config_(&config), hbm_(&hbm)
+{}
+
+void
+RowPrefetcher::startRound(const std::vector<MultTask> *tasks,
+                          const CsrMatrix *b, Bytes b_base)
+{
+    tasks_ = tasks;
+    b_ = b;
+    b_base_ = b_base;
+    distances_.clear();
+    window_end_ = cursor_ = 0;
+    retired_.assign(tasks ? tasks->size() : 0, false);
+    watermark_ = 0;
+    retired_count_ = 0;
+    demand_budget_ = 0;
+    resident_.clear();
+    resident_count_ = 0;
+    rank_.clear();
+    row_rank_key_.clear();
+    ahead_rows_.clear();
+    streaming_ready_.clear();
+    bypass_ready_.clear();
+    demanded_.clear();
+    touch_counter_ = 0;
+    last_touch_.clear();
+    insert_tick_.clear();
+    cursor_miss_lines_ = 0;
+}
+
+Index
+RowPrefetcher::rowLines(Index row) const
+{
+    const Index len = b_->rowNnz(row);
+    const auto per_line = static_cast<Index>(config_->prefetchLineElems);
+    return (len + per_line - 1) / per_line;
+}
+
+Bytes
+RowPrefetcher::lineBytes(Index row, Index line) const
+{
+    const Index len = b_->rowNnz(row);
+    const auto per_line = static_cast<Index>(config_->prefetchLineElems);
+    const Index start = line * per_line;
+    const Index elems = std::min(per_line, len - start);
+    return static_cast<Bytes>(elems) * bytesPerElement;
+}
+
+void
+RowPrefetcher::noteConsumed(std::uint64_t pos)
+{
+    SPARCH_ASSERT(pos < retired_.size() && !retired_[pos],
+                  "double retirement of stream entry ", pos);
+    const Index row = (*tasks_)[pos].bRow;
+    // Positions beyond the look-ahead window were never recorded in
+    // the distance list (a fast independent column fetcher can run
+    // ahead of the window).
+    if (pos < window_end_)
+        distances_.consumeUse(row, pos);
+    retired_[pos] = true;
+    ++retired_count_;
+    while (watermark_ < retired_.size() && retired_[watermark_])
+        ++watermark_;
+
+    if (config_->rowPrefetcher) {
+        buffer_reads_ += b_->rowNnz(row);
+        last_touch_[row] = ++touch_counter_;
+        auto it = ahead_rows_.find(row);
+        if (it != ahead_rows_.end() && --it->second == 0)
+            ahead_rows_.erase(it);
+        auto dit = demanded_.find(row);
+        if (dit != demanded_.end()) {
+            dit->second.erase(pos);
+            if (dit->second.empty())
+                demanded_.erase(dit);
+        }
+        reRankRow(row);
+        streaming_ready_.erase(pos);
+    } else {
+        bypass_ready_.erase(pos);
+    }
+}
+
+std::uint64_t
+RowPrefetcher::effectiveNextUse(Index row) const
+{
+    std::uint64_t key = distances_.nextUse(row);
+    auto it = demanded_.find(row);
+    if (it != demanded_.end() && !it->second.empty())
+        key = std::min(key, *it->second.begin());
+    return key;
+}
+
+std::uint64_t
+RowPrefetcher::rankKey(Index row) const
+{
+    switch (config_->replacement) {
+      case ReplacementPolicy::Belady:
+        return effectiveNextUse(row);
+      case ReplacementPolicy::Lru: {
+        auto it = last_touch_.find(row);
+        const std::uint64_t touch =
+            it == last_touch_.end() ? 0 : it->second;
+        return DistanceList::kInfinite - touch;
+      }
+      case ReplacementPolicy::Fifo: {
+        auto it = insert_tick_.find(row);
+        const std::uint64_t tick =
+            it == insert_tick_.end() ? 0 : it->second;
+        return DistanceList::kInfinite - tick;
+      }
+      default:
+        panic("unknown replacement policy");
+    }
+}
+
+void
+RowPrefetcher::reRankRow(Index row)
+{
+    auto key_it = row_rank_key_.find(row);
+    if (key_it != row_rank_key_.end()) {
+        rank_.erase({key_it->second, row});
+        row_rank_key_.erase(key_it);
+    }
+    auto res_it = resident_.find(row);
+    if (res_it != resident_.end() && !res_it->second.empty()) {
+        const std::uint64_t key = rankKey(row);
+        rank_.insert({key, row});
+        row_rank_key_[row] = key;
+    }
+}
+
+bool
+RowPrefetcher::evictOne(std::uint64_t protect_pos)
+{
+    // Farthest-next-use victim, skipping the row currently being
+    // filled (a row must never evict its own lines while fetching)
+    // and rows a blocked port head is waiting on (their global stream
+    // position overstates their next use under out-of-order port
+    // consumption; evicting them livelocks the merge tree).
+    auto it = rank_.rbegin();
+    while (it != rank_.rend() &&
+           (static_cast<SIndex>(it->second) == pinned_row_ ||
+            demanded_.count(it->second))) {
+        ++it;
+    }
+    const bool belady =
+        config_->replacement == ReplacementPolicy::Belady;
+    if (it == rank_.rend() || (belady && it->first <= protect_pos)) {
+        // Fallback for buffers smaller than the working set of port
+        // heads: sacrifice the demanded row with the farthest pending
+        // position. The earliest heads stay resident, so the pipeline
+        // thrashes (as a too-small buffer must) but never deadlocks.
+        it = rank_.rbegin();
+        while (it != rank_.rend() &&
+               (static_cast<SIndex>(it->second) == pinned_row_ ||
+                (belady && it->first <= protect_pos))) {
+            ++it;
+        }
+        if (it == rank_.rend())
+            return false;
+    }
+    const auto victim = *it;
+    if (belady && victim.first <= protect_pos)
+        return false;
+    const Index row = victim.second;
+    auto &lines = resident_[row];
+    SPARCH_ASSERT(!lines.empty(), "ranked row has no resident lines");
+    // Spill line by line from the tail (Fig. 9 spills partial rows so
+    // re-fetch only touches missing lines).
+    lines.erase(std::prev(lines.end()));
+    --resident_count_;
+    ++evictions_;
+    if (lines.empty()) {
+        resident_.erase(row);
+        insert_tick_.erase(row);
+        reRankRow(row);
+    }
+    return true;
+}
+
+bool
+RowPrefetcher::prefetchRow(Index row, unsigned &budget,
+                           bool count_misses)
+{
+    pinned_row_ = static_cast<SIndex>(row);
+    const Index n_lines = rowLines(row);
+    auto &lines = resident_[row];
+    bool ranked_dirty = lines.empty();
+    if (lines.empty())
+        insert_tick_[row] = ++touch_counter_;
+    last_touch_[row] = ++touch_counter_;
+    for (Index l = 0; l < n_lines; ++l) {
+        if (lines.count(l))
+            continue;
+        if (budget == 0) {
+            if (lines.empty())
+                resident_.erase(row);
+            else if (ranked_dirty)
+                reRankRow(row);
+            pinned_row_ = -1;
+            return false;
+        }
+        while (resident_count_ >= config_->prefetchLines) {
+            if (!evictOne(watermark_)) {
+                if (lines.empty())
+                    resident_.erase(row);
+                else if (ranked_dirty)
+                    reRankRow(row);
+                pinned_row_ = -1;
+                return false;
+            }
+        }
+        // Replacement decision latency grows with the reduction tree
+        // over the line count (Section II-E / Fig. 17b).
+        const Cycle decision =
+            std::bit_width(config_->prefetchLines) / 2;
+        const Bytes addr = b_base_ +
+            (static_cast<Bytes>(b_->rowPtr()[row]) +
+             static_cast<Bytes>(l) * config_->prefetchLineElems) *
+                bytesPerElement;
+        const Cycle ready = hbm_->read(DramStream::MatB, addr,
+                                       lineBytes(row, l), now_) +
+                            decision;
+        lines[l] = ready;
+        ++resident_count_;
+        ++buffer_writes_;
+        --budget;
+        if (count_misses)
+            ++cursor_miss_lines_;
+        ranked_dirty = true;
+    }
+    // Recency-based policies must re-rank on every touch, not only
+    // when residency changed.
+    if (ranked_dirty ||
+        config_->replacement != ReplacementPolicy::Belady) {
+        reRankRow(row);
+    }
+    pinned_row_ = -1;
+    return true;
+}
+
+bool
+RowPrefetcher::rowReady(std::uint64_t pos)
+{
+    const MultTask &task = (*tasks_)[pos];
+    const Index row = task.bRow;
+    if (b_->rowNnz(row) == 0)
+        return true;
+
+    if (!config_->rowPrefetcher) {
+        // No prefetcher: stream the full row from DRAM at use time.
+        auto it = bypass_ready_.find(pos);
+        if (it == bypass_ready_.end()) {
+            const Bytes addr = b_base_ +
+                static_cast<Bytes>(b_->rowPtr()[row]) * bytesPerElement;
+            const Bytes bytes =
+                static_cast<Bytes>(b_->rowNnz(row)) * bytesPerElement;
+            bypass_ready_[pos] =
+                hbm_->read(DramStream::MatB, addr, bytes, now_);
+            misses_ += rowLines(row);
+            return false;
+        }
+        return now_ >= it->second;
+    }
+
+    if (rowLines(row) > config_->prefetchLines) {
+        // Row larger than the whole buffer: streamed, not cached.
+        auto it = streaming_ready_.find(pos);
+        return it != streaming_ready_.end() && now_ >= it->second;
+    }
+
+    auto res_it = resident_.find(row);
+    const bool complete = res_it != resident_.end() &&
+                          res_it->second.size() == rowLines(row);
+    if (!complete) {
+        // Demand fetch: a port head must never starve behind a stalled
+        // prefetch cursor (each column fetcher fetches its own rows in
+        // hardware). Issued lines count as misses here; if the cursor
+        // later visits this position it sees resident lines, a small
+        // hit-rate optimism accepted for pipeline liveness.
+        if (demand_budget_ > 0) {
+            demanded_[row].insert(pos);
+            const std::uint64_t before = buffer_writes_;
+            prefetchRow(row, demand_budget_, /*count_misses=*/false);
+            misses_ += buffer_writes_ - before;
+        }
+        return false;
+    }
+    for (const auto &[line, ready] : res_it->second) {
+        if (now_ < ready)
+            return false;
+    }
+    return true;
+}
+
+void
+RowPrefetcher::clockUpdate()
+{
+    if (!config_->rowPrefetcher || tasks_ == nullptr)
+        return;
+
+    // Extend the look-ahead window: the distance-list builder
+    // processes up to mataFetchWidth stream entries per cycle, and the
+    // window never exceeds its FIFO capacity past the oldest
+    // unretired element.
+    const std::uint64_t window_limit = std::min<std::uint64_t>(
+        tasks_->size(),
+        watermark_ + config_->lookaheadFifo);
+    for (unsigned step = 0;
+         step < config_->mataFetchWidth && window_end_ < window_limit;
+         ++step) {
+        // Entries already retired by a fast column fetcher would
+        // corrupt next-use ranking if recorded now.
+        if (!retired_[window_end_]) {
+            distances_.noteUse((*tasks_)[window_end_].bRow,
+                               window_end_);
+        }
+        ++window_end_;
+    }
+
+    unsigned budget = config_->rowFetchers;
+    // Reserve part of the fetch bandwidth for demand re-fetches of
+    // evicted-before-use lines (issued from rowReady this cycle).
+    demand_budget_ = std::max(1u, config_->rowFetchers / 4);
+
+    bool stalled = false;
+    while (cursor_ < window_end_ && budget > 0 && !stalled) {
+        // Entries a fast column fetcher already retired need neither
+        // prefetch nor ahead-window accounting.
+        if (retired_[cursor_]) {
+            ++cursor_;
+            continue;
+        }
+        const MultTask &task = (*tasks_)[cursor_];
+        const Index row = task.bRow;
+
+        if (b_->rowNnz(row) == 0) {
+            ++ahead_rows_[row];
+            ++cursor_;
+            continue;
+        }
+
+        // Limit how many distinct rows run ahead of consumption
+        // (Table I: 16 fetchers, "each can prefetch up to 48 rows
+        // before used" -> aggregate window of fetchers x 48 rows).
+        if (!ahead_rows_.count(row) &&
+            ahead_rows_.size() >= static_cast<std::size_t>(
+                                      config_->prefetchRowsAhead) *
+                                      config_->rowFetchers) {
+            stalled = true;
+            break;
+        }
+
+        if (rowLines(row) > config_->prefetchLines) {
+            // Stream oversized rows without caching.
+            if (!streaming_ready_.count(cursor_)) {
+                const Bytes addr = b_base_ +
+                    static_cast<Bytes>(b_->rowPtr()[row]) *
+                        bytesPerElement;
+                const Bytes bytes =
+                    static_cast<Bytes>(b_->rowNnz(row)) *
+                    bytesPerElement;
+                streaming_ready_[cursor_] =
+                    hbm_->read(DramStream::MatB, addr, bytes, now_);
+                misses_ += rowLines(row);
+                budget = budget > 1 ? budget - 1 : 0;
+            }
+        } else if (!prefetchRow(row, budget, /*count_misses=*/true)) {
+            stalled = true;
+            break;
+        } else {
+            // Position fully handled: tally per-position hit/miss.
+            // (Re-issued evicted lines can make miss lines exceed the
+            // row's line count under extreme pressure.)
+            misses_ += cursor_miss_lines_;
+            if (rowLines(row) > cursor_miss_lines_)
+                hits_ += rowLines(row) - cursor_miss_lines_;
+            cursor_miss_lines_ = 0;
+        }
+        ++ahead_rows_[row];
+        ++cursor_;
+    }
+    if (stalled)
+        ++stall_cycles_;
+}
+
+void
+RowPrefetcher::clockApply()
+{
+    ++now_;
+}
+
+double
+RowPrefetcher::hitRate() const
+{
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) /
+                            static_cast<double>(total);
+}
+
+void
+RowPrefetcher::recordStats(StatSet &stats) const
+{
+    const std::string p = name() + ".";
+    stats.set(p + "hits", static_cast<double>(hits_));
+    stats.set(p + "misses", static_cast<double>(misses_));
+    stats.set(p + "hit_rate", hitRate());
+    stats.set(p + "evictions", static_cast<double>(evictions_));
+    stats.set(p + "stall_cycles", static_cast<double>(stall_cycles_));
+    stats.set(p + "buffer_reads", static_cast<double>(buffer_reads_));
+    stats.set(p + "buffer_writes", static_cast<double>(buffer_writes_));
+}
+
+} // namespace sparch

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * MatB row prefetcher with near-Belady replacement (Section II-D).
+ *
+ * The prefetcher serves two functions the paper names explicitly:
+ * hiding DRAM latency by fetching right-matrix rows before the
+ * multipliers need them, and caching fetched rows for reuse. The buffer
+ * is organized as lines (Table I: 1024 lines x 48 elements x 12 bytes);
+ * rows are cached and spilled *line by line* (Fig. 9), so a partially
+ * evicted row refetches only its missing lines. Replacement evicts the
+ * line whose owning row has the farthest next use according to the
+ * distance list — Belady's policy restricted to the look-ahead horizon.
+ */
+
+#ifndef SPARCH_CORE_ROW_PREFETCHER_HH
+#define SPARCH_CORE_ROW_PREFETCHER_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "core/distance_list.hh"
+#include "core/round_stream.hh"
+#include "core/sparch_config.hh"
+#include "dram/hbm.hh"
+#include "hw/clocked.hh"
+#include "matrix/csr.hh"
+
+namespace sparch
+{
+
+/** The MatB row prefetcher module. */
+class RowPrefetcher : public hw::Clocked
+{
+  public:
+    RowPrefetcher(const SpArchConfig &config, HbmModel &hbm,
+                  std::string name);
+
+    /**
+     * Begin a merge round.
+     * @param tasks    The round's left-element stream (Fig. 7 order).
+     * @param b        Right matrix.
+     * @param b_base   DRAM base address of the right matrix.
+     */
+    void startRound(const std::vector<MultTask> *tasks,
+                    const CsrMatrix *b, Bytes b_base);
+
+    /**
+     * True once the look-ahead window has filled to its capacity (or
+     * the whole round stream fits inside it). The multipliers hold off
+     * until then so replacement decisions see a full horizon; this is
+     * the startup cost that penalizes oversized FIFOs (Fig. 17d).
+     */
+    bool
+    windowWarm() const
+    {
+        if (!config_->rowPrefetcher)
+            return true; // no look-ahead machinery to warm up
+        return tasks_ == nullptr ||
+               window_end_ >= std::min<std::uint64_t>(
+                                  config_->lookaheadFifo,
+                                  tasks_->size());
+    }
+
+    /**
+     * Called by the multiplier when stream entry `pos` retires. The 64
+     * column fetchers drain their ports independently, so retirement
+     * order is only monotone per port, not globally.
+     */
+    void noteConsumed(std::uint64_t pos);
+
+    /**
+     * True when the right-matrix row of stream entry `pos` is fully on
+     * chip and usable by the multipliers.
+     */
+    bool rowReady(std::uint64_t pos);
+
+    void clockUpdate() override;
+    void clockApply() override;
+    void recordStats(StatSet &stats) const override;
+
+    /** Line lookups that found the line resident. */
+    std::uint64_t hits() const { return hits_; }
+
+    /** Line lookups that required a DRAM fetch. */
+    std::uint64_t misses() const { return misses_; }
+
+    /** Buffer hit rate over the whole run. */
+    double hitRate() const;
+
+    /** Buffer reads serviced to the multipliers (SRAM accesses). */
+    std::uint64_t bufferReads() const { return buffer_reads_; }
+
+    /** Lines written into the buffer (SRAM accesses). */
+    std::uint64_t bufferWrites() const { return buffer_writes_; }
+
+  private:
+    /** A cached line: (row, line index within the row). */
+    using LineKey = std::pair<Index, Index>;
+
+    /** Number of buffer lines the given row occupies. */
+    Index rowLines(Index row) const;
+
+    /** Bytes of one specific line of a row (tail lines are short). */
+    Bytes lineBytes(Index row, Index line) const;
+
+    /**
+     * Ensure all lines of `row` are resident; returns false if the
+     * cursor must stall (no evictable victim or fetch budget spent).
+     * When `count_misses` is set, lines issued to DRAM are tallied in
+     * cursor_miss_lines_ for per-position hit/miss accounting.
+     */
+    bool prefetchRow(Index row, unsigned &budget, bool count_misses);
+
+    /** Re-rank all resident lines of `row` after its next use moved. */
+    void reRankRow(Index row);
+
+    /**
+     * Effective next use of `row`: the earliest of the distance-list
+     * entry and any pending demand-fetch positions (port heads beyond
+     * the look-ahead window that must not be evicted meanwhile).
+     */
+    std::uint64_t effectiveNextUse(Index row) const;
+
+    /**
+     * Eviction-ranking key under the configured replacement policy;
+     * larger keys are evicted first.
+     */
+    std::uint64_t rankKey(Index row) const;
+
+    /** Evict one victim line; false if nothing is evictable. */
+    bool evictOne(std::uint64_t protect_pos);
+
+    const SpArchConfig *config_;
+    HbmModel *hbm_;
+    Cycle now_ = 0;
+
+    const std::vector<MultTask> *tasks_ = nullptr;
+    const CsrMatrix *b_ = nullptr;
+    Bytes b_base_ = 0;
+
+    DistanceList distances_;
+    std::uint64_t window_end_ = 0; //!< look-ahead window extent
+    std::uint64_t cursor_ = 0;     //!< next stream entry to prefetch
+
+    /** Out-of-order retirement tracking. */
+    std::vector<bool> retired_;
+    std::uint64_t watermark_ = 0;   //!< all entries below are retired
+    std::uint64_t retired_count_ = 0;
+
+    /** Demand re-fetch budget per cycle (evicted-before-use lines). */
+    unsigned demand_budget_ = 0;
+
+    /** Row currently being filled, excluded from eviction. */
+    SIndex pinned_row_ = -1;
+
+    /** Resident/in-flight lines and their data-ready cycle. */
+    std::unordered_map<Index, std::map<Index, Cycle>> resident_;
+    std::size_t resident_count_ = 0;
+
+    /** Eviction ranking: (next use, row). One entry per cached row. */
+    std::set<std::pair<std::uint64_t, Index>> rank_;
+    std::unordered_map<Index, std::uint64_t> row_rank_key_;
+
+    /** Rows with un-retired uses in (consumed, cursor]. */
+    std::unordered_map<Index, std::uint32_t> ahead_rows_;
+
+    /** Pending demand-fetch positions per row (beyond the window). */
+    std::unordered_map<Index, std::set<std::uint64_t>> demanded_;
+
+    /** Monotonic event counter for recency ordering (sub-cycle). */
+    std::uint64_t touch_counter_ = 0;
+    /** LRU: last touch tick per resident row. */
+    std::unordered_map<Index, std::uint64_t> last_touch_;
+    /** FIFO: tick a row first became resident. */
+    std::unordered_map<Index, std::uint64_t> insert_tick_;
+
+    /** Rows too long for the buffer, streamed instead of cached. */
+    std::unordered_map<std::uint64_t, Cycle> streaming_ready_;
+
+    /** Prefetcher-disabled mode: per-position full-row fetch state. */
+    std::unordered_map<std::uint64_t, Cycle> bypass_ready_;
+
+    /** Lines issued for the element currently at the cursor. */
+    std::uint32_t cursor_miss_lines_ = 0;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t buffer_reads_ = 0;
+    std::uint64_t buffer_writes_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t stall_cycles_ = 0;
+};
+
+} // namespace sparch
+
+#endif // SPARCH_CORE_ROW_PREFETCHER_HH

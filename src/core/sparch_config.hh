@@ -1,0 +1,119 @@
+/**
+ * @file
+ * SpArch configuration, mirroring Table I of the paper.
+ *
+ * Defaults reproduce the evaluated design point: a 16x16 hierarchical
+ * merger, 6 merge-tree layers (64-way merge), 16 FP64 multipliers, a
+ * 1024-line x 48-element prefetch buffer, an 8192-element look-ahead
+ * FIFO, and 16 HBM channels of 8 GB/s each, clocked at 1 GHz. The
+ * ablation switches (condensing, scheduler, prefetcher) realize the
+ * Fig. 16 breakdown configurations.
+ */
+
+#ifndef SPARCH_CORE_SPARCH_CONFIG_HH
+#define SPARCH_CORE_SPARCH_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/hbm.hh"
+#include "hw/merge_tree.hh"
+
+namespace sparch
+{
+
+/** Merge-order scheduling policy (Section II-C). */
+enum class SchedulerKind
+{
+    Huffman,    //!< k-ary Huffman tree, near-optimal DRAM traffic
+    Sequential, //!< FIFO order, no weight awareness
+    Random      //!< random order (the Fig. 16 pipeline-only baseline)
+};
+
+/**
+ * Prefetch-buffer replacement policy. The paper's design point is
+ * Belady (the distance list makes the future access sequence known);
+ * LRU and FIFO are ablations quantifying how much the look-ahead is
+ * actually worth.
+ */
+enum class ReplacementPolicy
+{
+    Belady, //!< evict the line with the farthest known next use
+    Lru,    //!< evict the least recently used line
+    Fifo    //!< evict the oldest resident line
+};
+
+/** Printable replacement-policy name. */
+const char *replacementPolicyName(ReplacementPolicy policy);
+
+/** Printable scheduler name. */
+const char *schedulerKindName(SchedulerKind kind);
+
+/** Full architectural configuration. */
+struct SpArchConfig
+{
+    /** Clock frequency in Hz (Table I: 1 GHz). */
+    double clockHz = 1e9;
+
+    // ---- merge tree (Table I: "6 layers of array merger") ----
+    hw::MergeTreeConfig mergeTree{};
+
+    // ---- multipliers (Table I: 2 groups x 8 FP64 multipliers) ----
+    unsigned multipliers = 16;
+
+    // ---- MatA column fetcher ----
+    /** Look-ahead FIFO capacity in elements (Table I: 8192). */
+    std::size_t lookaheadFifo = 8192;
+    /** Left-matrix elements fetched per cycle. */
+    unsigned mataFetchWidth = 16;
+    /** In-flight element window of each per-column fetcher. */
+    std::size_t aElementWindow = 64;
+
+    // ---- MatB row prefetcher (Table I) ----
+    /** Prefetch buffer lines (1024). */
+    std::size_t prefetchLines = 1024;
+    /** Elements per buffer line (48). */
+    std::size_t prefetchLineElems = 48;
+    /** Parallel row fetchers = DRAM channels (16). */
+    unsigned rowFetchers = 16;
+    /**
+     * Rows each fetcher may run ahead of consumption (Table I: "each
+     * can prefetch up to 48 rows before used"); the aggregate window
+     * is rowFetchers x prefetchRowsAhead distinct rows.
+     */
+    unsigned prefetchRowsAhead = 48;
+    /** Buffer replacement policy (paper: near-optimal Belady). */
+    ReplacementPolicy replacement = ReplacementPolicy::Belady;
+
+    // ---- partial matrix IO ----
+    /** Partial matrix writer FIFO (Table I: 1024 elements). */
+    std::size_t writerFifo = 1024;
+    /** Elements per DRAM write burst from the writer. */
+    std::size_t writerBurst = 256;
+    /** Elements per DRAM read burst into the partial fetcher. */
+    std::size_t partialFetchBurst = 256;
+
+    // ---- memory ----
+    HbmConfig hbm{};
+
+    // ---- ablation switches (Fig. 16) ----
+    /** Matrix condensing (Section II-B); off = plain CSC columns. */
+    bool matrixCondensing = true;
+    /** Merge-order policy (Section II-C). */
+    SchedulerKind scheduler = SchedulerKind::Huffman;
+    /**
+     * MatB row prefetcher with Belady replacement (Section II-D);
+     * off = every left element streams its full right row from DRAM.
+     */
+    bool rowPrefetcher = true;
+
+    /** Merge ways = leaf ports of the tree. */
+    unsigned mergeWays() const { return 1u << mergeTree.layers; }
+
+    /** Peak FLOP/s: multipliers + the same number of adders. */
+    double peakFlops() const { return 2.0 * multipliers * clockHz; }
+};
+
+} // namespace sparch
+
+#endif // SPARCH_CORE_SPARCH_CONFIG_HH

@@ -1,0 +1,321 @@
+#include "core/sparch_simulator.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "core/condensed_matrix.hh"
+#include "core/mata_column_fetcher.hh"
+#include "core/multiplier_array.hh"
+#include "core/partial_matrix_io.hh"
+#include "core/row_prefetcher.hh"
+#include "hw/merge_tree.hh"
+
+namespace sparch
+{
+
+namespace
+{
+
+/** Convert the writer's sorted output stream to CSR. */
+CsrMatrix
+streamToCsr(const std::vector<StreamElement> &stream, Index rows,
+            Index cols)
+{
+    std::vector<Index> row_ptr(rows + 1, 0);
+    std::vector<Index> col_idx;
+    std::vector<Value> values;
+    col_idx.reserve(stream.size());
+    values.reserve(stream.size());
+
+    Coord prev = 0;
+    bool first = true;
+    for (const auto &e : stream) {
+        SPARCH_ASSERT(first || e.coord > prev,
+                      "final stream not strictly sorted");
+        first = false;
+        prev = e.coord;
+        const Index r = coordRow(e.coord);
+        SPARCH_ASSERT(r < rows && coordCol(e.coord) < cols,
+                      "final stream coordinate out of range");
+        ++row_ptr[r + 1];
+        col_idx.push_back(coordCol(e.coord));
+        values.push_back(e.value);
+    }
+    for (Index r = 0; r < rows; ++r)
+        row_ptr[r + 1] += row_ptr[r];
+    return CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
+                     std::move(values));
+}
+
+} // namespace
+
+SpArchSimulator::SpArchSimulator(const SpArchConfig &config)
+    : config_(config)
+{
+    // The prefetch buffer must be able to hold in-flight rows for the
+    // active column fetchers simultaneously, or sibling ports starve
+    // each other out of the buffer and the merge tree stalls. The
+    // paper's smallest design point (Fig. 17b: 256 lines x 192
+    // elements for a 64-way tree) sits exactly at this bound.
+    if (config_.rowPrefetcher &&
+        config_.prefetchLines < 4ull * config_.mergeWays()) {
+        fatal("sparch: prefetch buffer of ", config_.prefetchLines,
+              " lines is below the functional minimum of 4 lines per "
+              "merge way (", 4ull * config_.mergeWays(), ")");
+    }
+}
+
+SpArchResult
+SpArchSimulator::multiply(const CsrMatrix &a, const CsrMatrix &b)
+{
+    if (a.cols() != b.rows()) {
+        fatal("sparch: dimension mismatch ", a.rows(), "x", a.cols(),
+              " * ", b.rows(), "x", b.cols());
+    }
+
+    SpArchResult res;
+    res.result = CsrMatrix(a.rows(), b.cols());
+    if (a.nnz() == 0 || b.nnz() == 0)
+        return res;
+
+    // ---- leaf construction (Section II-B) ----
+    // With condensing, leaves are condensed columns; without, leaves
+    // are the nonempty original columns of A (plain outer product).
+    const CondensedMatrix condensed(a);
+    CsrMatrix a_csc; // used only when condensing is off
+    std::vector<Index> leaf_columns;
+    std::vector<std::uint64_t> leaf_weights;
+
+    if (config_.matrixCondensing) {
+        for (Index j = 0; j < condensed.numColumns(); ++j) {
+            leaf_columns.push_back(j);
+            leaf_weights.push_back(condensed.productWeight(j, b));
+        }
+    } else {
+        a_csc = a.transpose(); // row k of a_csc = column k of A
+        for (Index k = 0; k < a_csc.rows(); ++k) {
+            if (a_csc.rowNnz(k) == 0)
+                continue;
+            leaf_columns.push_back(k);
+            leaf_weights.push_back(
+                static_cast<std::uint64_t>(a_csc.rowNnz(k)) *
+                b.rowNnz(k));
+        }
+    }
+    res.partialMatrices = leaf_columns.size();
+    if (leaf_columns.empty())
+        return res;
+
+    // ---- merge plan (Section II-C) ----
+    const MergePlan plan = buildMergePlan(
+        leaf_weights, config_.mergeWays(), config_.scheduler);
+
+    // ---- memory layout ----
+    const Bytes a_base = 0;
+    const Bytes b_base = a_base + a.storageBytes();
+    Bytes partial_bump = b_base + b.storageBytes();
+
+    // ---- pipeline construction ----
+    HbmModel hbm(config_.hbm);
+    hw::SimKernel kernel;
+    MataColumnFetcher fetcher(config_, hbm, "mata_fetcher");
+    RowPrefetcher prefetcher(config_, hbm, "row_prefetcher");
+    MultiplierArray multiplier(config_, "multiplier");
+    PartialMatrixFetcher partial_fetcher(config_, hbm,
+                                         "partial_fetcher");
+    hw::MergeTree tree(config_.mergeTree, "merge_tree");
+    PartialMatrixWriter writer(config_, hbm, "writer");
+
+    multiplier.connect(&fetcher, &prefetcher, &tree);
+    partial_fetcher.connectTree(&tree);
+    writer.connectTree(&tree);
+
+    kernel.addModule(&fetcher);
+    kernel.addModule(&prefetcher);
+    kernel.addModule(&multiplier);
+    kernel.addModule(&partial_fetcher);
+    kernel.addModule(&tree);
+    kernel.addModule(&writer);
+
+    // Stored partial results: node id -> (data, DRAM address).
+    std::unordered_map<std::uint32_t, std::vector<StreamElement>>
+        node_data;
+    std::unordered_map<std::uint32_t, Bytes> node_addr;
+
+    // ---- execute the merge rounds ----
+    for (const std::uint32_t round_id : plan.rounds) {
+        const MergeNode &node = plan.nodes[round_id];
+
+        std::vector<std::uint32_t> fresh, stored;
+        for (std::uint32_t c : node.children) {
+            (plan.nodes[c].isLeaf ? fresh : stored).push_back(c);
+        }
+        // Deterministic port order: fresh columns ascending.
+        std::sort(fresh.begin(), fresh.end(),
+                  [&](std::uint32_t x, std::uint32_t y) {
+                      return plan.nodes[x].column <
+                             plan.nodes[y].column;
+                  });
+
+        // Build the shared left-element stream in Fig. 7 load order,
+        // plus each port's queue of stream positions.
+        std::vector<MultTask> tasks;
+        std::vector<std::vector<std::uint64_t>> port_queues(
+            fresh.size());
+        Bytes rowptr_bytes = 0;
+        std::uint64_t total_inputs = 0;
+
+        if (config_.matrixCondensing) {
+            // Row-major across the selected condensed columns.
+            std::vector<std::pair<Index, unsigned>> row_col;
+            for (unsigned p = 0; p < fresh.size(); ++p) {
+                const Index j = plan.nodes[fresh[p]].column;
+                for (Index row : condensed.columnRows(j))
+                    row_col.emplace_back(row, p);
+            }
+            std::sort(row_col.begin(), row_col.end(),
+                      [&](const auto &x, const auto &y) {
+                          if (x.first != y.first)
+                              return x.first < y.first;
+                          // Within a row, ascending condensed column.
+                          return plan.nodes[fresh[x.second]].column <
+                                 plan.nodes[fresh[y.second]].column;
+                      });
+            tasks.reserve(row_col.size());
+            Index visited_rows = 0;
+            Index last_row = ~Index{0};
+            for (const auto &[row, p] : row_col) {
+                const Index j = plan.nodes[fresh[p]].column;
+                MultTask t;
+                t.aRow = row;
+                t.bRow = a.rowCols(row)[j];
+                t.aValue = a.rowVals(row)[j];
+                t.port = p;
+                t.addr = a_base +
+                         (static_cast<Bytes>(a.rowPtr()[row]) + j) *
+                             bytesPerElement;
+                port_queues[p].push_back(tasks.size());
+                tasks.push_back(t);
+                if (row != last_row) {
+                    ++visited_rows;
+                    last_row = row;
+                }
+            }
+            rowptr_bytes = static_cast<Bytes>(visited_rows) *
+                           bytesPerRowPtr;
+        } else {
+            // Plain outer product: one original column per port. The
+            // plan's leaf column is an index into leaf_columns (empty
+            // columns were skipped), so translate back.
+            for (unsigned p = 0; p < fresh.size(); ++p) {
+                const Index k =
+                    leaf_columns[plan.nodes[fresh[p]].column];
+                auto rows = a_csc.rowCols(k);
+                auto vals = a_csc.rowVals(k);
+                for (std::size_t i = 0; i < rows.size(); ++i) {
+                    MultTask t;
+                    t.aRow = rows[i];
+                    t.bRow = k;
+                    t.aValue = vals[i];
+                    t.port = p;
+                    t.addr = a_base +
+                             (static_cast<Bytes>(a_csc.rowPtr()[k]) +
+                              i) * bytesPerElement;
+                    port_queues[p].push_back(tasks.size());
+                    tasks.push_back(t);
+                }
+            }
+            rowptr_bytes =
+                static_cast<Bytes>(fresh.size() + 1) * bytesPerRowPtr;
+        }
+        total_inputs += tasks.size();
+
+        // Stored inputs occupy the ports after the fresh ones.
+        std::vector<StoredInput> stored_inputs;
+        for (std::size_t i = 0; i < stored.size(); ++i) {
+            StoredInput in;
+            in.data = &node_data.at(stored[i]);
+            in.port = static_cast<unsigned>(fresh.size() + i);
+            in.baseAddr = node_addr.at(stored[i]);
+            stored_inputs.push_back(in);
+            total_inputs += in.data->size();
+        }
+
+        const bool final_round = round_id == plan.root;
+        const Bytes out_base = partial_bump;
+        const Bytes final_rowptr =
+            final_round
+                ? static_cast<Bytes>(a.rows() + 1) * bytesPerRowPtr
+                : 0;
+
+        const auto active =
+            static_cast<unsigned>(fresh.size() + stored.size());
+        tree.startRound(active);
+        fetcher.startRound(&tasks, &port_queues, rowptr_bytes);
+        prefetcher.startRound(&tasks, &b, b_base);
+        multiplier.startRound(&tasks, &b, &port_queues);
+        partial_fetcher.startRound(std::move(stored_inputs));
+        writer.startRound(final_round, out_base, final_rowptr);
+
+        auto round_done = [&]() {
+            return multiplier.done() && partial_fetcher.done() &&
+                   writer.drained();
+        };
+        // Generous bound: a healthy round moves a handful of elements
+        // per cycle; hitting this limit means deadlock.
+        const Cycle max_cycles = kernel.now() + 100000 +
+                                 200 * (total_inputs + node.weight + 1);
+        if (!kernel.run(round_done, max_cycles)) {
+            panic("sparch: merge round ", round_id,
+                  " deadlocked (inputs=", total_inputs, ")");
+        }
+
+        node_data[round_id] = writer.takeCaptured();
+        node_addr[round_id] = out_base;
+        partial_bump += static_cast<Bytes>(node_data[round_id].size()) *
+                        bytesPerElement;
+
+        // Children are fully consumed; free their storage.
+        for (std::uint32_t c : stored) {
+            node_data.erase(c);
+            node_addr.erase(c);
+        }
+        ++res.mergeRounds;
+    }
+
+    // ---- results and metrics ----
+    res.result =
+        streamToCsr(node_data.at(plan.root), a.rows(), b.cols());
+
+    res.cycles = kernel.now();
+    res.seconds = static_cast<double>(res.cycles) / config_.clockHz;
+    res.multiplies = multiplier.multiplies();
+    res.additions = tree.additions() + writer.additions();
+    res.flops = 2 * res.multiplies;
+    res.gflops = res.seconds > 0.0
+                     ? static_cast<double>(res.flops) / res.seconds /
+                           1e9
+                     : 0.0;
+
+    res.bytesMatA = hbm.streamBytes(DramStream::MatA);
+    res.bytesMatB = hbm.streamBytes(DramStream::MatB);
+    res.bytesPartialRead = hbm.streamBytes(DramStream::PartialRead);
+    res.bytesPartialWrite = hbm.streamBytes(DramStream::PartialWrite);
+    res.bytesFinalWrite = hbm.streamBytes(DramStream::FinalWrite);
+    res.bytesTotal = hbm.totalBytes();
+    res.bandwidthUtilization = hbm.utilization(res.cycles);
+    res.prefetchHitRate = prefetcher.hitRate();
+
+    kernel.recordStats(res.stats);
+    hbm.recordStats(res.stats);
+    res.stats.set("plan.internal_weight",
+                  static_cast<double>(plan.internalWeight()));
+    res.stats.set("plan.total_weight",
+                  static_cast<double>(plan.totalWeight()));
+    res.stats.set("plan.rounds",
+                  static_cast<double>(plan.rounds.size()));
+    return res;
+}
+
+} // namespace sparch

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Top-level SpArch cycle simulator (Section III-A).
+ *
+ * Executes C = A x B on the modelled accelerator: condense A (Section
+ * II-B), build the merge plan (Section II-C), then run every merge
+ * round through the clocked pipeline of Fig. 10 — column fetcher,
+ * distance list, row prefetcher, multiplier array, merge tree, partial
+ * matrix fetcher/writer — over the HBM model. The pipeline carries real
+ * coordinates and values, so the returned matrix is exact and is
+ * checked against reference SpGEMM in the integration tests.
+ */
+
+#ifndef SPARCH_CORE_SPARCH_SIMULATOR_HH
+#define SPARCH_CORE_SPARCH_SIMULATOR_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "core/huffman_scheduler.hh"
+#include "core/sparch_config.hh"
+#include "matrix/csr.hh"
+
+namespace sparch
+{
+
+/** Everything measured during one simulated SpGEMM. */
+struct SpArchResult
+{
+    /** The product matrix (exact values). */
+    CsrMatrix result;
+
+    /** Total simulated cycles. */
+    Cycle cycles = 0;
+    /** Wall-clock seconds at the configured clock. */
+    double seconds = 0.0;
+    /** Useful FLOPs: one multiply + one accumulate per product. */
+    std::uint64_t flops = 0;
+    /** Achieved GFLOP/s. */
+    double gflops = 0.0;
+
+    /** DRAM traffic by stream (bytes). */
+    Bytes bytesMatA = 0;
+    Bytes bytesMatB = 0;
+    Bytes bytesPartialRead = 0;
+    Bytes bytesPartialWrite = 0;
+    Bytes bytesFinalWrite = 0;
+    Bytes bytesTotal = 0;
+
+    /** Achieved fraction of peak DRAM bandwidth. */
+    double bandwidthUtilization = 0.0;
+
+    /** Operation counts. */
+    std::uint64_t multiplies = 0;
+    std::uint64_t additions = 0;
+
+    /** Row-prefetcher buffer hit rate. */
+    double prefetchHitRate = 0.0;
+
+    /** Condensed columns (= partial matrices before merging). */
+    std::uint64_t partialMatrices = 0;
+    /** Merge rounds executed. */
+    std::uint64_t mergeRounds = 0;
+
+    /** Full module statistics. */
+    StatSet stats;
+};
+
+/** The SpArch accelerator model. */
+class SpArchSimulator
+{
+  public:
+    explicit SpArchSimulator(const SpArchConfig &config = SpArchConfig{});
+
+    /** Simulate C = a x b. Throws FatalError on dimension mismatch. */
+    SpArchResult multiply(const CsrMatrix &a, const CsrMatrix &b);
+
+    const SpArchConfig &config() const { return config_; }
+
+  private:
+    SpArchConfig config_;
+};
+
+} // namespace sparch
+
+#endif // SPARCH_CORE_SPARCH_SIMULATOR_HH

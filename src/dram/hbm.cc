@@ -1,0 +1,133 @@
+#include "dram/hbm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sparch
+{
+
+const char *
+dramStreamName(DramStream s)
+{
+    switch (s) {
+      case DramStream::MatA:
+        return "mat_a";
+      case DramStream::MatB:
+        return "mat_b";
+      case DramStream::PartialRead:
+        return "partial_read";
+      case DramStream::PartialWrite:
+        return "partial_write";
+      case DramStream::FinalWrite:
+        return "final_write";
+      default:
+        return "unknown";
+    }
+}
+
+HbmModel::HbmModel(const HbmConfig &config) : config_(config)
+{
+    SPARCH_ASSERT(config_.channels > 0, "HBM needs at least one channel");
+    SPARCH_ASSERT(config_.bytesPerCyclePerChannel > 0,
+                  "HBM channel bandwidth must be positive");
+    SPARCH_ASSERT(config_.interleaveBytes > 0,
+                  "HBM interleave granularity must be positive");
+    channel_busy_until_.assign(config_.channels, 0);
+}
+
+Cycle
+HbmModel::access(DramStream stream, Bytes addr, Bytes bytes, Cycle now,
+                 bool is_write)
+{
+    if (bytes == 0)
+        return now;
+
+    stream_bytes_[static_cast<std::size_t>(stream)] += bytes;
+    (is_write ? total_write_ : total_read_) += bytes;
+
+    // Split the request into interleave-sized chunks striped across
+    // channels, starting at the channel addr maps to.
+    const Bytes gran = config_.interleaveBytes;
+    const Bytes bw = config_.bytesPerCyclePerChannel;
+    Cycle last_done = now;
+
+    Bytes offset = addr % gran;
+    Bytes remaining = bytes;
+    unsigned channel =
+        static_cast<unsigned>((addr / gran) % config_.channels);
+    while (remaining > 0) {
+        const Bytes chunk = std::min(remaining, gran - offset);
+        offset = 0;
+        Cycle &busy = channel_busy_until_[channel];
+        const Cycle start = std::max(busy, now);
+        const Cycle xfer = (chunk + bw - 1) / bw;
+        busy = start + xfer;
+        last_done = std::max(last_done, busy);
+        remaining -= chunk;
+        channel = (channel + 1) % config_.channels;
+    }
+
+    // Reads pay the array-access latency before data is usable; writes
+    // complete (from the producer's view) when the last beat drains.
+    return is_write ? last_done : last_done + config_.accessLatency;
+}
+
+Cycle
+HbmModel::read(DramStream stream, Bytes addr, Bytes bytes, Cycle now)
+{
+    return access(stream, addr, bytes, now, false);
+}
+
+Cycle
+HbmModel::write(DramStream stream, Bytes addr, Bytes bytes, Cycle now)
+{
+    return access(stream, addr, bytes, now, true);
+}
+
+Bytes
+HbmModel::streamBytes(DramStream stream) const
+{
+    return stream_bytes_[static_cast<std::size_t>(stream)];
+}
+
+Bytes
+HbmModel::totalBytes() const
+{
+    return total_read_ + total_write_;
+}
+
+double
+HbmModel::utilization(Cycle end_cycle) const
+{
+    if (end_cycle == 0)
+        return 0.0;
+    const double peak = static_cast<double>(peakBytesPerCycle()) *
+                        static_cast<double>(end_cycle);
+    return static_cast<double>(totalBytes()) / peak;
+}
+
+void
+HbmModel::reset()
+{
+    std::fill(channel_busy_until_.begin(), channel_busy_until_.end(), 0);
+    stream_bytes_.fill(0);
+    total_read_ = 0;
+    total_write_ = 0;
+}
+
+void
+HbmModel::recordStats(StatSet &stats) const
+{
+    for (unsigned s = 0;
+         s < static_cast<unsigned>(DramStream::NumStreams); ++s) {
+        stats.set(std::string("dram.bytes.") +
+                      dramStreamName(static_cast<DramStream>(s)),
+                  static_cast<double>(stream_bytes_[s]));
+    }
+    stats.set("dram.bytes.read", static_cast<double>(total_read_));
+    stats.set("dram.bytes.write", static_cast<double>(total_write_));
+    stats.set("dram.bytes.total", static_cast<double>(totalBytes()));
+}
+
+} // namespace sparch

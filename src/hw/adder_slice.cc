@@ -1,0 +1,86 @@
+#include "hw/adder_slice.hh"
+
+#include "common/logging.hh"
+
+namespace sparch
+{
+namespace hw
+{
+
+std::vector<StreamElement>
+AdderSlice::process(const std::vector<StreamElement> &window)
+{
+    if (window.empty())
+        return {};
+
+    // Build the adder-output lanes: the held element (if its run
+    // continues, merge it; otherwise it is emitted first), then the
+    // window with adjacent equal coordinates summed into the last
+    // element of each run and the earlier ones invalidated.
+    std::vector<ZeLane> lanes;
+    lanes.reserve(window.size() + 1);
+
+    if (held_) {
+        if (held_->coord == window.front().coord) {
+            // The run continues into this window; fold the held value
+            // into the first lane by pre-seeding it.
+            lanes.push_back({*held_, false});
+            ++eliminated_;
+        } else {
+            lanes.push_back({*held_, true});
+        }
+    }
+    std::size_t base = lanes.size();
+    for (const auto &e : window) {
+        SPARCH_ASSERT(lanes.size() == base ||
+                          lanes.back().element.coord <= e.coord,
+                      "adder slice input not sorted");
+        lanes.push_back({e, true});
+    }
+
+    // Sum runs forward so each run's value accumulates into its last
+    // lane; earlier lanes become zeros for the eliminator.
+    for (std::size_t i = 0; i + 1 < lanes.size(); ++i) {
+        if (lanes[i].element.coord == lanes[i + 1].element.coord) {
+            lanes[i + 1].element.value += lanes[i].element.value;
+            if (lanes[i].valid) {
+                lanes[i].valid = false;
+                ++additions_;
+                ++eliminated_;
+            } else {
+                // Held-element fold counts as an addition too.
+                ++additions_;
+            }
+        }
+    }
+
+    std::vector<StreamElement> compacted =
+        ZeroEliminator::eliminate(lanes);
+
+    // Hold back the largest element: its run may continue next window.
+    held_.reset();
+    if (!compacted.empty()) {
+        held_ = compacted.back();
+        compacted.pop_back();
+    }
+    return compacted;
+}
+
+std::optional<StreamElement>
+AdderSlice::flush()
+{
+    auto out = held_;
+    held_.reset();
+    return out;
+}
+
+void
+AdderSlice::reset()
+{
+    held_.reset();
+    additions_ = 0;
+    eliminated_ = 0;
+}
+
+} // namespace hw
+} // namespace sparch

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Adder slice (paper Section II-A-4).
+ *
+ * "We connect a slice of adders right after the merger, and it will add
+ * adjacent same-location elements and set one of the elements to zero.
+ * Then we use a Zero Eliminator to compress these zeroes."
+ *
+ * The slice is stateful across windows: a run of equal coordinates can
+ * span the boundary between two merger output windows, so the last
+ * element of each window is held in a register and only released when
+ * the next window's first coordinate differs (or at flush).
+ */
+
+#ifndef SPARCH_HW_ADDER_SLICE_HH
+#define SPARCH_HW_ADDER_SLICE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+#include "hw/zero_eliminator.hh"
+
+namespace sparch
+{
+namespace hw
+{
+
+/** Stateful same-coordinate accumulator + zero elimination. */
+class AdderSlice
+{
+  public:
+    /**
+     * Process one sorted window of merger outputs. Adjacent elements
+     * with equal coordinates are summed; the compacted survivors are
+     * returned. The last (largest) element is retained internally in
+     * case the next window continues its run.
+     */
+    std::vector<StreamElement>
+    process(const std::vector<StreamElement> &window);
+
+    /** Release the held element at end of stream, if any. */
+    std::optional<StreamElement> flush();
+
+    /** Scalar additions performed (energy model input). */
+    std::uint64_t additions() const { return additions_; }
+
+    /** Elements zeroed and squeezed out by the eliminator. */
+    std::uint64_t eliminated() const { return eliminated_; }
+
+    /** Reset held state and counters. */
+    void reset();
+
+  private:
+    std::optional<StreamElement> held_;
+    std::uint64_t additions_ = 0;
+    std::uint64_t eliminated_ = 0;
+};
+
+} // namespace hw
+} // namespace sparch
+
+#endif // SPARCH_HW_ADDER_SLICE_HH

@@ -1,0 +1,153 @@
+#include "hw/comparator_array.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sparch
+{
+namespace hw
+{
+
+ComparatorArray::ComparatorArray(std::size_t size) : size_(size)
+{
+    SPARCH_ASSERT(size_ > 0, "comparator array size must be positive");
+}
+
+MergeStepResult
+ComparatorArray::mergeStep(std::span<const StreamElement> window_a,
+                           std::span<const StreamElement> window_b) const
+{
+    SPARCH_ASSERT(window_a.size() <= size_ && window_b.size() <= size_,
+                  "window larger than comparator array");
+    MergeStepResult result;
+    const std::size_t emit =
+        std::min(size_, window_a.size() + window_b.size());
+    result.outputs.reserve(emit);
+
+    // Ties (equal coordinates across the windows) emit the B-side
+    // element first, matching the strict '<' comparators of the
+    // boundary-tile construction.
+    std::size_t i = 0, j = 0;
+    while (result.outputs.size() < emit) {
+        const bool take_a =
+            j >= window_b.size() ||
+            (i < window_a.size() &&
+             window_a[i].coord < window_b[j].coord);
+        if (take_a) {
+            result.outputs.push_back(window_a[i++]);
+        } else {
+            result.outputs.push_back(window_b[j++]);
+        }
+    }
+    result.consumedA = i;
+    result.consumedB = j;
+    return result;
+}
+
+MergeStepResult
+ComparatorArray::mergeStepBoundary(
+    std::span<const StreamElement> window_a,
+    std::span<const StreamElement> window_b) const
+{
+    SPARCH_ASSERT(window_a.size() <= size_ && window_b.size() <= size_,
+                  "window larger than comparator array");
+    // An empty side bypasses the array entirely (input gating).
+    if (window_a.empty() || window_b.empty()) {
+        auto only = window_a.empty() ? window_b : window_a;
+        MergeStepResult result;
+        const std::size_t emit = std::min(size_, only.size());
+        result.outputs.assign(only.begin(),
+                              only.begin() +
+                                  static_cast<std::ptrdiff_t>(emit));
+        (window_a.empty() ? result.consumedB : result.consumedA) =
+            emit;
+        return result;
+    }
+    // The boundary rules require strict within-window ordering.
+    for (std::size_t i = 1; i < window_a.size(); ++i) {
+        SPARCH_ASSERT(window_a[i - 1].coord < window_a[i].coord,
+                      "window A not strictly increasing");
+    }
+    for (std::size_t j = 1; j < window_b.size(); ++j) {
+        SPARCH_ASSERT(window_b[j - 1].coord < window_b[j].coord,
+                      "window B not strictly increasing");
+    }
+    const std::size_t len_a = window_a.size(); // left array (rows)
+    const std::size_t len_b = window_b.size(); // top array (columns)
+    const std::size_t total = len_a + len_b;
+
+    // Comparison matrix with one dummy row of '>=' at the bottom and
+    // one dummy column of '<' on the right (Fig. 3). less[i][j] means
+    // tile (i, j) holds '<', i.e. a_i < b_j.
+    // Row i in 0..len_a (len_a = dummy), column j in 0..len_b (dummy).
+    auto is_less = [&](std::size_t i, std::size_t j) {
+        if (i == len_a)
+            return false; // dummy bottom row: all '>='
+        if (j == len_b)
+            return true; // dummy right column: all '<'
+        return window_a[i].coord < window_b[j].coord;
+    };
+
+    // Each anti-diagonal group k must produce exactly one output.
+    std::vector<StreamElement> merged(total);
+    std::vector<bool> produced(total, false);
+
+    for (std::size_t i = 0; i <= len_a; ++i) {
+        for (std::size_t j = 0; j <= len_b; ++j) {
+            const bool less = is_less(i, j);
+            bool boundary = false;
+            if (i == 0 && j == 0) {
+                boundary = true; // rule 1: top-left corner
+            } else if (i == 0 && !less) {
+                boundary = true; // rule 2: '>=' in the first row
+            } else if (j == 0 && less) {
+                // Symmetric to rule 2: '<' in the first column. a_i
+                // is below every b, so its rank is just i.
+                boundary = true;
+            } else if (!less && i > 0 && is_less(i - 1, j)) {
+                boundary = true; // rule 3: '>=' below a '<'
+            } else if (less && j > 0 && !is_less(i, j - 1)) {
+                boundary = true; // rule 4: '<' right of a '>='
+            }
+            if (!boundary)
+                continue;
+
+            const std::size_t k = i + j;
+            if (k >= total)
+                continue; // boundary formed purely by dummies
+            SPARCH_ASSERT(!produced[k],
+                          "group ", k, " produced twice");
+            // '>=' boundary outputs the top element b_j; '<' boundary
+            // outputs the left element a_i (the smaller input).
+            merged[k] = less ? window_a[i] : window_b[j];
+            produced[k] = true;
+        }
+    }
+    for (std::size_t k = 0; k < total; ++k)
+        SPARCH_ASSERT(produced[k], "group ", k, " produced no output");
+
+    MergeStepResult result;
+    const std::size_t emit = std::min(size_, total);
+    result.outputs.assign(merged.begin(),
+                          merged.begin() +
+                              static_cast<std::ptrdiff_t>(emit));
+    // Count consumption from each window over the emitted prefix, with
+    // the same B-first tie rule the comparators implement.
+    std::size_t i = 0, j = 0;
+    for (std::size_t k = 0; k < emit; ++k) {
+        const bool take_a =
+            j >= len_b ||
+            (i < len_a && window_a[i].coord < window_b[j].coord);
+        if (take_a)
+            ++i;
+        else
+            ++j;
+    }
+    result.consumedA = i;
+    result.consumedB = j;
+    return result;
+}
+
+} // namespace hw
+} // namespace sparch

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Bounded hardware FIFO model.
+ *
+ * Every node of the merge tree "represents a FIFO on the hardware"
+ * (Section II-A-3), and FIFOs also sit between the fetchers, multiplier
+ * array and writer (Fig. 10). The model tracks occupancy high-water
+ * marks and push/pop counts so CACTI-style SRAM energy can be derived
+ * from access counts (Section III-A).
+ */
+
+#ifndef SPARCH_HW_FIFO_HH
+#define SPARCH_HW_FIFO_HH
+
+#include <cstddef>
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace sparch
+{
+namespace hw
+{
+
+/** Bounded FIFO with access statistics. */
+template <typename T>
+class Fifo
+{
+  public:
+    explicit Fifo(std::size_t capacity) : capacity_(capacity)
+    {
+        SPARCH_ASSERT(capacity_ > 0, "FIFO capacity must be positive");
+    }
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return items_.size(); }
+    bool empty() const { return items_.empty(); }
+    bool full() const { return items_.size() >= capacity_; }
+    std::size_t freeSpace() const { return capacity_ - items_.size(); }
+
+    /** Push one item; caller must check !full(). */
+    void
+    push(const T &item)
+    {
+        SPARCH_ASSERT(!full(), "push to full FIFO");
+        items_.push_back(item);
+        ++pushes_;
+        if (items_.size() > high_water_)
+            high_water_ = items_.size();
+    }
+
+    /** Front item; caller must check !empty(). */
+    const T &
+    front() const
+    {
+        SPARCH_ASSERT(!empty(), "front of empty FIFO");
+        return items_.front();
+    }
+
+    /** Mutable access to the most recently pushed item. */
+    T &
+    back()
+    {
+        SPARCH_ASSERT(!empty(), "back of empty FIFO");
+        return items_.back();
+    }
+
+    /** Pop one item; caller must check !empty(). */
+    T
+    pop()
+    {
+        SPARCH_ASSERT(!empty(), "pop of empty FIFO");
+        T item = items_.front();
+        items_.pop_front();
+        ++pops_;
+        return item;
+    }
+
+    /** Drop everything (end of a merge round). */
+    void clear() { items_.clear(); }
+
+    /** Lifetime push count (SRAM write accesses). */
+    std::uint64_t pushes() const { return pushes_; }
+
+    /** Lifetime pop count (SRAM read accesses). */
+    std::uint64_t pops() const { return pops_; }
+
+    /** Maximum occupancy ever observed. */
+    std::size_t highWater() const { return high_water_; }
+
+  private:
+    std::size_t capacity_;
+    std::deque<T> items_;
+    std::uint64_t pushes_ = 0;
+    std::uint64_t pops_ = 0;
+    std::size_t high_water_ = 0;
+};
+
+} // namespace hw
+} // namespace sparch
+
+#endif // SPARCH_HW_FIFO_HH

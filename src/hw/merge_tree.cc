@@ -1,0 +1,243 @@
+#include "hw/merge_tree.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sparch
+{
+namespace hw
+{
+
+MergeTree::MergeTree(const MergeTreeConfig &config, std::string name)
+    : Clocked(std::move(name)), config_(config)
+{
+    SPARCH_ASSERT(config_.layers >= 1 && config_.layers <= 16,
+                  "merge tree layers out of range: ", config_.layers);
+    SPARCH_ASSERT(config_.mergerWidth >= 1,
+                  "merger width must be positive");
+    const unsigned node_count = (2u << config_.layers);
+    nodes_.reserve(node_count);
+    for (unsigned i = 0; i < node_count; ++i)
+        nodes_.emplace_back(config_.fifoCapacity);
+    cursor_.assign(config_.layers, 0);
+    startRound(0);
+}
+
+void
+MergeTree::startRound(unsigned active_leaves)
+{
+    SPARCH_ASSERT(active_leaves <= leafCount(),
+                  "round uses ", active_leaves, " leaves, tree has ",
+                  leafCount());
+    const unsigned first_leaf = leafCount();
+    for (unsigned i = 1; i < nodes_.size(); ++i) {
+        nodes_[i].fifo.clear();
+        if (i >= first_leaf) {
+            // Unused leaves are exhausted from the start.
+            nodes_[i].inputDone = (i - first_leaf) >= active_leaves;
+        } else {
+            nodes_[i].inputDone = false;
+        }
+    }
+    // Propagate exhaustion of unused subtrees immediately.
+    for (unsigned i = first_leaf - 1; i >= 1; --i) {
+        nodes_[i].inputDone =
+            nodeExhausted(2 * i) && nodeExhausted(2 * i + 1);
+        if (i == 1)
+            break;
+    }
+}
+
+std::size_t
+MergeTree::leafFreeSpace(unsigned leaf) const
+{
+    SPARCH_ASSERT(leaf < leafCount(), "leaf index out of range");
+    return nodes_[leafCount() + leaf].fifo.freeSpace();
+}
+
+void
+MergeTree::pushLeaf(unsigned leaf, const StreamElement &element)
+{
+    SPARCH_ASSERT(leaf < leafCount(), "leaf index out of range");
+    Node &node = nodes_[leafCount() + leaf];
+    SPARCH_ASSERT(!node.inputDone, "push to finished leaf ", leaf);
+    node.fifo.push(element);
+}
+
+void
+MergeTree::finishLeaf(unsigned leaf)
+{
+    SPARCH_ASSERT(leaf < leafCount(), "leaf index out of range");
+    nodes_[leafCount() + leaf].inputDone = true;
+}
+
+bool
+MergeTree::rootHasData() const
+{
+    return !nodes_[1].fifo.empty();
+}
+
+bool
+MergeTree::rootHasPoppable() const
+{
+    const Node &root = nodes_[1];
+    if (root.fifo.empty())
+        return false;
+    // The newest buffered element may still coalesce with an in-flight
+    // equal coordinate; it is only releasable once more data queued
+    // behind it or the tree is finished.
+    return root.fifo.size() > 1 || root.inputDone;
+}
+
+StreamElement
+MergeTree::popRoot()
+{
+    return nodes_[1].fifo.pop();
+}
+
+bool
+MergeTree::done() const
+{
+    return nodes_[1].inputDone && nodes_[1].fifo.empty();
+}
+
+bool
+MergeTree::nodeExhausted(unsigned idx) const
+{
+    return nodes_[idx].inputDone && nodes_[idx].fifo.empty();
+}
+
+void
+MergeTree::pushCombining(Node &node, const StreamElement &element)
+{
+    ++elements_merged_;
+    moved_this_cycle_ = true;
+    if (config_.combineDuplicates && !node.fifo.empty() &&
+        node.fifo.back().coord == element.coord) {
+        // Adder slice: adjacent same-coordinate elements are summed;
+        // the zero eliminator removes the vacated slot, so no FIFO
+        // space is consumed.
+        node.fifo.back().value += element.value;
+        ++additions_;
+        return;
+    }
+    node.fifo.push(element);
+}
+
+void
+MergeTree::serveParent(unsigned parent)
+{
+    Node &p = nodes_[parent];
+    Node &left = nodes_[2 * parent];
+    Node &right = nodes_[2 * parent + 1];
+
+    unsigned moved = 0;
+    while (moved < config_.mergerWidth && !p.fifo.full()) {
+        const bool left_avail = !left.fifo.empty();
+        const bool right_avail = !right.fifo.empty();
+        if (left_avail && right_avail) {
+            // Ties pop the right child first, matching the strict '<'
+            // comparator convention (B side wins ties).
+            if (left.fifo.front().coord < right.fifo.front().coord)
+                pushCombining(p, left.fifo.pop());
+            else
+                pushCombining(p, right.fifo.pop());
+        } else if (left_avail && nodeExhausted(2 * parent + 1)) {
+            pushCombining(p, left.fifo.pop());
+        } else if (right_avail && nodeExhausted(2 * parent)) {
+            pushCombining(p, right.fifo.pop());
+        } else {
+            // Stall: a child FIFO is empty but not exhausted, so the
+            // merger cannot know the next coordinate from that side.
+            break;
+        }
+        ++moved;
+    }
+}
+
+void
+MergeTree::clockUpdate()
+{
+    // One shared merger per level, serving a single parent node per
+    // cycle. Levels are processed root-side first so data advances one
+    // level per cycle, like the registered pipeline in hardware.
+    for (unsigned level = 0; level < config_.layers; ++level) {
+        const unsigned first = 1u << level;
+        const unsigned count = 1u << level;
+        unsigned &cur = cursor_[level];
+        for (unsigned probe = 0; probe < count; ++probe) {
+            const unsigned parent = first + ((cur + probe) % count);
+            Node &p = nodes_[parent];
+            if (p.inputDone || p.fifo.full())
+                continue;
+            const bool left_ready =
+                !nodes_[2 * parent].fifo.empty() ||
+                nodeExhausted(2 * parent);
+            const bool right_ready =
+                !nodes_[2 * parent + 1].fifo.empty() ||
+                nodeExhausted(2 * parent + 1);
+            const bool any_data =
+                !nodes_[2 * parent].fifo.empty() ||
+                !nodes_[2 * parent + 1].fifo.empty();
+            if (left_ready && right_ready && any_data) {
+                serveParent(parent);
+                cur = (parent - first + 1) % count;
+                break;
+            }
+        }
+    }
+
+    // Propagate end-of-stream deepest-first (cheap control signals).
+    for (unsigned i = (1u << config_.layers) - 1; i >= 1; --i) {
+        if (!nodes_[i].inputDone) {
+            nodes_[i].inputDone =
+                nodeExhausted(2 * i) && nodeExhausted(2 * i + 1);
+        }
+        if (i == 1)
+            break;
+    }
+}
+
+void
+MergeTree::clockApply()
+{
+    ++cycles_;
+    if (!moved_this_cycle_)
+        ++idle_cycles_;
+    moved_this_cycle_ = false;
+}
+
+std::uint64_t
+MergeTree::fifoPushes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &n : nodes_)
+        total += n.fifo.pushes();
+    return total;
+}
+
+std::uint64_t
+MergeTree::fifoPops() const
+{
+    std::uint64_t total = 0;
+    for (const auto &n : nodes_)
+        total += n.fifo.pops();
+    return total;
+}
+
+void
+MergeTree::recordStats(StatSet &stats) const
+{
+    const std::string p = name() + ".";
+    stats.set(p + "elements_merged",
+              static_cast<double>(elements_merged_));
+    stats.set(p + "additions", static_cast<double>(additions_));
+    stats.set(p + "cycles", static_cast<double>(cycles_));
+    stats.set(p + "idle_cycles", static_cast<double>(idle_cycles_));
+    stats.set(p + "fifo_pushes", static_cast<double>(fifoPushes()));
+    stats.set(p + "fifo_pops", static_cast<double>(fifoPops()));
+}
+
+} // namespace hw
+} // namespace sparch

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Streaming merge tree (paper Section II-A-3, Fig. 5).
+ *
+ * A full binary tree of FIFOs: input arrays enter at the leaf nodes,
+ * the merged array drains from the root. Every tree level shares one
+ * comparator-array merger ("each layer shares one merger to balance the
+ * throughput"): per cycle each level's merger serves a single parent
+ * node, moving up to mergerWidth elements from its two child FIFOs.
+ * Adder slices after each merger sum adjacent same-coordinate elements
+ * (Section II-A-4), modelled by coalescing on FIFO push; the zero
+ * eliminator's effect is implicit in the compacted push.
+ *
+ * Table I: 6 layers of 16-wide array mergers = 64-way merge.
+ */
+
+#ifndef SPARCH_HW_MERGE_TREE_HH
+#define SPARCH_HW_MERGE_TREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/clocked.hh"
+#include "hw/fifo.hh"
+
+namespace sparch
+{
+namespace hw
+{
+
+/** Merge-tree geometry and throughput parameters. */
+struct MergeTreeConfig
+{
+    /** Tree depth; leaf count is 2^layers (Table I: 6 -> 64-way). */
+    unsigned layers = 6;
+
+    /** Elements each level's merger moves per cycle (16x16 merger). */
+    unsigned mergerWidth = 16;
+
+    /** Capacity of each node FIFO in elements. */
+    std::size_t fifoCapacity = 64;
+
+    /**
+     * Sum adjacent same-coordinate elements while merging (the adder
+     * slices). Disabled only for microbenchmarks of raw merge
+     * throughput.
+     */
+    bool combineDuplicates = true;
+};
+
+/**
+ * The merge tree. One instance is reused across merge rounds via
+ * startRound(); producers push into leaf ports, the consumer pops the
+ * root.
+ */
+class MergeTree : public Clocked
+{
+  public:
+    MergeTree(const MergeTreeConfig &config, std::string name);
+
+    unsigned leafCount() const { return 1u << config_.layers; }
+    const MergeTreeConfig &config() const { return config_; }
+
+    /**
+     * Reset all FIFOs and end-of-stream state for a new merge round
+     * with `active_leaves` input arrays; remaining leaf ports are
+     * immediately marked exhausted.
+     */
+    void startRound(unsigned active_leaves);
+
+    /** Free space in a leaf FIFO (producer back-pressure). */
+    std::size_t leafFreeSpace(unsigned leaf) const;
+
+    /** Push one element into a leaf port; caller checks space. */
+    void pushLeaf(unsigned leaf, const StreamElement &element);
+
+    /** Mark a leaf's input array as fully delivered. */
+    void finishLeaf(unsigned leaf);
+
+    /** True when the root FIFO has data to pop. */
+    bool rootHasData() const;
+
+    /**
+     * True when the root FIFO element at the head is final, i.e. no
+     * in-flight element could still coalesce with it. Conservatively:
+     * more than one element buffered, or the whole tree is done.
+     */
+    bool rootHasPoppable() const;
+
+    /** Pop one element from the root. */
+    StreamElement popRoot();
+
+    /** True when every input is exhausted and all FIFOs are empty. */
+    bool done() const;
+
+    void clockUpdate() override;
+    void clockApply() override;
+    void recordStats(StatSet &stats) const override;
+
+    /** Elements that crossed any level merger (switching activity). */
+    std::uint64_t elementsMerged() const { return elements_merged_; }
+
+    /** Same-coordinate additions performed by the adder slices. */
+    std::uint64_t additions() const { return additions_; }
+
+    /** Cycles in which no level moved any element. */
+    std::uint64_t idleCycles() const { return idle_cycles_; }
+
+    /** Total cycles ticked. */
+    std::uint64_t cycles() const { return cycles_; }
+
+    /** Aggregate FIFO pushes across all nodes (SRAM writes). */
+    std::uint64_t fifoPushes() const;
+
+    /** Aggregate FIFO pops across all nodes (SRAM reads). */
+    std::uint64_t fifoPops() const;
+
+  private:
+    /** Heap-style node index: root = 1, children of n = 2n, 2n+1. */
+    struct Node
+    {
+        explicit Node(std::size_t capacity) : fifo(capacity) {}
+        Fifo<StreamElement> fifo;
+        /** No further input will arrive into this node's FIFO. */
+        bool inputDone = false;
+    };
+
+    bool nodeExhausted(unsigned idx) const;
+    void serveParent(unsigned parent);
+    void pushCombining(Node &node, const StreamElement &element);
+
+    MergeTreeConfig config_;
+    std::vector<Node> nodes_;       //!< 1-based heap layout
+    std::vector<unsigned> cursor_;  //!< round-robin cursor per level
+
+    std::uint64_t elements_merged_ = 0;
+    std::uint64_t additions_ = 0;
+    std::uint64_t idle_cycles_ = 0;
+    std::uint64_t cycles_ = 0;
+    bool moved_this_cycle_ = false;
+};
+
+} // namespace hw
+} // namespace sparch
+
+#endif // SPARCH_HW_MERGE_TREE_HH

@@ -1,0 +1,95 @@
+#include "hw/zero_eliminator.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace sparch
+{
+namespace hw
+{
+
+std::vector<StreamElement>
+ZeroEliminator::eliminate(const std::vector<ZeLane> &lanes)
+{
+    const std::size_t n = lanes.size();
+
+    // Stage 1: prefix sum of zero counts. zero_count[i] = number of
+    // invalid lanes strictly before lane i; this is the distance lane i
+    // must travel left.
+    std::vector<std::uint32_t> zero_count(n, 0);
+    std::uint32_t running = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        zero_count[i] = running;
+        if (!lanes[i].valid)
+            ++running;
+    }
+
+    // Stage 2: log2(N) shifter layers. Layer k moves a lane left by
+    // 2^k if bit k of its zero count is set. Both the element and its
+    // remaining zero count travel together, exactly as in Fig. 6 where
+    // the MUXes are controlled per-lane by the zero_count signal.
+    struct Slot
+    {
+        StreamElement element;
+        std::uint32_t count = 0;
+        bool valid = false;
+    };
+    std::vector<Slot> current(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        current[i] = {lanes[i].element, zero_count[i], lanes[i].valid};
+    }
+
+    // Strides 1, 2, 4, ... must cover the largest possible shift, n-1.
+    const unsigned layers =
+        n <= 1 ? 0 : static_cast<unsigned>(std::bit_width(n - 1));
+    for (unsigned layer = 0; layer < layers; ++layer) {
+        const std::size_t stride = std::size_t{1} << layer;
+        std::vector<Slot> next(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!current[i].valid)
+                continue;
+            std::size_t target = i;
+            if (current[i].count & stride) {
+                SPARCH_ASSERT(i >= stride,
+                              "zero-eliminator shift underflow");
+                target = i - stride;
+            }
+            SPARCH_ASSERT(!next[target].valid,
+                          "zero-eliminator lane collision at ", target);
+            next[target] = current[i];
+        }
+        current = std::move(next);
+    }
+
+    std::vector<StreamElement> compacted;
+    compacted.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (current[i].valid) {
+            SPARCH_ASSERT(i == compacted.size(),
+                          "zero-eliminator output not dense at ", i);
+            compacted.push_back(current[i].element);
+        }
+    }
+    return compacted;
+}
+
+unsigned
+ZeroEliminator::latencyCycles(std::size_t n)
+{
+    if (n <= 1)
+        return 1;
+    return static_cast<unsigned>(std::bit_width(n - 1)) + 1;
+}
+
+std::size_t
+ZeroEliminator::muxCount(std::size_t n)
+{
+    // N MUXes per shifter layer, log2(N) layers (Section II-A-4).
+    if (n <= 1)
+        return 0;
+    return n * std::bit_width(n - 1);
+}
+
+} // namespace hw
+} // namespace sparch

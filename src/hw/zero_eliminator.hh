@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Zero eliminator (paper Section II-A-4, Fig. 6).
+ *
+ * After the adder slice sums adjacent same-coordinate elements, one of
+ * each pair becomes zero. The zero eliminator compacts the stream: a
+ * prefix-sum module counts zeros before each element, then log2(N)
+ * shifter layers move each surviving element left by its zero count,
+ * one binary digit per layer. Latency is log2(N) cycles for an input of
+ * length N.
+ */
+
+#ifndef SPARCH_HW_ZERO_ELIMINATOR_HH
+#define SPARCH_HW_ZERO_ELIMINATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sparch
+{
+namespace hw
+{
+
+/** One lane of the zero-eliminator datapath. */
+struct ZeLane
+{
+    StreamElement element;
+    bool valid = false; //!< false = a zero to be squeezed out
+};
+
+/** Combinational model of the prefix-sum + layered-shifter datapath. */
+class ZeroEliminator
+{
+  public:
+    /**
+     * Compact the valid lanes to the front, preserving order.
+     * Implemented exactly as the hardware: compute zero counts with a
+     * prefix sum, then shift by 1, 2, 4, ... lanes in log2(N) layers,
+     * each lane's MUX controlled by one bit of its own zero count.
+     *
+     * @return compacted elements (valid lanes only, in order).
+     */
+    static std::vector<StreamElement>
+    eliminate(const std::vector<ZeLane> &lanes);
+
+    /** Pipeline latency in cycles for an input of length n. */
+    static unsigned latencyCycles(std::size_t n);
+
+    /** Number of shifter MUXes for an input of length n (area model). */
+    static std::size_t muxCount(std::size_t n);
+};
+
+} // namespace hw
+} // namespace sparch
+
+#endif // SPARCH_HW_ZERO_ELIMINATOR_HH

@@ -1,0 +1,59 @@
+#include "matrix/coo.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sparch
+{
+
+void
+CooMatrix::add(Index row, Index col, Value value)
+{
+    SPARCH_ASSERT(row < rows_ && col < cols_,
+                  "triplet (", row, ",", col, ") outside ", rows_, "x",
+                  cols_);
+    triplets_.push_back({row, col, value});
+}
+
+void
+CooMatrix::canonicalize(bool drop_zeros)
+{
+    std::sort(triplets_.begin(), triplets_.end(),
+              [](const Triplet &a, const Triplet &b) {
+                  return a.row != b.row ? a.row < b.row : a.col < b.col;
+              });
+
+    std::vector<Triplet> merged;
+    merged.reserve(triplets_.size());
+    for (const auto &t : triplets_) {
+        if (!merged.empty() && merged.back().row == t.row &&
+            merged.back().col == t.col) {
+            merged.back().value += t.value;
+        } else {
+            merged.push_back(t);
+        }
+    }
+    if (drop_zeros) {
+        merged.erase(std::remove_if(merged.begin(), merged.end(),
+                                    [](const Triplet &t) {
+                                        return t.value == 0.0;
+                                    }),
+                     merged.end());
+    }
+    triplets_ = std::move(merged);
+}
+
+bool
+CooMatrix::isCanonical() const
+{
+    for (std::size_t i = 1; i < triplets_.size(); ++i) {
+        const auto &p = triplets_[i - 1];
+        const auto &c = triplets_[i];
+        if (p.row > c.row || (p.row == c.row && p.col >= c.col))
+            return false;
+    }
+    return true;
+}
+
+} // namespace sparch

@@ -1,0 +1,140 @@
+#include "matrix/csr.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sparch
+{
+
+CsrMatrix::CsrMatrix(Index rows, Index cols)
+    : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0)
+{}
+
+CsrMatrix::CsrMatrix(Index rows, Index cols, std::vector<Index> row_ptr,
+                     std::vector<Index> col_idx, std::vector<Value> values)
+    : rows_(rows), cols_(cols), row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)), values_(std::move(values))
+{
+    SPARCH_ASSERT(row_ptr_.size() == static_cast<std::size_t>(rows_) + 1,
+                  "row_ptr size ", row_ptr_.size(), " for ", rows_,
+                  " rows");
+    SPARCH_ASSERT(col_idx_.size() == values_.size(),
+                  "col_idx/values size mismatch");
+    SPARCH_ASSERT(row_ptr_.front() == 0 && row_ptr_.back() == nnz(),
+                  "row_ptr endpoints invalid");
+    for (Index r = 0; r < rows_; ++r) {
+        SPARCH_ASSERT(row_ptr_[r] <= row_ptr_[r + 1],
+                      "row_ptr not monotone at row ", r);
+        for (Index i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+            SPARCH_ASSERT(col_idx_[i] < cols_, "column ", col_idx_[i],
+                          " out of range in row ", r);
+            if (i > row_ptr_[r]) {
+                SPARCH_ASSERT(col_idx_[i - 1] < col_idx_[i],
+                              "row ", r, " not strictly sorted");
+            }
+        }
+    }
+}
+
+CsrMatrix
+CsrMatrix::fromCoo(const CooMatrix &coo)
+{
+    CooMatrix canon = coo;
+    if (!canon.isCanonical())
+        canon.canonicalize();
+
+    CsrMatrix m;
+    m.rows_ = canon.rows();
+    m.cols_ = canon.cols();
+    m.row_ptr_.assign(m.rows_ + 1, 0);
+    m.col_idx_.reserve(canon.nnz());
+    m.values_.reserve(canon.nnz());
+    for (const auto &t : canon.triplets())
+        ++m.row_ptr_[t.row + 1];
+    for (Index r = 0; r < m.rows_; ++r)
+        m.row_ptr_[r + 1] += m.row_ptr_[r];
+    for (const auto &t : canon.triplets()) {
+        m.col_idx_.push_back(t.col);
+        m.values_.push_back(t.value);
+    }
+    return m;
+}
+
+CooMatrix
+CsrMatrix::toCoo() const
+{
+    CooMatrix coo(rows_, cols_);
+    coo.triplets().reserve(nnz());
+    for (Index r = 0; r < rows_; ++r) {
+        for (Index i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i)
+            coo.triplets().push_back({r, col_idx_[i], values_[i]});
+    }
+    return coo;
+}
+
+Index
+CsrMatrix::maxRowNnz() const
+{
+    Index max_len = 0;
+    for (Index r = 0; r < rows_; ++r)
+        max_len = std::max(max_len, rowNnz(r));
+    return max_len;
+}
+
+CsrMatrix
+CsrMatrix::transpose() const
+{
+    CsrMatrix t;
+    t.rows_ = cols_;
+    t.cols_ = rows_;
+    t.row_ptr_.assign(cols_ + 1, 0);
+    t.col_idx_.resize(nnz());
+    t.values_.resize(nnz());
+
+    for (Index c : col_idx_)
+        ++t.row_ptr_[c + 1];
+    for (Index c = 0; c < cols_; ++c)
+        t.row_ptr_[c + 1] += t.row_ptr_[c];
+
+    std::vector<Index> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+    for (Index r = 0; r < rows_; ++r) {
+        for (Index i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+            const Index pos = cursor[col_idx_[i]]++;
+            t.col_idx_[pos] = r;
+            t.values_[pos] = values_[i];
+        }
+    }
+    return t;
+}
+
+std::uint64_t
+CsrMatrix::multiplyFlops(const CsrMatrix &b) const
+{
+    SPARCH_ASSERT(cols_ == b.rows(), "dimension mismatch ", cols_, " vs ",
+                  b.rows());
+    std::uint64_t flops = 0;
+    for (Index k : col_idx_)
+        flops += b.rowNnz(k);
+    return flops;
+}
+
+bool
+CsrMatrix::almostEqual(const CsrMatrix &other, double rel_tol) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_ ||
+        row_ptr_ != other.row_ptr_ || col_idx_ != other.col_idx_) {
+        return false;
+    }
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        const double diff = std::abs(values_[i] - other.values_[i]);
+        const double scale = std::max(
+            {std::abs(values_[i]), std::abs(other.values_[i]), 1.0});
+        if (diff > rel_tol * scale)
+            return false;
+    }
+    return true;
+}
+
+} // namespace sparch

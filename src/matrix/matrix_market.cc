@@ -1,0 +1,121 @@
+#include "matrix/matrix_market.hh"
+
+#include <cctype>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace sparch
+{
+
+namespace
+{
+
+/** Lower-case a token in place (the MM spec is case-insensitive). */
+std::string
+lowered(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+} // namespace
+
+CsrMatrix
+readMatrixMarket(std::istream &in)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        fatal("matrix market: empty input");
+
+    std::istringstream banner(line);
+    std::string tag, object, format, field, symmetry;
+    banner >> tag >> object >> format >> field >> symmetry;
+    if (tag != "%%MatrixMarket")
+        fatal("matrix market: missing %%MatrixMarket banner");
+    object = lowered(object);
+    format = lowered(format);
+    field = lowered(field);
+    symmetry = lowered(symmetry);
+    if (object != "matrix" || format != "coordinate")
+        fatal("matrix market: unsupported header '", object, " ", format,
+              "'");
+    if (field != "real" && field != "integer" && field != "pattern")
+        fatal("matrix market: unsupported field '", field, "'");
+    if (symmetry != "general" && symmetry != "symmetric")
+        fatal("matrix market: unsupported symmetry '", symmetry, "'");
+
+    // Skip comments.
+    do {
+        if (!std::getline(in, line))
+            fatal("matrix market: missing size line");
+    } while (!line.empty() && line[0] == '%');
+
+    std::istringstream size_line(line);
+    std::uint64_t rows = 0, cols = 0, entries = 0;
+    if (!(size_line >> rows >> cols >> entries))
+        fatal("matrix market: malformed size line '", line, "'");
+
+    CooMatrix coo(static_cast<Index>(rows), static_cast<Index>(cols));
+    coo.triplets().reserve(symmetry == "symmetric" ? entries * 2 : entries);
+
+    const bool pattern = field == "pattern";
+    for (std::uint64_t i = 0; i < entries; ++i) {
+        std::uint64_t r = 0, c = 0;
+        double v = 1.0;
+        if (!(in >> r >> c))
+            fatal("matrix market: truncated at entry ", i);
+        if (!pattern && !(in >> v))
+            fatal("matrix market: missing value at entry ", i);
+        if (r < 1 || r > rows || c < 1 || c > cols)
+            fatal("matrix market: entry ", i, " coordinate (", r, ",", c,
+                  ") out of range");
+        const Index ri = static_cast<Index>(r - 1);
+        const Index ci = static_cast<Index>(c - 1);
+        coo.add(ri, ci, v);
+        if (symmetry == "symmetric" && ri != ci)
+            coo.add(ci, ri, v);
+    }
+    coo.canonicalize();
+    return CsrMatrix::fromCoo(coo);
+}
+
+CsrMatrix
+readMatrixMarketFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("matrix market: cannot open '", path, "'");
+    return readMatrixMarket(in);
+}
+
+void
+writeMatrixMarket(const CsrMatrix &m, std::ostream &out)
+{
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << std::setprecision(17);
+    out << m.rows() << " " << m.cols() << " " << m.nnz() << "\n";
+    for (Index r = 0; r < m.rows(); ++r) {
+        auto cols = m.rowCols(r);
+        auto vals = m.rowVals(r);
+        for (std::size_t i = 0; i < cols.size(); ++i) {
+            out << (r + 1) << " " << (cols[i] + 1) << " " << vals[i]
+                << "\n";
+        }
+    }
+}
+
+void
+writeMatrixMarketFile(const CsrMatrix &m, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("matrix market: cannot open '", path, "' for writing");
+    writeMatrixMarket(m, out);
+}
+
+} // namespace sparch

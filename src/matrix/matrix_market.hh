@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Matrix Market (.mtx) reader and writer.
+ *
+ * The paper evaluates on SuiteSparse and SNAP matrices, which are
+ * distributed in Matrix Market coordinate format. This reader supports
+ * the subset those collections use: `matrix coordinate
+ * {real,integer,pattern} {general,symmetric}`. Pattern entries get value
+ * 1.0; symmetric matrices are expanded to full storage.
+ */
+
+#ifndef SPARCH_MATRIX_MATRIX_MARKET_HH
+#define SPARCH_MATRIX_MATRIX_MARKET_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/csr.hh"
+
+namespace sparch
+{
+
+/** Parse a Matrix Market stream. Throws FatalError on malformed input. */
+CsrMatrix readMatrixMarket(std::istream &in);
+
+/** Load a Matrix Market file from disk. */
+CsrMatrix readMatrixMarketFile(const std::string &path);
+
+/** Write a matrix in `coordinate real general` format. */
+void writeMatrixMarket(const CsrMatrix &m, std::ostream &out);
+
+/** Write a Matrix Market file to disk. */
+void writeMatrixMarketFile(const CsrMatrix &m, const std::string &path);
+
+} // namespace sparch
+
+#endif // SPARCH_MATRIX_MATRIX_MARKET_HH

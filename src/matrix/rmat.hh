@@ -1,0 +1,52 @@
+/**
+ * @file
+ * R-MAT (recursive matrix) graph generator.
+ *
+ * The paper's Fig. 14 evaluates on synthesized rMAT matrices ("rmat-5k-
+ * x32" meaning 5k vertices with edge factor 32), citing the Graph 500
+ * generator. This implementation follows the classic Chakrabarti et al.
+ * recursive quadrant-splitting scheme with the Graph 500 partition
+ * probabilities (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) by default.
+ */
+
+#ifndef SPARCH_MATRIX_RMAT_HH
+#define SPARCH_MATRIX_RMAT_HH
+
+#include <cstdint>
+
+#include "matrix/csr.hh"
+
+namespace sparch
+{
+
+/** Parameters of the R-MAT recursive partition. */
+struct RmatParams
+{
+    /** Quadrant probabilities; must sum to 1. */
+    double a = 0.57;
+    double b = 0.19;
+    double c = 0.19;
+    double d = 0.05;
+
+    /** Add noise to the probabilities at each level (Graph500-style). */
+    bool smooth = true;
+};
+
+/**
+ * Generate an R-MAT adjacency matrix.
+ *
+ * @param scale_vertices Number of vertices (rounded up to a power of 2
+ *                       internally, then truncated back).
+ * @param edge_factor    Average edges per vertex (paper uses 4..32).
+ * @param seed           PRNG seed.
+ * @param params         Quadrant probabilities.
+ * @return CSR adjacency matrix with random values in [0.5, 1.5);
+ *         duplicate edges are merged.
+ */
+CsrMatrix rmatGenerate(Index scale_vertices, Index edge_factor,
+                       std::uint64_t seed,
+                       const RmatParams &params = RmatParams{});
+
+} // namespace sparch
+
+#endif // SPARCH_MATRIX_RMAT_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Energy and area model (paper Section III-A, Tables II/III, Fig. 13).
+ *
+ * The authors synthesized the array merger (Design Compiler, TSMC
+ * 40 nm), took FPU numbers from Galal & Horowitz, SRAM/FIFO numbers
+ * from CACTI, and DRAM power from the HBM2 spec at 42.6 GB/s/W. None
+ * of those tools run here, so this model is *calibrated*: per-event
+ * energies and per-structure areas are fixed so that the default
+ * Table I configuration reproduces the paper's published breakdown
+ * (Fig. 13, Table II, Table III), and they scale with the structural
+ * parameters (comparator counts, buffer bytes, multiplier count) for
+ * design-space sweeps. Event counts come from the cycle simulator, so
+ * *relative* energy between configurations and workloads is preserved.
+ * See DESIGN.md section 2, substitution 2.
+ */
+
+#ifndef SPARCH_MODEL_ENERGY_MODEL_HH
+#define SPARCH_MODEL_ENERGY_MODEL_HH
+
+#include "core/sparch_config.hh"
+#include "core/sparch_simulator.hh"
+
+namespace sparch
+{
+
+/** Per-component area in mm^2 (TSMC 40 nm). */
+struct AreaBreakdown
+{
+    double columnFetcher = 0.0;
+    double rowPrefetcher = 0.0;
+    double multiplierArray = 0.0;
+    double mergeTree = 0.0;
+    double partialMatWriter = 0.0;
+
+    double
+    total() const
+    {
+        return columnFetcher + rowPrefetcher + multiplierArray +
+               mergeTree + partialMatWriter;
+    }
+};
+
+/** Per-component power in watts at the evaluated operating point. */
+struct PowerBreakdown
+{
+    double columnFetcher = 0.0;
+    double rowPrefetcher = 0.0;
+    double multiplierArray = 0.0;
+    double mergeTree = 0.0;
+    double partialMatWriter = 0.0;
+    double hbm = 0.0;
+
+    double
+    total() const
+    {
+        return columnFetcher + rowPrefetcher + multiplierArray +
+               mergeTree + partialMatWriter + hbm;
+    }
+};
+
+/** Energy of one simulated SpGEMM, grouped as in Table III. */
+struct EnergyBreakdown
+{
+    double computationJ = 0.0; //!< multipliers, adders, comparators
+    double sramJ = 0.0;        //!< FIFOs and prefetch buffer
+    double dramJ = 0.0;        //!< HBM traffic
+
+    double total() const { return computationJ + sramJ + dramJ; }
+
+    /** nJ per FLOP, the Table III normalization. */
+    double
+    perFlopNj(std::uint64_t flops) const
+    {
+        return flops == 0 ? 0.0 : total() * 1e9 /
+                                      static_cast<double>(flops);
+    }
+};
+
+/** The calibrated energy/area model. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const SpArchConfig &config = SpArchConfig{});
+
+    /** Structural area, scaling with the configuration. */
+    AreaBreakdown area() const;
+
+    /**
+     * Operating power at the paper's average activity (used for the
+     * Fig. 13(b) and Table II summaries).
+     */
+    PowerBreakdown typicalPower() const;
+
+    /** Energy of one simulated run, from its event counts. */
+    EnergyBreakdown energy(const SpArchResult &result) const;
+
+    /** DRAM energy per byte from the 42.6 GB/s/W figure. */
+    static double dramEnergyPerByte();
+
+    const SpArchConfig &config() const { return config_; }
+
+  private:
+    SpArchConfig config_;
+};
+
+} // namespace sparch
+
+#endif // SPARCH_MODEL_ENERGY_MODEL_HH

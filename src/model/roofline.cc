@@ -1,0 +1,19 @@
+#include "model/roofline.hh"
+
+namespace sparch
+{
+
+double
+theoreticalIntensity(const CsrMatrix &a, const CsrMatrix &b,
+                     std::uint64_t output_nnz)
+{
+    const double flops = 2.0 * static_cast<double>(a.multiplyFlops(b));
+    const double bytes =
+        static_cast<double>(a.storageBytes()) +
+        static_cast<double>(b.storageBytes()) +
+        static_cast<double>(output_nnz) * bytesPerElement +
+        static_cast<double>(a.rows() + 1) * bytesPerRowPtr;
+    return bytes == 0.0 ? 0.0 : flops / bytes;
+}
+
+} // namespace sparch

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Roofline model (paper Fig. 15).
+ *
+ * The paper computes a theoretical operational intensity of 0.19
+ * Flops/Byte for the outer product on its dataset (flops divided by
+ * the two inputs plus the merged output), a computation roof of
+ * 32 GFLOPS (16 multipliers + 16 adders at 1 GHz), and locates SpArch
+ * at 10.4 GFLOPS versus OuterSPACE at 2.5 GFLOPS under a 128 GB/s
+ * bandwidth roof.
+ */
+
+#ifndef SPARCH_MODEL_ROOFLINE_HH
+#define SPARCH_MODEL_ROOFLINE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "matrix/csr.hh"
+
+namespace sparch
+{
+
+/** Roofline evaluation for one machine. */
+struct Roofline
+{
+    double peakGflops = 32.0;       //!< computation roof
+    double bandwidthGBs = 128.0;    //!< DRAM bandwidth roof
+
+    /** Attainable GFLOP/s at a given operational intensity. */
+    double
+    attainable(double flops_per_byte) const
+    {
+        const double bw_bound = flops_per_byte * bandwidthGBs;
+        return bw_bound < peakGflops ? bw_bound : peakGflops;
+    }
+};
+
+/**
+ * Theoretical operational intensity of C = A x B via outer product:
+ * flops / (|A| + |B| + |C|) bytes, the paper's definition.
+ */
+double theoreticalIntensity(const CsrMatrix &a, const CsrMatrix &b,
+                            std::uint64_t output_nnz);
+
+} // namespace sparch
+
+#endif // SPARCH_MODEL_ROOFLINE_HH

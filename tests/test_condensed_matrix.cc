@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for matrix condensing (Section II-B): the condensed-column
+ * view must be exactly "another view of the same data" as CSR.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/condensed_matrix.hh"
+#include "matrix/generators.hh"
+
+namespace sparch
+{
+namespace
+{
+
+TEST(CondensedMatrix, ColumnCountEqualsLongestRow)
+{
+    const CsrMatrix m = generateUniform(50, 50, 300, 1);
+    const CondensedMatrix c(m);
+    EXPECT_EQ(c.numColumns(), m.maxRowNnz());
+}
+
+TEST(CondensedMatrix, EmptyMatrixHasNoColumns)
+{
+    const CsrMatrix m(10, 10);
+    const CondensedMatrix c(m);
+    EXPECT_EQ(c.numColumns(), 0u);
+}
+
+TEST(CondensedMatrix, ColumnLengthsAreMonotoneNonIncreasing)
+{
+    const CsrMatrix m = generateUniform(80, 80, 640, 2);
+    const CondensedMatrix c(m);
+    for (Index j = 1; j < c.numColumns(); ++j)
+        EXPECT_LE(c.columnLength(j), c.columnLength(j - 1));
+}
+
+TEST(CondensedMatrix, TotalElementsEqualNnz)
+{
+    const CsrMatrix m = generateUniform(64, 64, 512, 3);
+    const CondensedMatrix c(m);
+    std::uint64_t total = 0;
+    for (Index j = 0; j < c.numColumns(); ++j)
+        total += c.columnLength(j);
+    EXPECT_EQ(total, m.nnz());
+}
+
+TEST(CondensedMatrix, ElementMatchesCsrView)
+{
+    // The i-th element of a CSR row sits in condensed column i, with
+    // its original column index preserved (Fig. 7).
+    const CsrMatrix m = generateUniform(40, 60, 350, 4);
+    const CondensedMatrix c(m);
+    for (Index j = 0; j < c.numColumns(); ++j) {
+        Index prev_row = 0;
+        bool first = true;
+        for (Index k = 0; k < c.columnLength(j); ++k) {
+            const CondensedElement e = c.element(j, k);
+            EXPECT_GT(m.rowNnz(e.row), j);
+            EXPECT_EQ(e.originalCol, m.rowCols(e.row)[j]);
+            EXPECT_DOUBLE_EQ(e.value, m.rowVals(e.row)[j]);
+            if (!first)
+                EXPECT_GT(e.row, prev_row); // rows ascending
+            prev_row = e.row;
+            first = false;
+        }
+    }
+}
+
+TEST(CondensedMatrix, ProductWeightSumsRightRowLengths)
+{
+    const CsrMatrix a = generateUniform(30, 30, 200, 5);
+    const CsrMatrix b = generateUniform(30, 30, 200, 6);
+    const CondensedMatrix c(a);
+    std::uint64_t total = 0;
+    for (Index j = 0; j < c.numColumns(); ++j) {
+        std::uint64_t expect = 0;
+        for (Index k = 0; k < c.columnLength(j); ++k)
+            expect += b.rowNnz(c.element(j, k).originalCol);
+        EXPECT_EQ(c.productWeight(j, b), expect);
+        total += expect;
+    }
+    // Summed over all condensed columns, the weights are exactly the
+    // multiplication count M.
+    EXPECT_EQ(total, a.multiplyFlops(b));
+}
+
+TEST(CondensedMatrix, CondensingReducesColumnCountDramatically)
+{
+    // The headline claim: condensed column count = longest row, far
+    // below the matrix dimension for sparse matrices.
+    const CsrMatrix m = generateUniform(2000, 2000, 16000, 7);
+    const CondensedMatrix c(m);
+    EXPECT_LT(c.numColumns(), 40u);
+    EXPECT_GT(m.cols(), 50 * c.numColumns());
+}
+
+TEST(CondensedMatrix, OutOfRangeAccessPanics)
+{
+    const CsrMatrix m = generateUniform(10, 10, 40, 8);
+    const CondensedMatrix c(m);
+    EXPECT_THROW(c.element(c.numColumns(), 0), PanicError);
+    EXPECT_THROW(c.columnRows(0).size() > 0 &&
+                     c.element(0, c.columnLength(0)).row,
+                 PanicError);
+    EXPECT_THROW(c.productWeight(c.numColumns(), m), PanicError);
+}
+
+} // namespace
+} // namespace sparch

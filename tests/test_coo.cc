@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the COO sparse matrix format.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "matrix/coo.hh"
+
+namespace sparch
+{
+namespace
+{
+
+TEST(Coo, EmptyMatrixHasNoTriplets)
+{
+    CooMatrix m(4, 5);
+    EXPECT_EQ(m.rows(), 4u);
+    EXPECT_EQ(m.cols(), 5u);
+    EXPECT_EQ(m.nnz(), 0u);
+    EXPECT_TRUE(m.isCanonical());
+}
+
+TEST(Coo, AddStoresTriplets)
+{
+    CooMatrix m(3, 3);
+    m.add(0, 1, 2.0);
+    m.add(2, 0, -1.0);
+    EXPECT_EQ(m.nnz(), 2u);
+    EXPECT_EQ(m.triplets()[0], (Triplet{0, 1, 2.0}));
+    EXPECT_EQ(m.triplets()[1], (Triplet{2, 0, -1.0}));
+}
+
+TEST(Coo, AddOutOfBoundsPanics)
+{
+    CooMatrix m(2, 2);
+    EXPECT_THROW(m.add(2, 0, 1.0), PanicError);
+    EXPECT_THROW(m.add(0, 2, 1.0), PanicError);
+}
+
+TEST(Coo, CanonicalizeSortsByRowThenColumn)
+{
+    CooMatrix m(3, 3);
+    m.add(2, 1, 1.0);
+    m.add(0, 2, 2.0);
+    m.add(0, 1, 3.0);
+    m.add(1, 0, 4.0);
+    m.canonicalize();
+    ASSERT_EQ(m.nnz(), 4u);
+    EXPECT_EQ(m.triplets()[0], (Triplet{0, 1, 3.0}));
+    EXPECT_EQ(m.triplets()[1], (Triplet{0, 2, 2.0}));
+    EXPECT_EQ(m.triplets()[2], (Triplet{1, 0, 4.0}));
+    EXPECT_EQ(m.triplets()[3], (Triplet{2, 1, 1.0}));
+    EXPECT_TRUE(m.isCanonical());
+}
+
+TEST(Coo, CanonicalizeSumsDuplicates)
+{
+    CooMatrix m(2, 2);
+    m.add(1, 1, 1.5);
+    m.add(1, 1, 2.5);
+    m.add(0, 0, 1.0);
+    m.canonicalize();
+    ASSERT_EQ(m.nnz(), 2u);
+    EXPECT_DOUBLE_EQ(m.triplets()[1].value, 4.0);
+}
+
+TEST(Coo, CanonicalizeDropsExactZerosByDefault)
+{
+    CooMatrix m(2, 2);
+    m.add(0, 0, 1.0);
+    m.add(0, 0, -1.0);
+    m.add(1, 1, 2.0);
+    m.canonicalize();
+    ASSERT_EQ(m.nnz(), 1u);
+    EXPECT_EQ(m.triplets()[0].row, 1u);
+}
+
+TEST(Coo, CanonicalizeKeepsZerosWhenAsked)
+{
+    CooMatrix m(2, 2);
+    m.add(0, 0, 1.0);
+    m.add(0, 0, -1.0);
+    m.canonicalize(/*drop_zeros=*/false);
+    ASSERT_EQ(m.nnz(), 1u);
+    EXPECT_DOUBLE_EQ(m.triplets()[0].value, 0.0);
+}
+
+TEST(Coo, IsCanonicalDetectsDuplicates)
+{
+    CooMatrix m(2, 2);
+    m.add(0, 0, 1.0);
+    m.add(0, 0, 2.0);
+    EXPECT_FALSE(m.isCanonical());
+}
+
+TEST(Coo, IsCanonicalDetectsDisorder)
+{
+    CooMatrix m(2, 2);
+    m.add(1, 0, 1.0);
+    m.add(0, 1, 2.0);
+    EXPECT_FALSE(m.isCanonical());
+}
+
+} // namespace
+} // namespace sparch

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit and property tests for the CSR sparse matrix format.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "matrix/csr.hh"
+#include "matrix/generators.hh"
+
+namespace sparch
+{
+namespace
+{
+
+CsrMatrix
+smallMatrix()
+{
+    // [1 0 2]
+    // [0 0 0]
+    // [3 4 0]
+    CooMatrix coo(3, 3);
+    coo.add(0, 0, 1.0);
+    coo.add(0, 2, 2.0);
+    coo.add(2, 0, 3.0);
+    coo.add(2, 1, 4.0);
+    coo.canonicalize();
+    return CsrMatrix::fromCoo(coo);
+}
+
+TEST(Csr, FromCooBuildsCorrectStructure)
+{
+    const CsrMatrix m = smallMatrix();
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m.nnz(), 4u);
+    EXPECT_EQ(m.rowNnz(0), 2u);
+    EXPECT_EQ(m.rowNnz(1), 0u);
+    EXPECT_EQ(m.rowNnz(2), 2u);
+    EXPECT_EQ(m.rowCols(0)[1], 2u);
+    EXPECT_DOUBLE_EQ(m.rowVals(2)[1], 4.0);
+}
+
+TEST(Csr, ToCooRoundTrips)
+{
+    const CsrMatrix m = smallMatrix();
+    EXPECT_EQ(CsrMatrix::fromCoo(m.toCoo()), m);
+}
+
+TEST(Csr, MaxRowNnz)
+{
+    EXPECT_EQ(smallMatrix().maxRowNnz(), 2u);
+    EXPECT_EQ(CsrMatrix(5, 5).maxRowNnz(), 0u);
+}
+
+TEST(Csr, TransposeIsCorrect)
+{
+    const CsrMatrix m = smallMatrix();
+    const CsrMatrix t = m.transpose();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 3u);
+    EXPECT_EQ(t.nnz(), 4u);
+    // Column 0 of m = {1.0 at row 0, 3.0 at row 2}.
+    ASSERT_EQ(t.rowNnz(0), 2u);
+    EXPECT_EQ(t.rowCols(0)[0], 0u);
+    EXPECT_EQ(t.rowCols(0)[1], 2u);
+    EXPECT_DOUBLE_EQ(t.rowVals(0)[1], 3.0);
+}
+
+TEST(Csr, MultiplyFlopsCountsProducts)
+{
+    const CsrMatrix m = smallMatrix();
+    // Row 0 of m: cols {0, 2}: len(row0)=2 + len(row2)=2 = 4
+    // Row 2 of m: cols {0, 1}: len(row0)=2 + len(row1)=0 = 2
+    EXPECT_EQ(m.multiplyFlops(m), 6u);
+}
+
+TEST(Csr, MultiplyFlopsDimensionMismatchPanics)
+{
+    const CsrMatrix m = smallMatrix();
+    const CsrMatrix other(4, 4);
+    EXPECT_THROW(m.multiplyFlops(other), PanicError);
+}
+
+TEST(Csr, ConstructorValidatesRowPtr)
+{
+    EXPECT_THROW(CsrMatrix(2, 2, {0, 1}, {0}, {1.0}), PanicError);
+    EXPECT_THROW(CsrMatrix(2, 2, {0, 2, 1}, {0, 1}, {1.0, 2.0}),
+                 PanicError);
+}
+
+TEST(Csr, ConstructorValidatesColumnOrder)
+{
+    // Duplicate column within a row.
+    EXPECT_THROW(CsrMatrix(1, 3, {0, 2}, {1, 1}, {1.0, 2.0}),
+                 PanicError);
+    // Descending columns.
+    EXPECT_THROW(CsrMatrix(1, 3, {0, 2}, {2, 0}, {1.0, 2.0}),
+                 PanicError);
+    // Column out of range.
+    EXPECT_THROW(CsrMatrix(1, 2, {0, 1}, {2}, {1.0}), PanicError);
+}
+
+TEST(Csr, AlmostEqualToleratesRounding)
+{
+    const CsrMatrix m = smallMatrix();
+    CooMatrix coo = m.toCoo();
+    coo.triplets()[0].value += 1e-13;
+    const CsrMatrix n = CsrMatrix::fromCoo(coo);
+    EXPECT_TRUE(m.almostEqual(n));
+    EXPECT_FALSE(m == n);
+}
+
+TEST(Csr, AlmostEqualRejectsStructureChange)
+{
+    const CsrMatrix m = smallMatrix();
+    CooMatrix coo = m.toCoo();
+    coo.triplets()[0].col = 1;
+    coo.canonicalize();
+    EXPECT_FALSE(m.almostEqual(CsrMatrix::fromCoo(coo)));
+}
+
+TEST(Csr, StorageBytesMatchesPaperAccounting)
+{
+    const CsrMatrix m = smallMatrix();
+    EXPECT_EQ(m.storageBytes(),
+              4 * bytesPerElement + 4 * bytesPerRowPtr);
+}
+
+/** Property sweep: transpose is an involution on random matrices. */
+class CsrTransposeProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(CsrTransposeProperty, TransposeTwiceIsIdentity)
+{
+    const std::uint64_t seed = GetParam();
+    const CsrMatrix m = generateUniform(97, 53, 700, seed);
+    EXPECT_EQ(m.transpose().transpose(), m);
+}
+
+TEST_P(CsrTransposeProperty, TransposePreservesNnz)
+{
+    const CsrMatrix m = generateUniform(64, 128, 900, GetParam());
+    const CsrMatrix t = m.transpose();
+    EXPECT_EQ(t.nnz(), m.nnz());
+    EXPECT_EQ(t.rows(), m.cols());
+    EXPECT_EQ(t.cols(), m.rows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrTransposeProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+} // namespace
+} // namespace sparch

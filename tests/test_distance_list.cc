@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the distance-list builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/distance_list.hh"
+
+namespace sparch
+{
+namespace
+{
+
+TEST(DistanceList, NextUseIsEarliestRecordedPosition)
+{
+    DistanceList d;
+    d.noteUse(5, 10);
+    d.noteUse(5, 20);
+    d.noteUse(9, 15);
+    EXPECT_EQ(d.nextUse(5), 10u);
+    EXPECT_EQ(d.nextUse(9), 15u);
+    EXPECT_EQ(d.nextUse(7), DistanceList::kInfinite);
+}
+
+TEST(DistanceList, ConsumeAdvancesToNextUse)
+{
+    DistanceList d;
+    d.noteUse(3, 1);
+    d.noteUse(3, 4);
+    d.noteUse(3, 9);
+    d.consumeUse(3, 1);
+    EXPECT_EQ(d.nextUse(3), 4u);
+    d.consumeUse(3, 4);
+    EXPECT_EQ(d.nextUse(3), 9u);
+    d.consumeUse(3, 9);
+    EXPECT_EQ(d.nextUse(3), DistanceList::kInfinite);
+}
+
+TEST(DistanceList, OutOfOrderConsumeRemovesMidQueueUse)
+{
+    // Ports retire independently, so a later use can retire first.
+    DistanceList d;
+    d.noteUse(3, 1);
+    d.noteUse(3, 4);
+    d.noteUse(3, 9);
+    d.consumeUse(3, 4);
+    EXPECT_EQ(d.nextUse(3), 1u);
+    d.consumeUse(3, 1);
+    EXPECT_EQ(d.nextUse(3), 9u);
+}
+
+TEST(DistanceList, NotingOutOfOrderPositionsPanics)
+{
+    DistanceList d;
+    d.noteUse(2, 10);
+    EXPECT_THROW(d.noteUse(2, 5), PanicError);
+}
+
+TEST(DistanceList, ConsumingUnknownUsePanics)
+{
+    DistanceList d;
+    EXPECT_THROW(d.consumeUse(1, 0), PanicError);
+    d.noteUse(1, 3);
+    EXPECT_THROW(d.consumeUse(1, 7), PanicError);
+}
+
+TEST(DistanceList, ClearDropsEverything)
+{
+    DistanceList d;
+    d.noteUse(1, 0);
+    d.noteUse(2, 1);
+    EXPECT_EQ(d.trackedRows(), 2u);
+    d.clear();
+    EXPECT_EQ(d.trackedRows(), 0u);
+    EXPECT_EQ(d.nextUse(1), DistanceList::kInfinite);
+}
+
+} // namespace
+} // namespace sparch

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the hardware FIFO model and the HBM channel model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "dram/hbm.hh"
+#include "hw/fifo.hh"
+
+namespace sparch
+{
+namespace
+{
+
+TEST(Fifo, BasicPushPopOrder)
+{
+    hw::Fifo<int> f(3);
+    f.push(1);
+    f.push(2);
+    EXPECT_EQ(f.size(), 2u);
+    EXPECT_EQ(f.front(), 1);
+    EXPECT_EQ(f.pop(), 1);
+    EXPECT_EQ(f.pop(), 2);
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(Fifo, TracksStatistics)
+{
+    hw::Fifo<int> f(4);
+    f.push(1);
+    f.push(2);
+    f.push(3);
+    f.pop();
+    EXPECT_EQ(f.pushes(), 3u);
+    EXPECT_EQ(f.pops(), 1u);
+    EXPECT_EQ(f.highWater(), 3u);
+    EXPECT_EQ(f.freeSpace(), 2u);
+}
+
+TEST(Fifo, OverflowAndUnderflowPanic)
+{
+    hw::Fifo<int> f(1);
+    f.push(1);
+    EXPECT_TRUE(f.full());
+    EXPECT_THROW(f.push(2), PanicError);
+    f.pop();
+    EXPECT_THROW(f.pop(), PanicError);
+    EXPECT_THROW(hw::Fifo<int>(0), PanicError);
+}
+
+TEST(Fifo, BackIsMutable)
+{
+    hw::Fifo<int> f(2);
+    f.push(5);
+    f.back() += 3;
+    EXPECT_EQ(f.pop(), 8);
+}
+
+TEST(Hbm, AccountsBytesPerStream)
+{
+    HbmModel hbm;
+    hbm.read(DramStream::MatA, 0, 120, 0);
+    hbm.write(DramStream::PartialWrite, 4096, 240, 0);
+    EXPECT_EQ(hbm.streamBytes(DramStream::MatA), 120u);
+    EXPECT_EQ(hbm.streamBytes(DramStream::PartialWrite), 240u);
+    EXPECT_EQ(hbm.streamBytes(DramStream::MatB), 0u);
+    EXPECT_EQ(hbm.totalBytes(), 360u);
+    EXPECT_EQ(hbm.totalReadBytes(), 120u);
+    EXPECT_EQ(hbm.totalWriteBytes(), 240u);
+}
+
+TEST(Hbm, ReadsPayAccessLatency)
+{
+    HbmConfig cfg;
+    cfg.accessLatency = 50;
+    HbmModel hbm(cfg);
+    const Cycle done = hbm.read(DramStream::MatB, 0, 8, 0);
+    // One 8-byte beat takes 1 cycle plus the latency.
+    EXPECT_EQ(done, 51u);
+}
+
+TEST(Hbm, BandwidthLimitsBackToBackRequests)
+{
+    HbmConfig cfg;
+    cfg.channels = 1;
+    cfg.accessLatency = 0;
+    cfg.bytesPerCyclePerChannel = 8;
+    cfg.interleaveBytes = 64;
+    HbmModel hbm(cfg);
+    // 64 bytes on one channel at 8 B/cycle = 8 cycles.
+    EXPECT_EQ(hbm.read(DramStream::MatA, 0, 64, 0), 8u);
+    // The channel is busy; the next read queues behind it.
+    EXPECT_EQ(hbm.read(DramStream::MatA, 0, 64, 0), 16u);
+}
+
+TEST(Hbm, StripingUsesAllChannels)
+{
+    HbmConfig cfg;
+    cfg.channels = 16;
+    cfg.accessLatency = 0;
+    HbmModel hbm(cfg);
+    // A 1024-byte transfer striped over 16 channels of 64B chunks:
+    // each channel moves 64 bytes = 8 cycles, all in parallel.
+    EXPECT_EQ(hbm.read(DramStream::MatA, 0, 1024, 0), 8u);
+}
+
+TEST(Hbm, UnalignedRequestsSplitAtInterleaveBoundary)
+{
+    HbmConfig cfg;
+    cfg.channels = 2;
+    cfg.accessLatency = 0;
+    HbmModel hbm(cfg);
+    // 8 bytes starting at offset 60 spans two 64B chunks -> two
+    // channels, 1 cycle each in parallel.
+    EXPECT_EQ(hbm.read(DramStream::MatA, 60, 8, 0), 1u);
+    EXPECT_EQ(hbm.totalBytes(), 8u);
+}
+
+TEST(Hbm, UtilizationIsBytesOverPeak)
+{
+    HbmModel hbm;
+    // Peak is 16 channels x 8 B/cycle = 128 B/cycle.
+    hbm.write(DramStream::FinalWrite, 0, 1280, 0);
+    EXPECT_DOUBLE_EQ(hbm.utilization(100), 0.1);
+    EXPECT_DOUBLE_EQ(hbm.utilization(0), 0.0);
+}
+
+TEST(Hbm, ResetClearsState)
+{
+    HbmModel hbm;
+    hbm.read(DramStream::MatA, 0, 512, 0);
+    hbm.reset();
+    EXPECT_EQ(hbm.totalBytes(), 0u);
+    EXPECT_EQ(hbm.read(DramStream::MatA, 0, 8, 0),
+              1 + hbm.config().accessLatency);
+}
+
+TEST(Hbm, ZeroByteAccessIsFree)
+{
+    HbmModel hbm;
+    EXPECT_EQ(hbm.read(DramStream::MatA, 0, 0, 7), 7u);
+    EXPECT_EQ(hbm.totalBytes(), 0u);
+}
+
+TEST(Hbm, RecordsStats)
+{
+    HbmModel hbm;
+    hbm.read(DramStream::MatB, 0, 96, 0);
+    StatSet stats;
+    hbm.recordStats(stats);
+    EXPECT_DOUBLE_EQ(stats.get("dram.bytes.mat_b"), 96.0);
+    EXPECT_DOUBLE_EQ(stats.get("dram.bytes.total"), 96.0);
+}
+
+TEST(Hbm, InvalidConfigPanics)
+{
+    HbmConfig cfg;
+    cfg.channels = 0;
+    EXPECT_THROW(HbmModel{cfg}, PanicError);
+}
+
+} // namespace
+} // namespace sparch

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the synthetic matrix generators and the R-MAT generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "matrix/generators.hh"
+#include "matrix/rmat.hh"
+
+namespace sparch
+{
+namespace
+{
+
+TEST(Generators, UniformHitsApproximateNnz)
+{
+    const CsrMatrix m = generateUniform(200, 200, 3000, 1);
+    EXPECT_EQ(m.rows(), 200u);
+    EXPECT_EQ(m.cols(), 200u);
+    // Duplicates merge, so nnz is slightly below the target.
+    EXPECT_GT(m.nnz(), 2800u);
+    EXPECT_LE(m.nnz(), 3000u);
+}
+
+TEST(Generators, UniformIsDeterministic)
+{
+    EXPECT_EQ(generateUniform(50, 60, 400, 9),
+              generateUniform(50, 60, 400, 9));
+    EXPECT_NE(generateUniform(50, 60, 400, 9).nnz(),
+              generateUniform(50, 60, 400, 10).nnz());
+}
+
+TEST(Generators, UniformRejectsEmptyShape)
+{
+    EXPECT_THROW(generateUniform(0, 5, 10, 1), FatalError);
+}
+
+TEST(Generators, BandedStaysInsideBand)
+{
+    const Index bandwidth = 6;
+    const CsrMatrix m = generateBanded(150, bandwidth, 5.0, 2);
+    for (Index r = 0; r < m.rows(); ++r) {
+        for (Index c : m.rowCols(r)) {
+            const auto dist = r > c ? r - c : c - r;
+            EXPECT_LE(dist, bandwidth);
+        }
+    }
+}
+
+TEST(Generators, BandedHasFullDiagonal)
+{
+    const CsrMatrix m = generateBanded(80, 3, 4.0, 3);
+    for (Index r = 0; r < m.rows(); ++r) {
+        bool has_diag = false;
+        for (Index c : m.rowCols(r))
+            has_diag |= (c == r);
+        EXPECT_TRUE(has_diag) << "row " << r;
+    }
+}
+
+TEST(Generators, BandedApproximatesTargetDegree)
+{
+    const CsrMatrix m = generateBanded(2000, 16, 10.0, 4);
+    const double avg = static_cast<double>(m.nnz()) / m.rows();
+    EXPECT_NEAR(avg, 10.0, 1.5);
+}
+
+TEST(Generators, PowerLawFrontRowsAreDenser)
+{
+    const CsrMatrix m = generatePowerLaw(1000, 8.0, 0.8, 5);
+    std::uint64_t head = 0, tail = 0;
+    for (Index r = 0; r < 100; ++r)
+        head += m.rowNnz(r);
+    for (Index r = 900; r < 1000; ++r)
+        tail += m.rowNnz(r);
+    EXPECT_GT(head, 2 * tail);
+}
+
+TEST(Generators, RoadNetworkHasLowBoundedDegree)
+{
+    const CsrMatrix m = generateRoadNetwork(500, 6);
+    for (Index r = 0; r < m.rows(); ++r)
+        EXPECT_LE(m.rowNnz(r), 5u);
+    const double avg = static_cast<double>(m.nnz()) / m.rows();
+    EXPECT_GT(avg, 1.5);
+}
+
+TEST(Generators, BlockDiagonalIsMostlyLocal)
+{
+    const Index block = 64;
+    const CsrMatrix m = generateBlockDiagonal(512, block, 6.0, 0.9, 7);
+    std::uint64_t local = 0;
+    for (Index r = 0; r < m.rows(); ++r) {
+        for (Index c : m.rowCols(r)) {
+            if (c / block == r / block)
+                ++local;
+        }
+    }
+    EXPECT_GT(static_cast<double>(local) / m.nnz(), 0.75);
+}
+
+TEST(Rmat, HitsEdgeFactorApproximately)
+{
+    const CsrMatrix m = rmatGenerate(1024, 8, 3);
+    const double avg = static_cast<double>(m.nnz()) / m.rows();
+    // Duplicate edges merge, so the average sits below the factor.
+    EXPECT_GT(avg, 4.0);
+    EXPECT_LE(avg, 8.0);
+}
+
+TEST(Rmat, IsDeterministic)
+{
+    EXPECT_EQ(rmatGenerate(256, 4, 77), rmatGenerate(256, 4, 77));
+}
+
+TEST(Rmat, ProducesSkewedDegrees)
+{
+    const CsrMatrix m = rmatGenerate(2048, 16, 5);
+    Index max_deg = m.maxRowNnz();
+    const double avg = static_cast<double>(m.nnz()) / m.rows();
+    // Power-law graphs have hubs far above the mean degree.
+    EXPECT_GT(static_cast<double>(max_deg), 4.0 * avg);
+}
+
+TEST(Rmat, RejectsBadProbabilities)
+{
+    RmatParams p;
+    p.a = 0.9;
+    p.b = 0.9;
+    EXPECT_THROW(rmatGenerate(64, 4, 1, p), FatalError);
+}
+
+TEST(Rmat, RejectsZeroVertices)
+{
+    EXPECT_THROW(rmatGenerate(0, 4, 1), FatalError);
+}
+
+TEST(Rmat, NonPowerOfTwoVertexCountsStayInRange)
+{
+    const CsrMatrix m = rmatGenerate(1000, 4, 9);
+    EXPECT_EQ(m.rows(), 1000u);
+    EXPECT_EQ(m.cols(), 1000u);
+    for (Index r = 0; r < m.rows(); ++r) {
+        for (Index c : m.rowCols(r))
+            EXPECT_LT(c, 1000u);
+    }
+}
+
+} // namespace
+} // namespace sparch

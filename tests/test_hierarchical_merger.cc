@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the hierarchical merger: functional equivalence with the
+ * flat comparator array and the O(n^(4/3)) comparator count.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "hw/comparator_array.hh"
+#include "hw/hierarchical_merger.hh"
+
+namespace sparch
+{
+namespace hw
+{
+namespace
+{
+
+TEST(HierarchicalMerger, ComparatorCountMatchesPaperFormula)
+{
+    // Table I: 16x16 hierarchical merger = 4x4 top + 4x4 low levels.
+    // (2*4 - 1) low arrays * 16 comparators + 16 top = 128.
+    HierarchicalMerger merger(16, 4);
+    EXPECT_EQ(merger.comparatorCount(), 128u);
+    // Versus 256 for the flat array: the paper's O(n^(4/3)) saving.
+    EXPECT_LT(merger.comparatorCount(),
+              ComparatorArray(16).comparatorCount());
+}
+
+TEST(HierarchicalMerger, RejectsNonDividingChunk)
+{
+    EXPECT_THROW(HierarchicalMerger(16, 5), PanicError);
+}
+
+TEST(HierarchicalMerger, MergesPaperFigure4Example)
+{
+    // Fig. 4: chunked inputs; chunk pairs (A0,B0), (A0/A1...,B1), ...
+    HierarchicalMerger merger(12, 4);
+    std::vector<StreamElement> a, b;
+    for (Coord c : {1, 3, 4, 13, 19, 22, 35, 37, 42, 47, 48, 58})
+        a.push_back({c, 1.0});
+    for (Coord c : {3, 5, 10, 12, 15, 29, 35, 40, 44, 52, 55, 61})
+        b.push_back({c, 2.0});
+    const auto r = merger.mergeStep(a, b);
+    ASSERT_EQ(r.outputs.size(), 12u);
+    for (std::size_t i = 1; i < r.outputs.size(); ++i)
+        EXPECT_LE(r.outputs[i - 1].coord, r.outputs[i].coord);
+    EXPECT_EQ(r.outputs[0].coord, 1u);
+}
+
+/** Property: hierarchical output == flat output for random windows. */
+class HierarchicalEquivalence : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(HierarchicalEquivalence, MatchesFlatArray)
+{
+    Rng rng(GetParam() * 1000 + 17);
+    for (int trial = 0; trial < 150; ++trial) {
+        const std::size_t chunk = 2 + rng.nextBounded(3); // 2..4
+        const std::size_t chunks = 1 + rng.nextBounded(4); // 1..4
+        const std::size_t size = chunk * chunks;
+        HierarchicalMerger merger(size, chunk);
+        ComparatorArray flat(size);
+
+        auto make_window = [&]() {
+            std::vector<StreamElement> w;
+            const std::size_t len = rng.nextBounded(size + 1);
+            Coord c = 0;
+            for (std::size_t i = 0; i < len; ++i) {
+                c += 1 + rng.nextBounded(4);
+                w.push_back({c, rng.nextDouble()});
+            }
+            return w;
+        };
+        const auto a = make_window();
+        const auto b = make_window();
+        const auto fast = flat.mergeStep(a, b);
+        const auto hier = merger.mergeStep(a, b);
+        ASSERT_EQ(fast.outputs.size(), hier.outputs.size());
+        for (std::size_t i = 0; i < fast.outputs.size(); ++i)
+            EXPECT_EQ(fast.outputs[i].coord, hier.outputs[i].coord);
+        EXPECT_EQ(fast.consumedA, hier.consumedA);
+        EXPECT_EQ(fast.consumedB, hier.consumedB);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HierarchicalEquivalence,
+                         ::testing::Range(1, 7));
+
+} // namespace
+} // namespace hw
+} // namespace sparch

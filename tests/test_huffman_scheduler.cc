@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the merge-order schedulers, anchored on the paper's Fig. 8
+ * worked example: leaves {15,15,13,12,9,7,3,2,2,2,2,2} give a total
+ * node weight of 354 under the 2-way Huffman scheduler and 228 under
+ * the 4-way scheduler with the kinit rule.
+ */
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "core/huffman_scheduler.hh"
+
+namespace sparch
+{
+namespace
+{
+
+const std::vector<std::uint64_t> kFig8Leaves = {15, 15, 13, 12, 9, 7,
+                                                3,  2,  2,  2,  2, 2};
+
+/** Every leaf must appear exactly once across all internal nodes. */
+void
+checkPlanShape(const MergePlan &plan, std::size_t num_leaves,
+               unsigned ways)
+{
+    std::vector<unsigned> used(plan.nodes.size(), 0);
+    for (const auto &node : plan.nodes) {
+        if (node.isLeaf)
+            continue;
+        EXPECT_GE(node.children.size(), 1u);
+        EXPECT_LE(node.children.size(), ways);
+        std::uint64_t weight = 0;
+        for (auto c : node.children) {
+            ++used[c];
+            weight += plan.nodes[c].weight;
+        }
+        EXPECT_EQ(node.weight, weight);
+    }
+    for (std::size_t i = 0; i < num_leaves; ++i)
+        EXPECT_EQ(used[i], 1u) << "leaf " << i;
+    // Internal nodes are each consumed once except the root.
+    for (std::size_t i = num_leaves; i < plan.nodes.size(); ++i) {
+        if (i == plan.root)
+            EXPECT_EQ(used[i], 0u);
+        else
+            EXPECT_EQ(used[i], 1u) << "internal " << i;
+    }
+}
+
+TEST(HuffmanScheduler, Figure8TwoWayTotalWeightIs354)
+{
+    const MergePlan plan =
+        buildMergePlan(kFig8Leaves, 2, SchedulerKind::Huffman);
+    EXPECT_EQ(plan.totalWeight(), 354u);
+    checkPlanShape(plan, kFig8Leaves.size(), 2);
+}
+
+TEST(HuffmanScheduler, Figure8FourWayTotalWeightIs228)
+{
+    const MergePlan plan =
+        buildMergePlan(kFig8Leaves, 4, SchedulerKind::Huffman);
+    EXPECT_EQ(plan.totalWeight(), 228u);
+    checkPlanShape(plan, kFig8Leaves.size(), 4);
+}
+
+TEST(HuffmanScheduler, Figure8FourWayFirstRoundUsesKinit)
+{
+    // kinit = (12 - 2) mod 3 + 2 = 3.
+    EXPECT_EQ(huffmanInitialWays(12, 4), 3u);
+    const MergePlan plan =
+        buildMergePlan(kFig8Leaves, 4, SchedulerKind::Huffman);
+    EXPECT_EQ(plan.nodes[plan.rounds.front()].children.size(), 3u);
+    // Every later round merges exactly 4 nodes.
+    for (std::size_t i = 1; i < plan.rounds.size(); ++i) {
+        EXPECT_EQ(plan.nodes[plan.rounds[i]].children.size(), 4u);
+    }
+}
+
+TEST(HuffmanScheduler, KinitFormulaEdgeCases)
+{
+    EXPECT_EQ(huffmanInitialWays(64, 64), 64u);  // fits in one round
+    EXPECT_EQ(huffmanInitialWays(65, 64), 2u);   // (65-2)%63+2
+    EXPECT_EQ(huffmanInitialWays(127, 64), 64u); // (127-2)%63+2
+    EXPECT_EQ(huffmanInitialWays(128, 64), 2u);
+    EXPECT_EQ(huffmanInitialWays(5, 2), 2u);     // 2-way always 2
+    EXPECT_EQ(huffmanInitialWays(1000, 2), 2u);
+}
+
+TEST(HuffmanScheduler, RootIsAlwaysFullAfterKinit)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t n = 2 + rng.nextBounded(300);
+        const unsigned ways = 2 + static_cast<unsigned>(
+                                      rng.nextBounded(63));
+        std::vector<std::uint64_t> leaves(n);
+        for (auto &w : leaves)
+            w = 1 + rng.nextBounded(100);
+        const MergePlan plan =
+            buildMergePlan(leaves, ways, SchedulerKind::Huffman);
+        checkPlanShape(plan, n, ways);
+        if (n > ways) {
+            // Last round (the root) merges exactly `ways` nodes.
+            EXPECT_EQ(plan.nodes[plan.root].children.size(), ways);
+        }
+    }
+}
+
+TEST(HuffmanScheduler, TwoWayMatchesBruteForceOptimum)
+{
+    // For 2-way merging, total weight = sum of leaf x depth + leaves;
+    // classic Huffman is provably optimal. Check against brute force
+    // over all binary merge orders for small sets.
+    Rng rng(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t n = 2 + rng.nextBounded(6); // 2..7 leaves
+        std::vector<std::uint64_t> leaves(n);
+        for (auto &w : leaves)
+            w = 1 + rng.nextBounded(30);
+
+        // Brute force: repeatedly merge any pair (exponential).
+        std::uint64_t best = ~0ull;
+        std::vector<std::uint64_t> pool(leaves);
+        std::function<void(std::vector<std::uint64_t>, std::uint64_t)>
+            search = [&](std::vector<std::uint64_t> p,
+                         std::uint64_t acc) {
+                if (p.size() == 1) {
+                    best = std::min(best, acc);
+                    return;
+                }
+                for (std::size_t i = 0; i < p.size(); ++i) {
+                    for (std::size_t j = i + 1; j < p.size(); ++j) {
+                        auto q = p;
+                        const std::uint64_t merged = q[i] + q[j];
+                        q.erase(q.begin() +
+                                static_cast<std::ptrdiff_t>(j));
+                        q.erase(q.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+                        q.push_back(merged);
+                        search(q, acc + merged);
+                    }
+                }
+            };
+        search(pool, 0);
+
+        const MergePlan plan =
+            buildMergePlan(leaves, 2, SchedulerKind::Huffman);
+        EXPECT_EQ(plan.internalWeight(), best);
+    }
+}
+
+TEST(HuffmanScheduler, BeatsSequentialAndRandomOnSkewedWeights)
+{
+    Rng rng(13);
+    std::vector<std::uint64_t> leaves(200);
+    for (auto &w : leaves)
+        w = 1 + rng.nextBounded(1000);
+    std::sort(leaves.rbegin(), leaves.rend());
+
+    const auto huffman =
+        buildMergePlan(leaves, 8, SchedulerKind::Huffman);
+    const auto sequential =
+        buildMergePlan(leaves, 8, SchedulerKind::Sequential);
+    const auto random =
+        buildMergePlan(leaves, 8, SchedulerKind::Random, 3);
+    EXPECT_LE(huffman.internalWeight(), sequential.internalWeight());
+    EXPECT_LE(huffman.internalWeight(), random.internalWeight());
+    checkPlanShape(sequential, leaves.size(), 8);
+    checkPlanShape(random, leaves.size(), 8);
+}
+
+TEST(HuffmanScheduler, SingleLeafGetsPassThroughRound)
+{
+    const MergePlan plan =
+        buildMergePlan({42}, 64, SchedulerKind::Huffman);
+    ASSERT_EQ(plan.rounds.size(), 1u);
+    EXPECT_EQ(plan.nodes[plan.root].children.size(), 1u);
+    EXPECT_EQ(plan.nodes[plan.root].weight, 42u);
+}
+
+TEST(HuffmanScheduler, EmptyLeavesGiveEmptyPlan)
+{
+    const MergePlan plan =
+        buildMergePlan({}, 64, SchedulerKind::Huffman);
+    EXPECT_TRUE(plan.rounds.empty());
+    EXPECT_TRUE(plan.nodes.empty());
+}
+
+TEST(HuffmanScheduler, FitsInOneRoundWhenLeavesFewerThanWays)
+{
+    std::vector<std::uint64_t> leaves = {5, 1, 9, 2};
+    const MergePlan plan =
+        buildMergePlan(leaves, 64, SchedulerKind::Huffman);
+    ASSERT_EQ(plan.rounds.size(), 1u);
+    EXPECT_EQ(plan.nodes[plan.root].children.size(), 4u);
+    EXPECT_EQ(plan.internalWeight(), 17u);
+}
+
+TEST(HuffmanScheduler, RandomIsDeterministicPerSeed)
+{
+    std::vector<std::uint64_t> leaves(50, 1);
+    const auto p1 =
+        buildMergePlan(leaves, 4, SchedulerKind::Random, 11);
+    const auto p2 =
+        buildMergePlan(leaves, 4, SchedulerKind::Random, 11);
+    ASSERT_EQ(p1.nodes.size(), p2.nodes.size());
+    for (std::size_t i = 0; i < p1.nodes.size(); ++i)
+        EXPECT_EQ(p1.nodes[i].children, p2.nodes[i].children);
+}
+
+} // namespace
+} // namespace sparch

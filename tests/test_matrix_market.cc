@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Matrix Market I/O tests, including malformed-input failure injection.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "matrix/generators.hh"
+#include "matrix/matrix_market.hh"
+
+namespace sparch
+{
+namespace
+{
+
+TEST(MatrixMarket, ParsesGeneralRealMatrix)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment line\n"
+        "3 4 2\n"
+        "1 1 1.5\n"
+        "3 4 -2.0\n");
+    const CsrMatrix m = readMatrixMarket(in);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    EXPECT_EQ(m.nnz(), 2u);
+    EXPECT_DOUBLE_EQ(m.rowVals(0)[0], 1.5);
+    EXPECT_DOUBLE_EQ(m.rowVals(2)[0], -2.0);
+}
+
+TEST(MatrixMarket, ExpandsSymmetricMatrices)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 2\n"
+        "2 1 5.0\n"
+        "3 3 1.0\n");
+    const CsrMatrix m = readMatrixMarket(in);
+    EXPECT_EQ(m.nnz(), 3u); // (1,0), (0,1), (2,2)
+    EXPECT_DOUBLE_EQ(m.rowVals(0)[0], 5.0);
+    EXPECT_DOUBLE_EQ(m.rowVals(1)[0], 5.0);
+}
+
+TEST(MatrixMarket, PatternEntriesGetUnitValues)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 2\n"
+        "1 2\n"
+        "2 1\n");
+    const CsrMatrix m = readMatrixMarket(in);
+    EXPECT_EQ(m.nnz(), 2u);
+    EXPECT_DOUBLE_EQ(m.rowVals(0)[0], 1.0);
+}
+
+TEST(MatrixMarket, RoundTripsThroughWriter)
+{
+    const CsrMatrix m = generateUniform(40, 30, 200, 11);
+    std::ostringstream out;
+    writeMatrixMarket(m, out);
+    std::istringstream in(out.str());
+    const CsrMatrix back = readMatrixMarket(in);
+    EXPECT_TRUE(m.almostEqual(back, 1e-12));
+}
+
+TEST(MatrixMarket, RejectsMissingBanner)
+{
+    std::istringstream in("3 3 0\n");
+    EXPECT_THROW(readMatrixMarket(in), FatalError);
+}
+
+TEST(MatrixMarket, RejectsUnsupportedFormat)
+{
+    std::istringstream in("%%MatrixMarket matrix array real general\n");
+    EXPECT_THROW(readMatrixMarket(in), FatalError);
+}
+
+TEST(MatrixMarket, RejectsUnsupportedField)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate complex general\n");
+    EXPECT_THROW(readMatrixMarket(in), FatalError);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 3\n"
+        "1 1 1.0\n");
+    EXPECT_THROW(readMatrixMarket(in), FatalError);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeCoordinates)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "3 1 1.0\n");
+    EXPECT_THROW(readMatrixMarket(in), FatalError);
+}
+
+TEST(MatrixMarket, RejectsMalformedSizeLine)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 two 1\n"
+        "1 1 1.0\n");
+    EXPECT_THROW(readMatrixMarket(in), FatalError);
+}
+
+TEST(MatrixMarket, MissingFileFails)
+{
+    EXPECT_THROW(readMatrixMarketFile("/nonexistent/file.mtx"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace sparch

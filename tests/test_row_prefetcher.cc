@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Direct unit tests for the MatB row prefetcher: readiness, hit/miss
+ * accounting on crafted traces, and the replacement-policy ablation
+ * (Belady must beat LRU on adversarial cyclic reuse — the essence of
+ * the paper's "near-optimal replacement" claim).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/row_prefetcher.hh"
+#include "dram/hbm.hh"
+#include "matrix/generators.hh"
+
+namespace sparch
+{
+namespace
+{
+
+/** A right matrix whose rows each occupy exactly one buffer line. */
+CsrMatrix
+rowsMatrix(Index rows, Index elems_per_row)
+{
+    CooMatrix coo(rows, 64);
+    for (Index r = 0; r < rows; ++r) {
+        for (Index e = 0; e < elems_per_row; ++e)
+            coo.add(r, e, 1.0 + r);
+    }
+    coo.canonicalize();
+    return CsrMatrix::fromCoo(coo);
+}
+
+/** Build a task stream visiting the given rows in order. */
+std::vector<MultTask>
+trace(std::initializer_list<Index> rows)
+{
+    std::vector<MultTask> tasks;
+    unsigned port = 0;
+    for (Index r : rows) {
+        MultTask t;
+        t.aRow = static_cast<Index>(tasks.size());
+        t.bRow = r;
+        t.aValue = 1.0;
+        t.port = port++ % 4;
+        t.addr = tasks.size() * bytesPerElement;
+        tasks.push_back(t);
+    }
+    return tasks;
+}
+
+/**
+ * Drive a prefetcher over a trace with in-order consumption as soon
+ * as each head row is ready; returns (hits, misses).
+ */
+std::pair<std::uint64_t, std::uint64_t>
+runTrace(const SpArchConfig &cfg, const CsrMatrix &b,
+         const std::vector<MultTask> &tasks)
+{
+    HbmModel hbm(cfg.hbm);
+    RowPrefetcher p(cfg, hbm, "p");
+    p.startRound(&tasks, &b, 0);
+    std::uint64_t consumed = 0;
+    for (int cycle = 0; cycle < 1000000 && consumed < tasks.size();
+         ++cycle) {
+        p.clockUpdate();
+        while (consumed < tasks.size() && p.rowReady(consumed)) {
+            p.noteConsumed(consumed);
+            ++consumed;
+        }
+        p.clockApply();
+    }
+    EXPECT_EQ(consumed, tasks.size()) << "prefetcher not live";
+    return {p.hits(), p.misses()};
+}
+
+SpArchConfig
+smallConfig(std::size_t lines, ReplacementPolicy policy)
+{
+    SpArchConfig cfg;
+    cfg.prefetchLines = lines;
+    cfg.prefetchLineElems = 8; // one line per 8-element row
+    cfg.replacement = policy;
+    return cfg;
+}
+
+TEST(RowPrefetcher, ColdMissesThenHitsOnReuse)
+{
+    const CsrMatrix b = rowsMatrix(4, 8);
+    const auto tasks = trace({0, 1, 0, 1, 0, 1});
+    const auto [hits, misses] =
+        runTrace(smallConfig(1024, ReplacementPolicy::Belady), b,
+                 tasks);
+    EXPECT_EQ(misses, 2u); // two cold misses
+    EXPECT_EQ(hits, 4u);   // all reuses hit
+}
+
+TEST(RowPrefetcher, EmptyRowsAreAlwaysReady)
+{
+    CsrMatrix b(8, 8); // all rows empty
+    const auto tasks = trace({0, 3, 7});
+    const auto [hits, misses] =
+        runTrace(smallConfig(1024, ReplacementPolicy::Belady), b,
+                 tasks);
+    EXPECT_EQ(hits + misses, 0u);
+}
+
+TEST(RowPrefetcher, BeladyBeatsLruOnCyclicReuse)
+{
+    // The classic adversarial case: cyclic sweep over one more row
+    // than the buffer holds. LRU always evicts the row needed next;
+    // Belady keeps part of the working set resident.
+    const CsrMatrix b = rowsMatrix(3, 8);
+    const auto tasks = trace(
+        {0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2});
+
+    const auto [hits_belady, misses_belady] =
+        runTrace(smallConfig(2, ReplacementPolicy::Belady), b, tasks);
+    const auto [hits_lru, misses_lru] =
+        runTrace(smallConfig(2, ReplacementPolicy::Lru), b, tasks);
+
+    EXPECT_GT(hits_belady, hits_lru);
+    EXPECT_LT(misses_belady, misses_lru);
+    // LRU on a cyclic sweep with capacity 2 of 3 misses everything.
+    EXPECT_EQ(hits_lru, 0u);
+}
+
+TEST(RowPrefetcher, FifoEvictsInsertionOrder)
+{
+    const CsrMatrix b = rowsMatrix(3, 8);
+    // 0 and 1 resident; touching 0 repeatedly does not save it under
+    // FIFO when 2 arrives, but does under LRU.
+    const auto tasks = trace({0, 1, 0, 0, 2, 0});
+
+    const auto [hits_fifo, misses_fifo] =
+        runTrace(smallConfig(2, ReplacementPolicy::Fifo), b, tasks);
+    const auto [hits_lru, misses_lru] =
+        runTrace(smallConfig(2, ReplacementPolicy::Lru), b, tasks);
+    EXPECT_GE(hits_lru, hits_fifo);
+    // (Total lookups can differ slightly: demand refetches of
+    // evicted-before-use lines depend on the policy.)
+    EXPECT_GT(hits_fifo + misses_fifo, 0u);
+}
+
+TEST(RowPrefetcher, MultiLineRowsRefetchOnlyMissingLines)
+{
+    // Rows of 3 lines; buffer of 4 lines: visiting A then B partially
+    // spills A, and revisiting A fetches only the spilled lines.
+    const CsrMatrix b = rowsMatrix(2, 24); // 3 lines x 8 elems
+    const auto tasks = trace({0, 1, 0});
+    const auto [hits, misses] =
+        runTrace(smallConfig(4, ReplacementPolicy::Belady), b, tasks);
+    // Cold: 3 + 3 lines; the revisit of row 0 hits its surviving
+    // lines and refetches only the spilled ones (demand refetches of
+    // lines evicted before use can add a few extra misses).
+    EXPECT_GE(hits + misses, 9u);
+    EXPECT_GT(hits, 0u);
+}
+
+TEST(RowPrefetcher, BypassModeStreamsEveryUse)
+{
+    const CsrMatrix b = rowsMatrix(2, 8);
+    const auto tasks = trace({0, 0, 1, 1});
+    SpArchConfig cfg = smallConfig(1024, ReplacementPolicy::Belady);
+    cfg.rowPrefetcher = false;
+
+    HbmModel hbm(cfg.hbm);
+    RowPrefetcher p(cfg, hbm, "p");
+    p.startRound(&tasks, &b, 0);
+    std::uint64_t consumed = 0;
+    for (int cycle = 0; cycle < 100000 && consumed < tasks.size();
+         ++cycle) {
+        p.clockUpdate();
+        while (consumed < tasks.size() && p.rowReady(consumed)) {
+            p.noteConsumed(consumed);
+            ++consumed;
+        }
+        p.clockApply();
+    }
+    ASSERT_EQ(consumed, tasks.size());
+    // No reuse without the buffer: four full-row reads.
+    EXPECT_EQ(hbm.streamBytes(DramStream::MatB),
+              4u * 8u * bytesPerElement);
+    EXPECT_DOUBLE_EQ(p.hitRate(), 0.0);
+}
+
+TEST(RowPrefetcher, HitRateReportedOverLifetime)
+{
+    const CsrMatrix b = rowsMatrix(2, 8);
+    const auto tasks = trace({0, 1, 0, 1});
+    SpArchConfig cfg = smallConfig(1024, ReplacementPolicy::Belady);
+    HbmModel hbm(cfg.hbm);
+    RowPrefetcher p(cfg, hbm, "p");
+    p.startRound(&tasks, &b, 0);
+    std::uint64_t consumed = 0;
+    for (int cycle = 0; cycle < 100000 && consumed < tasks.size();
+         ++cycle) {
+        p.clockUpdate();
+        while (consumed < tasks.size() && p.rowReady(consumed)) {
+            p.noteConsumed(consumed);
+            ++consumed;
+        }
+        p.clockApply();
+    }
+    EXPECT_DOUBLE_EQ(p.hitRate(), 0.5);
+    StatSet stats;
+    p.recordStats(stats);
+    EXPECT_DOUBLE_EQ(stats.get("p.hit_rate"), 0.5);
+    EXPECT_DOUBLE_EQ(stats.get("p.hits"), 2.0);
+}
+
+} // namespace
+} // namespace sparch

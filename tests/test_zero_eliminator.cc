@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the zero eliminator (Fig. 6) and the adder slice.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "hw/adder_slice.hh"
+#include "hw/zero_eliminator.hh"
+
+namespace sparch
+{
+namespace hw
+{
+namespace
+{
+
+std::vector<ZeLane>
+lanes(std::initializer_list<int> values)
+{
+    // value <= 0 encodes an invalid (zero) lane.
+    std::vector<ZeLane> out;
+    for (int v : values) {
+        ZeLane lane;
+        lane.element = {static_cast<Coord>(v > 0 ? v : 0),
+                        static_cast<Value>(v)};
+        lane.valid = v > 0;
+        out.push_back(lane);
+    }
+    return out;
+}
+
+TEST(ZeroEliminator, CompactsFigure6Example)
+{
+    // Fig. 6 input: 1 0 0 2 3 0 4 0 -> 1 2 3 4.
+    const auto out = ZeroEliminator::eliminate(
+        lanes({1, 0, 0, 2, 3, 0, 4, 0}));
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_DOUBLE_EQ(out[0].value, 1.0);
+    EXPECT_DOUBLE_EQ(out[1].value, 2.0);
+    EXPECT_DOUBLE_EQ(out[2].value, 3.0);
+    EXPECT_DOUBLE_EQ(out[3].value, 4.0);
+}
+
+TEST(ZeroEliminator, AllValidPassesThrough)
+{
+    const auto out =
+        ZeroEliminator::eliminate(lanes({5, 6, 7, 8}));
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_DOUBLE_EQ(out[3].value, 8.0);
+}
+
+TEST(ZeroEliminator, AllZerosYieldsEmpty)
+{
+    EXPECT_TRUE(
+        ZeroEliminator::eliminate(lanes({0, 0, 0, 0})).empty());
+    EXPECT_TRUE(ZeroEliminator::eliminate({}).empty());
+}
+
+TEST(ZeroEliminator, LatencyIsLogarithmic)
+{
+    EXPECT_EQ(ZeroEliminator::latencyCycles(1), 1u);
+    EXPECT_EQ(ZeroEliminator::latencyCycles(8), 4u);  // prefix + 3
+    EXPECT_EQ(ZeroEliminator::latencyCycles(16), 5u);
+}
+
+TEST(ZeroEliminator, MuxCountIsNLogN)
+{
+    EXPECT_EQ(ZeroEliminator::muxCount(8), 24u);  // 8 x 3 layers
+    EXPECT_EQ(ZeroEliminator::muxCount(16), 64u); // 16 x 4 layers
+}
+
+/** Property: layered shifter == reference order-preserving filter. */
+class ZeroEliminatorProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ZeroEliminatorProperty, MatchesReferenceCompaction)
+{
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 300; ++trial) {
+        const std::size_t n = rng.nextBounded(33);
+        std::vector<ZeLane> input(n);
+        std::vector<StreamElement> expect;
+        for (std::size_t i = 0; i < n; ++i) {
+            input[i].element = {i, rng.nextDouble()};
+            input[i].valid = rng.nextBool(0.6);
+            if (input[i].valid)
+                expect.push_back(input[i].element);
+        }
+        const auto got = ZeroEliminator::eliminate(input);
+        ASSERT_EQ(got.size(), expect.size());
+        for (std::size_t i = 0; i < got.size(); ++i)
+            EXPECT_EQ(got[i], expect[i]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZeroEliminatorProperty,
+                         ::testing::Range(1, 7));
+
+TEST(AdderSlice, SumsAdjacentDuplicates)
+{
+    AdderSlice slice;
+    std::vector<StreamElement> window = {
+        {1, 1.0}, {1, 2.0}, {2, 5.0}, {3, 1.0}};
+    auto out = slice.process(window);
+    // The largest element (coord 3) is held back for the next window.
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].coord, 1u);
+    EXPECT_DOUBLE_EQ(out[0].value, 3.0);
+    EXPECT_EQ(out[1].coord, 2u);
+    const auto tail = slice.flush();
+    ASSERT_TRUE(tail.has_value());
+    EXPECT_EQ(tail->coord, 3u);
+    EXPECT_EQ(slice.additions(), 1u);
+}
+
+TEST(AdderSlice, CombinesRunsAcrossWindows)
+{
+    AdderSlice slice;
+    auto out1 = slice.process({{7, 1.0}, {9, 2.0}});
+    ASSERT_EQ(out1.size(), 1u); // coord 9 held
+    auto out2 = slice.process({{9, 3.0}, {9, 4.0}, {12, 1.0}});
+    // The run of 9s spans the window boundary: 2+3+4 = 9.
+    ASSERT_EQ(out2.size(), 1u);
+    EXPECT_EQ(out2[0].coord, 9u);
+    EXPECT_DOUBLE_EQ(out2[0].value, 9.0);
+    const auto tail = slice.flush();
+    ASSERT_TRUE(tail.has_value());
+    EXPECT_EQ(tail->coord, 12u);
+}
+
+TEST(AdderSlice, LongRunCollapsesToOne)
+{
+    AdderSlice slice;
+    auto out = slice.process(
+        {{4, 1.0}, {4, 1.0}, {4, 1.0}, {4, 1.0}, {4, 1.0}});
+    EXPECT_TRUE(out.empty());
+    const auto tail = slice.flush();
+    ASSERT_TRUE(tail.has_value());
+    EXPECT_DOUBLE_EQ(tail->value, 5.0);
+    EXPECT_EQ(slice.additions(), 4u);
+}
+
+TEST(AdderSlice, EmptyWindowIsNoop)
+{
+    AdderSlice slice;
+    EXPECT_TRUE(slice.process({}).empty());
+    EXPECT_FALSE(slice.flush().has_value());
+}
+
+/** Property: slice+eliminator pipeline == coalesce-by-coordinate. */
+class AdderSliceProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(AdderSliceProperty, MatchesCoalesceReference)
+{
+    Rng rng(GetParam() * 31 + 5);
+    for (int trial = 0; trial < 100; ++trial) {
+        // Sorted stream with duplicate runs, chopped into windows.
+        std::vector<StreamElement> stream;
+        Coord c = 0;
+        const std::size_t n = 1 + rng.nextBounded(60);
+        for (std::size_t i = 0; i < n; ++i) {
+            c += rng.nextBounded(2); // ~half the steps duplicate
+            stream.push_back({c, rng.nextDouble()});
+        }
+        std::vector<StreamElement> expect;
+        for (const auto &e : stream) {
+            if (!expect.empty() && expect.back().coord == e.coord)
+                expect.back().value += e.value;
+            else
+                expect.push_back(e);
+        }
+
+        AdderSlice slice;
+        std::vector<StreamElement> got;
+        std::size_t i = 0;
+        while (i < stream.size()) {
+            const std::size_t w =
+                std::min<std::size_t>(1 + rng.nextBounded(8),
+                                      stream.size() - i);
+            auto out = slice.process(
+                {stream.begin() + static_cast<std::ptrdiff_t>(i),
+                 stream.begin() + static_cast<std::ptrdiff_t>(i + w)});
+            got.insert(got.end(), out.begin(), out.end());
+            i += w;
+        }
+        if (auto tail = slice.flush())
+            got.push_back(*tail);
+
+        ASSERT_EQ(got.size(), expect.size());
+        for (std::size_t k = 0; k < got.size(); ++k) {
+            EXPECT_EQ(got[k].coord, expect[k].coord);
+            EXPECT_DOUBLE_EQ(got[k].value, expect[k].value);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdderSliceProperty,
+                         ::testing::Range(1, 6));
+
+} // namespace
+} // namespace hw
+} // namespace sparch
