@@ -20,6 +20,8 @@
 #include "baselines/benchmarks.hh"
 #include "common/table_printer.hh"
 #include "core/sparch_simulator.hh"
+#include "driver/batch_runner.hh"
+#include "driver/thread_pool.hh"
 
 namespace sparch
 {
@@ -33,6 +35,30 @@ targetNnz(std::uint64_t fallback = 60000)
     if (const char *env = std::getenv("SPARCH_BENCH_NNZ"))
         return std::strtoull(env, nullptr, 10);
     return fallback;
+}
+
+/**
+ * Batch-driver worker threads (SPARCH_BENCH_THREADS, default: all
+ * hardware threads). 0 or an unparsable value also means all, matching
+ * the ThreadPool convention; pass 1 for an explicitly serial run.
+ */
+inline unsigned
+benchThreads()
+{
+    if (const char *env = std::getenv("SPARCH_BENCH_THREADS")) {
+        const unsigned n =
+            static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+        if (n > 0)
+            return n;
+    }
+    return driver::ThreadPool::hardwareThreads();
+}
+
+/** A batch runner sized by benchThreads(). */
+inline driver::BatchRunner
+makeRunner()
+{
+    return driver::BatchRunner(benchThreads());
 }
 
 /** Generate the proxy for one suite entry at the bench scale. */

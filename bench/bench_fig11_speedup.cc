@@ -3,6 +3,9 @@
  * Figure 11: speedup of SpArch over OuterSPACE, MKL, cuSPARSE, CUSP
  * and ARM Armadillo on the 20-benchmark suite (C = A^2), with the
  * geometric mean. Paper geomeans: 4.2x / 19x / 18x / 17x / 1285x.
+ *
+ * The 20 cycle simulations fan out across the batch driver; the
+ * analytic baseline models run afterwards on the cached proxies.
  */
 
 #include <iostream>
@@ -10,6 +13,7 @@
 #include "baselines/outerspace_model.hh"
 #include "baselines/platform_models.hh"
 #include "bench/bench_common.hh"
+#include "driver/workload.hh"
 
 int
 main()
@@ -23,10 +27,18 @@ main()
     table.header({"matrix", "SpArch GF/s", "vs OuterSPACE", "vs MKL",
                   "vs cuSPARSE", "vs CUSP", "vs Armadillo"});
 
-    std::vector<double> s_outer, s_mkl, s_cusparse, s_cusp, s_arm;
+    driver::BatchRunner runner = makeRunner();
+    std::vector<driver::Workload> workloads;
     for (const auto &spec : benchmarkSuite()) {
-        const CsrMatrix a = suiteMatrix(spec, target);
-        const SpArchResult sparch = runSparch(a);
+        workloads.push_back(driver::suiteWorkload(spec.name, target));
+        runner.add("table-I", SpArchConfig{}, workloads.back());
+    }
+    const std::vector<driver::BatchRecord> records = runner.run();
+
+    std::vector<double> s_outer, s_mkl, s_cusparse, s_cusp, s_arm;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const CsrMatrix &a = workloads[i].left();
+        const SpArchResult &sparch = records[i].sim;
         const BaselineResult outer = outerspaceModel(a, a);
         const BaselineResult mkl = mklProxy(a, a);
         const BaselineResult cusparse = cusparseProxy(a, a);
@@ -42,7 +54,8 @@ main()
         s_cusp.push_back(speedup(cusp));
         s_arm.push_back(speedup(arm));
 
-        table.row({spec.name, TablePrinter::num(sparch.gflops),
+        table.row({workloads[i].name(),
+                   TablePrinter::num(sparch.gflops),
                    TablePrinter::num(s_outer.back()),
                    TablePrinter::num(s_mkl.back()),
                    TablePrinter::num(s_cusparse.back()),

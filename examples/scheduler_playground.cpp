@@ -7,15 +7,22 @@
  * traffic proxies so the effect of the Huffman tree scheduler is
  * visible directly — including the paper's own Fig. 8 example.
  *
+ * The three policies' plans are built concurrently on the driver's
+ * work-stealing thread pool; output stays in policy order via futures.
+ *
  * Usage: scheduler_playground [rows] [nnz] [ways]
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
+#include <utility>
+#include <vector>
 
 #include "core/condensed_matrix.hh"
 #include "core/huffman_scheduler.hh"
+#include "driver/thread_pool.hh"
 #include "matrix/rmat.hh"
 
 namespace
@@ -101,13 +108,19 @@ main(int argc, char **argv)
     for (Index j = 0; j < condensed.numColumns(); ++j)
         weights.push_back(condensed.productWeight(j, a));
 
-    describePlan("Huffman",
-                 buildMergePlan(weights, ways,
-                                SchedulerKind::Huffman));
-    describePlan("Sequential",
-                 buildMergePlan(weights, ways,
-                                SchedulerKind::Sequential));
-    describePlan("Random",
-                 buildMergePlan(weights, ways, SchedulerKind::Random));
+    // Build the three plans concurrently, print them in policy order.
+    const std::pair<const char *, SchedulerKind> policies[] = {
+        {"Huffman", SchedulerKind::Huffman},
+        {"Sequential", SchedulerKind::Sequential},
+        {"Random", SchedulerKind::Random}};
+    driver::ThreadPool pool;
+    std::vector<std::future<MergePlan>> plans;
+    for (const auto &[name, kind] : policies) {
+        plans.push_back(pool.submit([&weights, ways, kind = kind] {
+            return buildMergePlan(weights, ways, kind);
+        }));
+    }
+    for (std::size_t i = 0; i < plans.size(); ++i)
+        describePlan(policies[i].first, plans[i].get());
     return 0;
 }

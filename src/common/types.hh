@@ -12,6 +12,16 @@
 #ifndef SPARCH_COMMON_TYPES_HH
 #define SPARCH_COMMON_TYPES_HH
 
+// The code base relies on C++20 (std::span in matrix/csr.hh,
+// std::bit_width in hw/zero_eliminator.cc, defaulted comparisons).
+// Fail here with a clear message instead of pages of template errors
+// deep inside the first <span> use. MSVC keeps __cplusplus at 199711L
+// unless /Zc:__cplusplus is passed, so check _MSVC_LANG too.
+#if !(__cplusplus >= 202002L ||                                       \
+      (defined(_MSVC_LANG) && _MSVC_LANG >= 202002L))
+#error "sparch requires C++20; compile with -std=c++20 or newer"
+#endif
+
 #include <cstdint>
 
 namespace sparch

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * BatchRunner: fan a grid of SpArch configurations x workloads across
+ * a work-stealing thread pool.
+ *
+ * Every DSE sweep and figure bench in this repository is a batch of
+ * independent SpGEMM simulations; BatchRunner is the one place that
+ * batch shape lives. Tasks are enumerated deterministically at add()
+ * time — each gets a stable id and a per-task RNG seed derived from
+ * (base seed, id) by SplitMix64 — and results are returned sorted by
+ * id, so an N-thread run is bit-identical to a serial run of the same
+ * grid: same seeds, same simulations, same order. The thread count
+ * only changes wall-clock time.
+ *
+ * Records aggregate into the repository's TablePrinter or CSV for
+ * offline analysis. Product matrices are dropped by default (a sweep
+ * only needs the measurements); call keepProducts(true) to retain
+ * them, e.g. for correctness cross-checks.
+ */
+
+#ifndef SPARCH_DRIVER_BATCH_RUNNER_HH
+#define SPARCH_DRIVER_BATCH_RUNNER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table_printer.hh"
+#include "core/sparch_simulator.hh"
+#include "driver/workload.hh"
+
+namespace sparch
+{
+namespace driver
+{
+
+/** One (configuration, workload) point of a batch grid. */
+struct BatchTask
+{
+    /** Stable position in the grid; also the result order. */
+    std::size_t id = 0;
+    /** Label of the configuration axis (e.g. "1024x48"). */
+    std::string configLabel;
+    SpArchConfig config;
+    Workload workload;
+    /** Deterministic per-task seed, SplitMix64(base ^ id). */
+    std::uint64_t seed = 0;
+};
+
+/** One completed grid point. */
+struct BatchRecord
+{
+    std::size_t id = 0;
+    std::string configLabel;
+    std::string workloadName;
+    std::uint64_t seed = 0;
+    /** Product nonzeros (kept even when the matrix is dropped). */
+    std::size_t resultNnz = 0;
+    SpArchResult sim;
+};
+
+/** Runs a config x workload grid, serially or across a thread pool. */
+class BatchRunner
+{
+  public:
+    /**
+     * @param threads   Worker threads; <= 1 runs serially on the
+     *                  calling thread.
+     * @param base_seed Base of the per-task seed derivation.
+     */
+    explicit BatchRunner(unsigned threads = 1,
+                         std::uint64_t base_seed = 0x5eed5eedULL);
+
+    /** Append one task; returns its id. */
+    std::size_t add(std::string config_label,
+                    const SpArchConfig &config, Workload workload);
+
+    /**
+     * Append one task whose workload depends on the per-task seed.
+     * The factory is called immediately with the seed this task's id
+     * derives, so the grid is identical no matter how it later runs.
+     */
+    std::size_t
+    addSeeded(std::string config_label, const SpArchConfig &config,
+              const std::function<Workload(std::uint64_t)> &factory);
+
+    /** Append the full cross product, configuration-major. */
+    void addGrid(
+        const std::vector<std::pair<std::string, SpArchConfig>> &configs,
+        const std::vector<Workload> &workloads);
+
+    std::size_t size() const { return tasks_.size(); }
+    const std::vector<BatchTask> &tasks() const { return tasks_; }
+    unsigned threads() const { return threads_; }
+
+    /** Retain product matrices in the records (default: dropped). */
+    void keepProducts(bool keep) { keep_products_ = keep; }
+
+    /**
+     * Run every task and return records sorted by task id. The task
+     * list is left intact, so a runner can be re-run.
+     */
+    std::vector<BatchRecord> run() const;
+
+    /** The per-task seed derivation (exposed for tests). */
+    static std::uint64_t taskSeed(std::uint64_t base_seed,
+                                  std::size_t id);
+
+    /** Render records as an aligned console table. */
+    static TablePrinter toTable(const std::vector<BatchRecord> &records,
+                                const std::string &title);
+
+    /** Write records as CSV (header + one line per record). */
+    static void writeCsv(const std::vector<BatchRecord> &records,
+                         std::ostream &out);
+
+  private:
+    BatchRecord runTask(const BatchTask &task) const;
+
+    std::vector<BatchTask> tasks_;
+    unsigned threads_;
+    std::uint64_t base_seed_;
+    bool keep_products_ = false;
+};
+
+} // namespace driver
+} // namespace sparch
+
+#endif // SPARCH_DRIVER_BATCH_RUNNER_HH

@@ -1,0 +1,126 @@
+#include "driver/thread_pool.hh"
+
+#include "common/logging.hh"
+
+namespace sparch
+{
+namespace driver
+{
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = hardwareThreads();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        // Taking the lock orders the flag against every waiter's
+        // predicate check, so no worker sleeps through shutdown.
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        stop_.store(true);
+    }
+    wake_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::enqueue(Task task)
+{
+    SPARCH_ASSERT(!stop_.load(), "submit on a stopped pool");
+    const std::size_t slot =
+        next_queue_.fetch_add(1) % workers_.size();
+    // Count the task before making it stealable: if a worker grabbed
+    // and finished it first, the decrements would wrap the counters
+    // and break waitIdle()'s accounting. A worker waking in the gap
+    // merely retries until the push below lands.
+    pending_.fetch_add(1);
+    {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        queued_.fetch_add(1);
+    }
+    {
+        std::lock_guard<std::mutex> lock(workers_[slot]->mutex);
+        workers_[slot]->tasks.push_front(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+bool
+ThreadPool::runOne(unsigned self)
+{
+    Task task;
+    bool found = false;
+
+    {
+        Worker &own = *workers_[self];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            task = std::move(own.tasks.front());
+            own.tasks.pop_front();
+            found = true;
+        }
+    }
+    for (std::size_t i = 1; !found && i < workers_.size(); ++i) {
+        Worker &victim = *workers_[(self + i) % workers_.size()];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            task = std::move(victim.tasks.back());
+            victim.tasks.pop_back();
+            found = true;
+        }
+    }
+    if (!found)
+        return false;
+
+    queued_.fetch_sub(1);
+    task(); // exceptions land in the task's future
+    if (pending_.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        idle_.notify_all();
+    }
+    return true;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    for (;;) {
+        if (runOne(self))
+            continue;
+        std::unique_lock<std::mutex> lock(sleep_mutex_);
+        // queued_ > 0 with every deque empty only happens in the
+        // short window while a submitter is mid-enqueue; the wait
+        // predicate passes and the loop retries runOne().
+        wake_.wait(lock, [this] {
+            return stop_.load() || queued_.load() > 0;
+        });
+        if (stop_.load() && queued_.load() == 0)
+            return;
+    }
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    idle_.wait(lock, [this] { return pending_.load() == 0; });
+}
+
+} // namespace driver
+} // namespace sparch

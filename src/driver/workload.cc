@@ -1,0 +1,145 @@
+#include "driver/workload.hh"
+
+#include "baselines/benchmarks.hh"
+#include "common/logging.hh"
+#include "matrix/generators.hh"
+#include "matrix/matrix_market.hh"
+#include "matrix/rmat.hh"
+
+namespace sparch
+{
+namespace driver
+{
+
+Workload::Workload(std::string name,
+                   std::function<CsrMatrix()> make_left,
+                   std::function<CsrMatrix()> make_right)
+    : name_(std::move(name)), data_(std::make_shared<Data>())
+{
+    SPARCH_ASSERT(static_cast<bool>(make_left),
+                  "workload '", name_, "' has no left generator");
+    data_->make_left = std::move(make_left);
+    data_->make_right = std::move(make_right);
+}
+
+const CsrMatrix &
+Workload::left() const
+{
+    SPARCH_ASSERT(data_, "left() on an empty workload");
+    std::lock_guard<std::mutex> lock(data_->mutex);
+    if (!data_->left)
+        data_->left = data_->make_left();
+    return *data_->left;
+}
+
+const CsrMatrix &
+Workload::right() const
+{
+    SPARCH_ASSERT(data_, "right() on an empty workload");
+    std::lock_guard<std::mutex> lock(data_->mutex);
+    if (!data_->make_right) {
+        if (!data_->left)
+            data_->left = data_->make_left();
+        return *data_->left;
+    }
+    if (!data_->right)
+        data_->right = data_->make_right();
+    return *data_->right;
+}
+
+bool
+Workload::squared() const
+{
+    SPARCH_ASSERT(data_, "squared() on an empty workload");
+    return !data_->make_right;
+}
+
+Workload
+suiteWorkload(const std::string &benchmark_name,
+              std::uint64_t target_nnz, std::uint64_t seed)
+{
+    const BenchmarkSpec &spec = findBenchmark(benchmark_name);
+    return Workload(benchmark_name, [spec, target_nnz, seed] {
+        return generateBenchmark(spec, defaultScale(spec, target_nnz),
+                                 seed);
+    });
+}
+
+Workload
+rmatWorkload(Index vertices, Index edge_factor, std::uint64_t seed)
+{
+    std::string name = "rmat-" + std::to_string(vertices) + "-x" +
+                       std::to_string(edge_factor);
+    return Workload(std::move(name), [vertices, edge_factor, seed] {
+        return rmatGenerate(vertices, edge_factor, seed);
+    });
+}
+
+Workload
+uniformWorkload(Index rows, Index cols, std::uint64_t nnz,
+                std::uint64_t seed)
+{
+    std::string name = "uniform-" + std::to_string(rows) + "x" +
+                       std::to_string(cols) + "-" +
+                       std::to_string(nnz);
+    return Workload(std::move(name), [rows, cols, nnz, seed] {
+        return generateUniform(rows, cols, nnz, seed);
+    });
+}
+
+Workload
+matrixMarketWorkload(const std::string &path)
+{
+    return Workload(path, [path] {
+        return readMatrixMarketFile(path);
+    });
+}
+
+Workload
+dnnLayerWorkload(Index hidden, Index batch, double density,
+                 std::uint64_t seed)
+{
+    std::string name = "dnn-" + std::to_string(hidden) + "x" +
+                       std::to_string(batch);
+    const auto weight_nnz = static_cast<std::uint64_t>(
+        density * hidden * hidden);
+    const auto act_nnz = static_cast<std::uint64_t>(
+        density * hidden * batch);
+    return Workload(
+        std::move(name),
+        [hidden, weight_nnz, seed] {
+            return generateUniform(hidden, hidden, weight_nnz, seed);
+        },
+        [hidden, batch, act_nnz, seed] {
+            return generateUniform(hidden, batch, act_nnz, seed + 1);
+        });
+}
+
+Workload
+WorkloadRegistry::add(Workload workload)
+{
+    SPARCH_ASSERT(workload.valid(), "registering an empty workload");
+    if (contains(workload.name()))
+        fatal("duplicate workload '", workload.name(), "'");
+    index_[workload.name()] = workloads_.size();
+    workloads_.push_back(std::move(workload));
+    return workloads_.back();
+}
+
+const Workload &
+WorkloadRegistry::find(const std::string &name) const
+{
+    auto it = index_.find(name);
+    if (it == index_.end())
+        fatal("unknown workload '", name, "'");
+    return workloads_[it->second];
+}
+
+bool
+WorkloadRegistry::contains(const std::string &name) const
+{
+    return index_.find(name) != index_.end();
+}
+
+} // namespace driver
+} // namespace sparch

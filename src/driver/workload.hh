@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Workload descriptions for the batch-simulation driver.
+ *
+ * A Workload names one SpGEMM problem C = A x B and knows how to
+ * materialize its operands. Generation is lazy and cached behind a
+ * shared handle: a workload referenced by many grid points (the common
+ * case in a config sweep) is generated exactly once, whichever worker
+ * thread touches it first, and every copy of the handle sees the same
+ * matrices. All generators take explicit seeds, so a workload is a
+ * pure value: the same description always yields bit-identical
+ * operands, which is what makes parallel batch runs reproducible.
+ *
+ * Factories cover the repository's workload families: the 20-matrix
+ * proxy suite of Figs. 11/12, R-MAT sweeps (Fig. 14), raw generator
+ * matrices, Matrix Market files, and the compressed-DNN layer of the
+ * motivating application.
+ */
+
+#ifndef SPARCH_DRIVER_WORKLOAD_HH
+#define SPARCH_DRIVER_WORKLOAD_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "matrix/csr.hh"
+
+namespace sparch
+{
+namespace driver
+{
+
+/** A named, lazily materialized SpGEMM operand pair. */
+class Workload
+{
+  public:
+    Workload() = default;
+
+    /**
+     * @param name       Unique human-readable name.
+     * @param make_left  Generates A on first use.
+     * @param make_right Generates B; empty means B = A (C = A^2).
+     */
+    Workload(std::string name, std::function<CsrMatrix()> make_left,
+             std::function<CsrMatrix()> make_right = {});
+
+    const std::string &name() const { return name_; }
+
+    /** True once constructed with a generator. */
+    bool valid() const { return data_ != nullptr; }
+
+    /** Left operand, generated on first call; thread-safe. */
+    const CsrMatrix &left() const;
+
+    /** Right operand; defaults to the left operand (C = A^2). */
+    const CsrMatrix &right() const;
+
+    /** True if B is just A (square workload). */
+    bool squared() const;
+
+  private:
+    struct Data
+    {
+        std::mutex mutex;
+        std::function<CsrMatrix()> make_left;
+        std::function<CsrMatrix()> make_right;
+        std::optional<CsrMatrix> left;
+        std::optional<CsrMatrix> right;
+    };
+
+    std::string name_;
+    std::shared_ptr<Data> data_;
+};
+
+/** Proxy for one matrix of the paper's 20-benchmark suite (C = A^2). */
+Workload suiteWorkload(const std::string &benchmark_name,
+                       std::uint64_t target_nnz,
+                       std::uint64_t seed = 42);
+
+/** R-MAT adjacency matrix squared (the Fig. 14 points). */
+Workload rmatWorkload(Index vertices, Index edge_factor,
+                      std::uint64_t seed);
+
+/** Uniform random matrix squared. */
+Workload uniformWorkload(Index rows, Index cols, std::uint64_t nnz,
+                         std::uint64_t seed);
+
+/** Matrix Market file squared (loaded lazily from disk). */
+Workload matrixMarketWorkload(const std::string &path);
+
+/**
+ * One pruned-MLP layer Y = W x X: sparse weights `hidden x hidden` and
+ * a sparse activation batch `hidden x batch`, both at `density`
+ * (compressed DNN inference, the paper's motivating application).
+ */
+Workload dnnLayerWorkload(Index hidden, Index batch, double density,
+                          std::uint64_t seed);
+
+/** Insertion-ordered, name-keyed collection of workloads. */
+class WorkloadRegistry
+{
+  public:
+    /**
+     * Register a workload; throws FatalError on a duplicate name.
+     * Returns a handle sharing the registered workload's storage.
+     */
+    Workload add(Workload workload);
+
+    /** Look up by name; throws FatalError if unknown. */
+    const Workload &find(const std::string &name) const;
+
+    bool contains(const std::string &name) const;
+
+    /** All workloads in registration order. */
+    const std::vector<Workload> &all() const { return workloads_; }
+
+    std::size_t size() const { return workloads_.size(); }
+
+  private:
+    std::vector<Workload> workloads_;
+    std::map<std::string, std::size_t> index_;
+};
+
+} // namespace driver
+} // namespace sparch
+
+#endif // SPARCH_DRIVER_WORKLOAD_HH

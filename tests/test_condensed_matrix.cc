@@ -61,8 +61,9 @@ TEST(CondensedMatrix, ElementMatchesCsrView)
             EXPECT_GT(m.rowNnz(e.row), j);
             EXPECT_EQ(e.originalCol, m.rowCols(e.row)[j]);
             EXPECT_DOUBLE_EQ(e.value, m.rowVals(e.row)[j]);
-            if (!first)
+            if (!first) {
                 EXPECT_GT(e.row, prev_row); // rows ascending
+            }
             prev_row = e.row;
             first = false;
         }
