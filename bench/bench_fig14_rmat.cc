@@ -15,10 +15,19 @@
  * The 19 cycle simulations run in parallel through the batch driver
  * (SPARCH_BENCH_THREADS workers); the analytic MKL proxy is evaluated
  * afterwards on the cached workload matrices.
+ *
+ * Shard-scaling mode: setting SPARCH_BENCH_SHARDS to a comma-
+ * separated list of shard counts (e.g. "1,2,4,8") appends a table
+ * that re-runs the densest and sparsest R-MAT points through
+ * ShardedSimulator at each count, comparing critical-path cycles,
+ * DRAM traffic and load balance against the monolithic run.
  */
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <map>
+#include <sstream>
 
 #include "baselines/platform_models.hh"
 #include "bench/bench_common.hh"
@@ -99,5 +108,66 @@ main()
                TablePrinter::num(first_ours / last_ours, 1) + "x",
                TablePrinter::num(first_mkl / last_mkl, 1) + "x", ""});
     table.print(std::cout);
+
+    // ---- shard-scaling mode (SPARCH_BENCH_SHARDS=1,2,4,...) ----
+    const char *shards_env = std::getenv("SPARCH_BENCH_SHARDS");
+    if (!shards_env)
+        return 0;
+    std::vector<unsigned> shard_counts;
+    std::istringstream shard_list(shards_env);
+    for (std::string tok; std::getline(shard_list, tok, ',');) {
+        const unsigned n =
+            static_cast<unsigned>(std::strtoul(tok.c_str(), nullptr, 10));
+        if (n > 0)
+            shard_counts.push_back(n);
+    }
+    if (shard_counts.empty())
+        return 0;
+    // The monolithic point anchors every speedup column.
+    if (std::find(shard_counts.begin(), shard_counts.end(), 1u) ==
+        shard_counts.end()) {
+        shard_counts.insert(shard_counts.begin(), 1u);
+    }
+
+    TablePrinter scaling("Shard scaling: row-block sharded vs "
+                         "monolithic (nnz-balanced)");
+    scaling.header({"matrix", "shards", "cycles", "speedup",
+                    "DRAM MB", "imbalance"});
+    driver::BatchRunner shard_runner = makeRunner();
+    // Densest and sparsest points: sharding helps most where per-
+    // shard merge plans stay shallow, so show both extremes.
+    const std::vector<driver::Workload> extremes = {workloads.front(),
+                                                    workloads.back()};
+    shard_runner.addShardSweep({{"table-I", SpArchConfig{}}}, extremes,
+                               shard_counts);
+    const std::vector<driver::BatchRecord> shard_records =
+        shard_runner.run();
+    // Anchor each workload's speedup on its own monolithic record,
+    // whatever order the shard counts were given in.
+    std::map<std::string, double> mono_cycles;
+    for (const driver::BatchRecord &r : shard_records) {
+        if (r.shards == 1)
+            mono_cycles[r.workloadName] =
+                static_cast<double>(r.sim.cycles);
+    }
+    for (const driver::BatchRecord &r : shard_records) {
+        const double mono = mono_cycles[r.workloadName];
+        scaling.row(
+            {r.workloadName, std::to_string(r.shards),
+             std::to_string(r.sim.cycles),
+             mono > 0.0
+                 ? TablePrinter::num(mono / static_cast<double>(
+                                                r.sim.cycles),
+                                     2) + "x"
+                 : "-",
+             TablePrinter::num(
+                 static_cast<double>(r.sim.bytesTotal) / 1e6, 3),
+             // Monolithic runs carry no shard gauges.
+             r.sim.stats.has("shard.nnz_imbalance")
+                 ? TablePrinter::num(
+                       r.sim.stats.get("shard.nnz_imbalance"), 2)
+                 : "-"});
+    }
+    scaling.print(std::cout);
     return 0;
 }

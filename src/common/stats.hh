@@ -71,6 +71,21 @@ class StatSet
             values_[name] += value;
     }
 
+    /**
+     * Merge another set keeping the elementwise maximum. This is the
+     * shard-aware counterpart of merge(): when one simulation is split
+     * into row-block shards, throughput counters (bytes, multiplies)
+     * sum across shards, while gauge-style statistics (cycle counts,
+     * peak occupancies) are governed by the worst shard on the
+     * critical path. ShardedSimulator keeps both views.
+     */
+    void
+    mergeMax(const StatSet &other)
+    {
+        for (const auto &[name, value] : other.values_)
+            max(name, value);
+    }
+
     /** Remove all statistics. */
     void clear() { values_.clear(); }
 

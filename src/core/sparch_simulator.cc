@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <vector>
 
 #include "common/logging.hh"
 #include "core/condensed_matrix.hh"
@@ -48,6 +49,304 @@ streamToCsr(const std::vector<StreamElement> &stream, Index rows,
                      std::move(values));
 }
 
+/**
+ * All mutable state of one multiply() call: condensed operand views,
+ * the merge plan, the clocked pipeline of Fig. 10 and the stored
+ * partial results. Each call owns its own context, so concurrent
+ * multiplies — e.g. the row-block shards of one SpGEMM fanned across a
+ * thread pool — never share state. The operands are borrowed const
+ * references and must outlive the context.
+ */
+class RunContext
+{
+  public:
+    RunContext(const SpArchConfig &config, const CsrMatrix &a,
+               const CsrMatrix &b)
+        : config_(config), a_(a), b_(b), condensed_(a),
+          a_base_(0), b_base_(a.storageBytes()),
+          partial_bump_(b_base_ + b.storageBytes()),
+          hbm_(config.hbm),
+          fetcher_(config, hbm_, "mata_fetcher"),
+          prefetcher_(config, hbm_, "row_prefetcher"),
+          multiplier_(config, "multiplier"),
+          partial_fetcher_(config, hbm_, "partial_fetcher"),
+          tree_(config.mergeTree, "merge_tree"),
+          writer_(config, hbm_, "writer")
+    {
+        multiplier_.connect(&fetcher_, &prefetcher_, &tree_);
+        partial_fetcher_.connectTree(&tree_);
+        writer_.connectTree(&tree_);
+
+        kernel_.addModule(&fetcher_);
+        kernel_.addModule(&prefetcher_);
+        kernel_.addModule(&multiplier_);
+        kernel_.addModule(&partial_fetcher_);
+        kernel_.addModule(&tree_);
+        kernel_.addModule(&writer_);
+    }
+
+    /** Execute the whole simulation and collect the result. */
+    SpArchResult
+    run()
+    {
+        SpArchResult res;
+        res.result = CsrMatrix(a_.rows(), b_.cols());
+
+        buildLeaves();
+        res.partialMatrices = leaf_columns_.size();
+        if (leaf_columns_.empty())
+            return res;
+
+        plan_ = buildMergePlan(leaf_weights_, config_.mergeWays(),
+                               config_.scheduler);
+        for (const std::uint32_t round_id : plan_.rounds) {
+            executeRound(round_id);
+            ++res.mergeRounds;
+        }
+
+        res.result =
+            streamToCsr(node_data_.at(plan_.root), a_.rows(), b_.cols());
+        recordMetrics(res);
+        return res;
+    }
+
+  private:
+    /**
+     * Leaf construction (Section II-B): with condensing, leaves are
+     * condensed columns; without, the nonempty original columns of A
+     * (plain outer product).
+     */
+    void
+    buildLeaves()
+    {
+        if (config_.matrixCondensing) {
+            for (Index j = 0; j < condensed_.numColumns(); ++j) {
+                leaf_columns_.push_back(j);
+                leaf_weights_.push_back(
+                    condensed_.productWeight(j, b_));
+            }
+        } else {
+            a_csc_ = a_.transpose(); // row k of a_csc = column k of A
+            for (Index k = 0; k < a_csc_.rows(); ++k) {
+                if (a_csc_.rowNnz(k) == 0)
+                    continue;
+                leaf_columns_.push_back(k);
+                leaf_weights_.push_back(
+                    static_cast<std::uint64_t>(a_csc_.rowNnz(k)) *
+                    b_.rowNnz(k));
+            }
+        }
+    }
+
+    /** Run one merge round (Section II-C) through the pipeline. */
+    void
+    executeRound(std::uint32_t round_id)
+    {
+        const MergeNode &node = plan_.nodes[round_id];
+
+        std::vector<std::uint32_t> fresh, stored;
+        for (std::uint32_t c : node.children) {
+            (plan_.nodes[c].isLeaf ? fresh : stored).push_back(c);
+        }
+        // Deterministic port order: fresh columns ascending.
+        std::sort(fresh.begin(), fresh.end(),
+                  [&](std::uint32_t x, std::uint32_t y) {
+                      return plan_.nodes[x].column <
+                             plan_.nodes[y].column;
+                  });
+
+        // Build the shared left-element stream in Fig. 7 load order,
+        // plus each port's queue of stream positions.
+        std::vector<MultTask> tasks;
+        std::vector<std::vector<std::uint64_t>> port_queues(
+            fresh.size());
+        Bytes rowptr_bytes = 0;
+        std::uint64_t total_inputs = 0;
+
+        if (config_.matrixCondensing) {
+            // Row-major across the selected condensed columns.
+            std::vector<std::pair<Index, unsigned>> row_col;
+            for (unsigned p = 0; p < fresh.size(); ++p) {
+                const Index j = plan_.nodes[fresh[p]].column;
+                for (Index row : condensed_.columnRows(j))
+                    row_col.emplace_back(row, p);
+            }
+            std::sort(row_col.begin(), row_col.end(),
+                      [&](const auto &x, const auto &y) {
+                          if (x.first != y.first)
+                              return x.first < y.first;
+                          // Within a row, ascending condensed column.
+                          return plan_.nodes[fresh[x.second]].column <
+                                 plan_.nodes[fresh[y.second]].column;
+                      });
+            tasks.reserve(row_col.size());
+            Index visited_rows = 0;
+            Index last_row = ~Index{0};
+            for (const auto &[row, p] : row_col) {
+                const Index j = plan_.nodes[fresh[p]].column;
+                MultTask t;
+                t.aRow = row;
+                t.bRow = a_.rowCols(row)[j];
+                t.aValue = a_.rowVals(row)[j];
+                t.port = p;
+                t.addr = a_base_ +
+                         (static_cast<Bytes>(a_.rowPtr()[row]) + j) *
+                             bytesPerElement;
+                port_queues[p].push_back(tasks.size());
+                tasks.push_back(t);
+                if (row != last_row) {
+                    ++visited_rows;
+                    last_row = row;
+                }
+            }
+            rowptr_bytes = static_cast<Bytes>(visited_rows) *
+                           bytesPerRowPtr;
+        } else {
+            // Plain outer product: one original column per port. The
+            // plan's leaf column is an index into leaf_columns (empty
+            // columns were skipped), so translate back.
+            for (unsigned p = 0; p < fresh.size(); ++p) {
+                const Index k =
+                    leaf_columns_[plan_.nodes[fresh[p]].column];
+                auto rows = a_csc_.rowCols(k);
+                auto vals = a_csc_.rowVals(k);
+                for (std::size_t i = 0; i < rows.size(); ++i) {
+                    MultTask t;
+                    t.aRow = rows[i];
+                    t.bRow = k;
+                    t.aValue = vals[i];
+                    t.port = p;
+                    t.addr = a_base_ +
+                             (static_cast<Bytes>(a_csc_.rowPtr()[k]) +
+                              i) * bytesPerElement;
+                    port_queues[p].push_back(tasks.size());
+                    tasks.push_back(t);
+                }
+            }
+            rowptr_bytes =
+                static_cast<Bytes>(fresh.size() + 1) * bytesPerRowPtr;
+        }
+        total_inputs += tasks.size();
+
+        // Stored inputs occupy the ports after the fresh ones.
+        std::vector<StoredInput> stored_inputs;
+        for (std::size_t i = 0; i < stored.size(); ++i) {
+            StoredInput in;
+            in.data = &node_data_.at(stored[i]);
+            in.port = static_cast<unsigned>(fresh.size() + i);
+            in.baseAddr = node_addr_.at(stored[i]);
+            stored_inputs.push_back(in);
+            total_inputs += in.data->size();
+        }
+
+        const bool final_round = round_id == plan_.root;
+        const Bytes out_base = partial_bump_;
+        const Bytes final_rowptr =
+            final_round
+                ? static_cast<Bytes>(a_.rows() + 1) * bytesPerRowPtr
+                : 0;
+
+        const auto active =
+            static_cast<unsigned>(fresh.size() + stored.size());
+        tree_.startRound(active);
+        fetcher_.startRound(&tasks, &port_queues, rowptr_bytes);
+        prefetcher_.startRound(&tasks, &b_, b_base_);
+        multiplier_.startRound(&tasks, &b_, &port_queues);
+        partial_fetcher_.startRound(std::move(stored_inputs));
+        writer_.startRound(final_round, out_base, final_rowptr);
+
+        auto round_done = [&]() {
+            return multiplier_.done() && partial_fetcher_.done() &&
+                   writer_.drained();
+        };
+        // Generous bound: a healthy round moves a handful of elements
+        // per cycle; hitting this limit means deadlock.
+        const Cycle max_cycles = kernel_.now() + 100000 +
+                                 200 * (total_inputs + node.weight + 1);
+        if (!kernel_.run(round_done, max_cycles)) {
+            panic("sparch: merge round ", round_id,
+                  " deadlocked (inputs=", total_inputs, ")");
+        }
+
+        node_data_[round_id] = writer_.takeCaptured();
+        node_addr_[round_id] = out_base;
+        partial_bump_ +=
+            static_cast<Bytes>(node_data_[round_id].size()) *
+            bytesPerElement;
+
+        // Children are fully consumed; free their storage.
+        for (std::uint32_t c : stored) {
+            node_data_.erase(c);
+            node_addr_.erase(c);
+        }
+    }
+
+    /** Fill in timings, traffic and module statistics. */
+    void
+    recordMetrics(SpArchResult &res)
+    {
+        res.cycles = kernel_.now();
+        res.seconds = static_cast<double>(res.cycles) / config_.clockHz;
+        res.multiplies = multiplier_.multiplies();
+        res.additions = tree_.additions() + writer_.additions();
+        res.flops = 2 * res.multiplies;
+        res.gflops = res.seconds > 0.0
+                         ? static_cast<double>(res.flops) /
+                               res.seconds / 1e9
+                         : 0.0;
+
+        res.bytesMatA = hbm_.streamBytes(DramStream::MatA);
+        res.bytesMatB = hbm_.streamBytes(DramStream::MatB);
+        res.bytesPartialRead = hbm_.streamBytes(DramStream::PartialRead);
+        res.bytesPartialWrite =
+            hbm_.streamBytes(DramStream::PartialWrite);
+        res.bytesFinalWrite = hbm_.streamBytes(DramStream::FinalWrite);
+        res.bytesTotal = hbm_.totalBytes();
+        res.bandwidthUtilization = hbm_.utilization(res.cycles);
+        res.prefetchHitRate = prefetcher_.hitRate();
+
+        kernel_.recordStats(res.stats);
+        hbm_.recordStats(res.stats);
+        res.stats.set("plan.internal_weight",
+                      static_cast<double>(plan_.internalWeight()));
+        res.stats.set("plan.total_weight",
+                      static_cast<double>(plan_.totalWeight()));
+        res.stats.set("plan.rounds",
+                      static_cast<double>(plan_.rounds.size()));
+    }
+
+    const SpArchConfig &config_;
+    const CsrMatrix &a_;
+    const CsrMatrix &b_;
+
+    // ---- leaf construction (Section II-B) ----
+    const CondensedMatrix condensed_;
+    CsrMatrix a_csc_; // used only when condensing is off
+    std::vector<Index> leaf_columns_;
+    std::vector<std::uint64_t> leaf_weights_;
+    MergePlan plan_;
+
+    // ---- memory layout ----
+    const Bytes a_base_;
+    const Bytes b_base_;
+    Bytes partial_bump_;
+
+    // ---- the clocked pipeline of Fig. 10 ----
+    HbmModel hbm_;
+    hw::SimKernel kernel_;
+    MataColumnFetcher fetcher_;
+    RowPrefetcher prefetcher_;
+    MultiplierArray multiplier_;
+    PartialMatrixFetcher partial_fetcher_;
+    hw::MergeTree tree_;
+    PartialMatrixWriter writer_;
+
+    /** Stored partial results: node id -> (data, DRAM address). */
+    std::unordered_map<std::uint32_t, std::vector<StreamElement>>
+        node_data_;
+    std::unordered_map<std::uint32_t, Bytes> node_addr_;
+};
+
 } // namespace
 
 SpArchSimulator::SpArchSimulator(const SpArchConfig &config)
@@ -67,255 +366,21 @@ SpArchSimulator::SpArchSimulator(const SpArchConfig &config)
 }
 
 SpArchResult
-SpArchSimulator::multiply(const CsrMatrix &a, const CsrMatrix &b)
+SpArchSimulator::multiply(const CsrMatrix &a, const CsrMatrix &b) const
 {
     if (a.cols() != b.rows()) {
         fatal("sparch: dimension mismatch ", a.rows(), "x", a.cols(),
               " * ", b.rows(), "x", b.cols());
     }
 
-    SpArchResult res;
-    res.result = CsrMatrix(a.rows(), b.cols());
-    if (a.nnz() == 0 || b.nnz() == 0)
+    if (a.nnz() == 0 || b.nnz() == 0) {
+        SpArchResult res;
+        res.result = CsrMatrix(a.rows(), b.cols());
         return res;
-
-    // ---- leaf construction (Section II-B) ----
-    // With condensing, leaves are condensed columns; without, leaves
-    // are the nonempty original columns of A (plain outer product).
-    const CondensedMatrix condensed(a);
-    CsrMatrix a_csc; // used only when condensing is off
-    std::vector<Index> leaf_columns;
-    std::vector<std::uint64_t> leaf_weights;
-
-    if (config_.matrixCondensing) {
-        for (Index j = 0; j < condensed.numColumns(); ++j) {
-            leaf_columns.push_back(j);
-            leaf_weights.push_back(condensed.productWeight(j, b));
-        }
-    } else {
-        a_csc = a.transpose(); // row k of a_csc = column k of A
-        for (Index k = 0; k < a_csc.rows(); ++k) {
-            if (a_csc.rowNnz(k) == 0)
-                continue;
-            leaf_columns.push_back(k);
-            leaf_weights.push_back(
-                static_cast<std::uint64_t>(a_csc.rowNnz(k)) *
-                b.rowNnz(k));
-        }
-    }
-    res.partialMatrices = leaf_columns.size();
-    if (leaf_columns.empty())
-        return res;
-
-    // ---- merge plan (Section II-C) ----
-    const MergePlan plan = buildMergePlan(
-        leaf_weights, config_.mergeWays(), config_.scheduler);
-
-    // ---- memory layout ----
-    const Bytes a_base = 0;
-    const Bytes b_base = a_base + a.storageBytes();
-    Bytes partial_bump = b_base + b.storageBytes();
-
-    // ---- pipeline construction ----
-    HbmModel hbm(config_.hbm);
-    hw::SimKernel kernel;
-    MataColumnFetcher fetcher(config_, hbm, "mata_fetcher");
-    RowPrefetcher prefetcher(config_, hbm, "row_prefetcher");
-    MultiplierArray multiplier(config_, "multiplier");
-    PartialMatrixFetcher partial_fetcher(config_, hbm,
-                                         "partial_fetcher");
-    hw::MergeTree tree(config_.mergeTree, "merge_tree");
-    PartialMatrixWriter writer(config_, hbm, "writer");
-
-    multiplier.connect(&fetcher, &prefetcher, &tree);
-    partial_fetcher.connectTree(&tree);
-    writer.connectTree(&tree);
-
-    kernel.addModule(&fetcher);
-    kernel.addModule(&prefetcher);
-    kernel.addModule(&multiplier);
-    kernel.addModule(&partial_fetcher);
-    kernel.addModule(&tree);
-    kernel.addModule(&writer);
-
-    // Stored partial results: node id -> (data, DRAM address).
-    std::unordered_map<std::uint32_t, std::vector<StreamElement>>
-        node_data;
-    std::unordered_map<std::uint32_t, Bytes> node_addr;
-
-    // ---- execute the merge rounds ----
-    for (const std::uint32_t round_id : plan.rounds) {
-        const MergeNode &node = plan.nodes[round_id];
-
-        std::vector<std::uint32_t> fresh, stored;
-        for (std::uint32_t c : node.children) {
-            (plan.nodes[c].isLeaf ? fresh : stored).push_back(c);
-        }
-        // Deterministic port order: fresh columns ascending.
-        std::sort(fresh.begin(), fresh.end(),
-                  [&](std::uint32_t x, std::uint32_t y) {
-                      return plan.nodes[x].column <
-                             plan.nodes[y].column;
-                  });
-
-        // Build the shared left-element stream in Fig. 7 load order,
-        // plus each port's queue of stream positions.
-        std::vector<MultTask> tasks;
-        std::vector<std::vector<std::uint64_t>> port_queues(
-            fresh.size());
-        Bytes rowptr_bytes = 0;
-        std::uint64_t total_inputs = 0;
-
-        if (config_.matrixCondensing) {
-            // Row-major across the selected condensed columns.
-            std::vector<std::pair<Index, unsigned>> row_col;
-            for (unsigned p = 0; p < fresh.size(); ++p) {
-                const Index j = plan.nodes[fresh[p]].column;
-                for (Index row : condensed.columnRows(j))
-                    row_col.emplace_back(row, p);
-            }
-            std::sort(row_col.begin(), row_col.end(),
-                      [&](const auto &x, const auto &y) {
-                          if (x.first != y.first)
-                              return x.first < y.first;
-                          // Within a row, ascending condensed column.
-                          return plan.nodes[fresh[x.second]].column <
-                                 plan.nodes[fresh[y.second]].column;
-                      });
-            tasks.reserve(row_col.size());
-            Index visited_rows = 0;
-            Index last_row = ~Index{0};
-            for (const auto &[row, p] : row_col) {
-                const Index j = plan.nodes[fresh[p]].column;
-                MultTask t;
-                t.aRow = row;
-                t.bRow = a.rowCols(row)[j];
-                t.aValue = a.rowVals(row)[j];
-                t.port = p;
-                t.addr = a_base +
-                         (static_cast<Bytes>(a.rowPtr()[row]) + j) *
-                             bytesPerElement;
-                port_queues[p].push_back(tasks.size());
-                tasks.push_back(t);
-                if (row != last_row) {
-                    ++visited_rows;
-                    last_row = row;
-                }
-            }
-            rowptr_bytes = static_cast<Bytes>(visited_rows) *
-                           bytesPerRowPtr;
-        } else {
-            // Plain outer product: one original column per port. The
-            // plan's leaf column is an index into leaf_columns (empty
-            // columns were skipped), so translate back.
-            for (unsigned p = 0; p < fresh.size(); ++p) {
-                const Index k =
-                    leaf_columns[plan.nodes[fresh[p]].column];
-                auto rows = a_csc.rowCols(k);
-                auto vals = a_csc.rowVals(k);
-                for (std::size_t i = 0; i < rows.size(); ++i) {
-                    MultTask t;
-                    t.aRow = rows[i];
-                    t.bRow = k;
-                    t.aValue = vals[i];
-                    t.port = p;
-                    t.addr = a_base +
-                             (static_cast<Bytes>(a_csc.rowPtr()[k]) +
-                              i) * bytesPerElement;
-                    port_queues[p].push_back(tasks.size());
-                    tasks.push_back(t);
-                }
-            }
-            rowptr_bytes =
-                static_cast<Bytes>(fresh.size() + 1) * bytesPerRowPtr;
-        }
-        total_inputs += tasks.size();
-
-        // Stored inputs occupy the ports after the fresh ones.
-        std::vector<StoredInput> stored_inputs;
-        for (std::size_t i = 0; i < stored.size(); ++i) {
-            StoredInput in;
-            in.data = &node_data.at(stored[i]);
-            in.port = static_cast<unsigned>(fresh.size() + i);
-            in.baseAddr = node_addr.at(stored[i]);
-            stored_inputs.push_back(in);
-            total_inputs += in.data->size();
-        }
-
-        const bool final_round = round_id == plan.root;
-        const Bytes out_base = partial_bump;
-        const Bytes final_rowptr =
-            final_round
-                ? static_cast<Bytes>(a.rows() + 1) * bytesPerRowPtr
-                : 0;
-
-        const auto active =
-            static_cast<unsigned>(fresh.size() + stored.size());
-        tree.startRound(active);
-        fetcher.startRound(&tasks, &port_queues, rowptr_bytes);
-        prefetcher.startRound(&tasks, &b, b_base);
-        multiplier.startRound(&tasks, &b, &port_queues);
-        partial_fetcher.startRound(std::move(stored_inputs));
-        writer.startRound(final_round, out_base, final_rowptr);
-
-        auto round_done = [&]() {
-            return multiplier.done() && partial_fetcher.done() &&
-                   writer.drained();
-        };
-        // Generous bound: a healthy round moves a handful of elements
-        // per cycle; hitting this limit means deadlock.
-        const Cycle max_cycles = kernel.now() + 100000 +
-                                 200 * (total_inputs + node.weight + 1);
-        if (!kernel.run(round_done, max_cycles)) {
-            panic("sparch: merge round ", round_id,
-                  " deadlocked (inputs=", total_inputs, ")");
-        }
-
-        node_data[round_id] = writer.takeCaptured();
-        node_addr[round_id] = out_base;
-        partial_bump += static_cast<Bytes>(node_data[round_id].size()) *
-                        bytesPerElement;
-
-        // Children are fully consumed; free their storage.
-        for (std::uint32_t c : stored) {
-            node_data.erase(c);
-            node_addr.erase(c);
-        }
-        ++res.mergeRounds;
     }
 
-    // ---- results and metrics ----
-    res.result =
-        streamToCsr(node_data.at(plan.root), a.rows(), b.cols());
-
-    res.cycles = kernel.now();
-    res.seconds = static_cast<double>(res.cycles) / config_.clockHz;
-    res.multiplies = multiplier.multiplies();
-    res.additions = tree.additions() + writer.additions();
-    res.flops = 2 * res.multiplies;
-    res.gflops = res.seconds > 0.0
-                     ? static_cast<double>(res.flops) / res.seconds /
-                           1e9
-                     : 0.0;
-
-    res.bytesMatA = hbm.streamBytes(DramStream::MatA);
-    res.bytesMatB = hbm.streamBytes(DramStream::MatB);
-    res.bytesPartialRead = hbm.streamBytes(DramStream::PartialRead);
-    res.bytesPartialWrite = hbm.streamBytes(DramStream::PartialWrite);
-    res.bytesFinalWrite = hbm.streamBytes(DramStream::FinalWrite);
-    res.bytesTotal = hbm.totalBytes();
-    res.bandwidthUtilization = hbm.utilization(res.cycles);
-    res.prefetchHitRate = prefetcher.hitRate();
-
-    kernel.recordStats(res.stats);
-    hbm.recordStats(res.stats);
-    res.stats.set("plan.internal_weight",
-                  static_cast<double>(plan.internalWeight()));
-    res.stats.set("plan.total_weight",
-                  static_cast<double>(plan.totalWeight()));
-    res.stats.set("plan.rounds",
-                  static_cast<double>(plan.rounds.size()));
-    return res;
+    RunContext context(config_, a, b);
+    return context.run();
 }
 
 } // namespace sparch

@@ -66,14 +66,28 @@ struct SpArchResult
     StatSet stats;
 };
 
-/** The SpArch accelerator model. */
+/**
+ * The SpArch accelerator model.
+ *
+ * A simulator instance holds only the (immutable) configuration; all
+ * per-run mutable state — pipeline modules, HBM model, merge plan and
+ * partial-result storage — lives in a RunContext created inside each
+ * multiply() call. multiply() is therefore const and re-entrant: one
+ * simulator may execute many concurrent multiplies from different
+ * threads, which is what lets ShardedSimulator fan the row-block
+ * shards of a single SpGEMM across the driver's thread pool.
+ */
 class SpArchSimulator
 {
   public:
     explicit SpArchSimulator(const SpArchConfig &config = SpArchConfig{});
 
-    /** Simulate C = a x b. Throws FatalError on dimension mismatch. */
-    SpArchResult multiply(const CsrMatrix &a, const CsrMatrix &b);
+    /**
+     * Simulate C = a x b. Throws FatalError on dimension mismatch.
+     * Thread-safe: concurrent calls on one instance do not share
+     * mutable state.
+     */
+    SpArchResult multiply(const CsrMatrix &a, const CsrMatrix &b) const;
 
     const SpArchConfig &config() const { return config_; }
 

@@ -52,6 +52,13 @@ struct HbmConfig
 
     /** Address interleaving granularity in bytes. */
     Bytes interleaveBytes = 64;
+
+    /** Peak aggregate bandwidth in bytes per cycle. */
+    Bytes
+    peakBytesPerCycle() const
+    {
+        return channels * bytesPerCyclePerChannel;
+    }
 };
 
 /**
@@ -104,7 +111,7 @@ class HbmModel
     Bytes
     peakBytesPerCycle() const
     {
-        return config_.channels * config_.bytesPerCyclePerChannel;
+        return config_.peakBytesPerCycle();
     }
 
     const HbmConfig &config() const { return config_; }

@@ -29,7 +29,7 @@ BatchRunner::taskSeed(std::uint64_t base_seed, std::size_t id)
 
 std::size_t
 BatchRunner::add(std::string config_label, const SpArchConfig &config,
-                 Workload workload)
+                 Workload workload, unsigned shards, ShardPolicy policy)
 {
     SPARCH_ASSERT(workload.valid(), "adding an empty workload");
     BatchTask task;
@@ -38,6 +38,8 @@ BatchRunner::add(std::string config_label, const SpArchConfig &config,
     task.config = config;
     task.workload = std::move(workload);
     task.seed = taskSeed(base_seed_, task.id);
+    task.shards = std::max(shards, 1u);
+    task.shardPolicy = policy;
     tasks_.push_back(std::move(task));
     return tasks_.back().id;
 }
@@ -63,6 +65,18 @@ BatchRunner::addGrid(
             add(label, config, w);
 }
 
+void
+BatchRunner::addShardSweep(
+    const std::vector<std::pair<std::string, SpArchConfig>> &configs,
+    const std::vector<Workload> &workloads,
+    const std::vector<unsigned> &shard_counts, ShardPolicy policy)
+{
+    for (const auto &[label, config] : configs)
+        for (const Workload &w : workloads)
+            for (unsigned shards : shard_counts)
+                add(label, config, w, shards, policy);
+}
+
 BatchRecord
 BatchRunner::runTask(const BatchTask &task) const
 {
@@ -71,10 +85,22 @@ BatchRunner::runTask(const BatchTask &task) const
     record.configLabel = task.configLabel;
     record.workloadName = task.workload.name();
     record.seed = task.seed;
+    record.shards = task.shards;
 
-    SpArchSimulator sim(task.config);
-    record.sim = sim.multiply(task.workload.left(),
-                              task.workload.right());
+    if (task.shards > 1) {
+        // Shards run serially inside this task: the grid is already
+        // fanned across the pool, and the merged measurements are
+        // identical either way.
+        const ShardedSimulator sim(task.config, task.shardPolicy,
+                                   task.shards, /*threads=*/1);
+        record.sim = std::move(
+            sim.multiply(task.workload.left(), task.workload.right())
+                .combined);
+    } else {
+        const SpArchSimulator sim(task.config);
+        record.sim = sim.multiply(task.workload.left(),
+                                  task.workload.right());
+    }
     record.resultNnz = record.sim.result.nnz();
     if (!keep_products_)
         record.sim.result = CsrMatrix();
@@ -116,10 +142,11 @@ BatchRunner::toTable(const std::vector<BatchRecord> &records,
                      const std::string &title)
 {
     TablePrinter table(title);
-    table.header({"config", "workload", "GFLOPS", "cycles", "DRAM MB",
-                  "BW %", "hit rate %"});
+    table.header({"config", "workload", "shards", "GFLOPS", "cycles",
+                  "DRAM MB", "BW %", "hit rate %"});
     for (const BatchRecord &r : records) {
         table.row({r.configLabel, r.workloadName,
+                   std::to_string(r.shards),
                    TablePrinter::num(r.sim.gflops),
                    std::to_string(r.sim.cycles),
                    TablePrinter::num(
@@ -158,7 +185,7 @@ void
 BatchRunner::writeCsv(const std::vector<BatchRecord> &records,
                       std::ostream &out)
 {
-    out << "id,config,workload,seed,cycles,seconds,flops,gflops,"
+    out << "id,config,workload,seed,shards,cycles,seconds,flops,gflops,"
            "bytes_mat_a,bytes_mat_b,bytes_partial_read,"
            "bytes_partial_write,bytes_final_write,bytes_total,"
            "bandwidth_utilization,prefetch_hit_rate,multiplies,"
@@ -167,7 +194,7 @@ BatchRunner::writeCsv(const std::vector<BatchRecord> &records,
         const SpArchResult &s = r.sim;
         out << r.id << ',' << csvField(r.configLabel) << ','
             << csvField(r.workloadName) << ',' << r.seed << ','
-            << s.cycles << ',' << s.seconds
+            << r.shards << ',' << s.cycles << ',' << s.seconds
             << ',' << s.flops << ',' << s.gflops << ','
             << s.bytesMatA << ',' << s.bytesMatB << ','
             << s.bytesPartialRead << ',' << s.bytesPartialWrite << ','

@@ -31,6 +31,7 @@
 
 #include "common/table_printer.hh"
 #include "core/sparch_simulator.hh"
+#include "driver/sharded_simulator.hh"
 #include "driver/workload.hh"
 
 namespace sparch
@@ -49,6 +50,14 @@ struct BatchTask
     Workload workload;
     /** Deterministic per-task seed, SplitMix64(base ^ id). */
     std::uint64_t seed = 0;
+    /**
+     * Shard axis: 1 simulates monolithically; > 1 cuts the left
+     * operand into that many row blocks via ShardedSimulator and
+     * records the merged view, so sweeps can compare sharded against
+     * monolithic execution point by point.
+     */
+    unsigned shards = 1;
+    ShardPolicy shardPolicy = ShardPolicy::NnzBalanced;
 };
 
 /** One completed grid point. */
@@ -58,6 +67,8 @@ struct BatchRecord
     std::string configLabel;
     std::string workloadName;
     std::uint64_t seed = 0;
+    /** Row blocks the simulation ran as (1 = monolithic). */
+    unsigned shards = 1;
     /** Product nonzeros (kept even when the matrix is dropped). */
     std::size_t resultNnz = 0;
     SpArchResult sim;
@@ -75,9 +86,14 @@ class BatchRunner
     explicit BatchRunner(unsigned threads = 1,
                          std::uint64_t base_seed = 0x5eed5eedULL);
 
-    /** Append one task; returns its id. */
+    /**
+     * Append one task; returns its id. shards > 1 runs the point
+     * through ShardedSimulator with that many row blocks.
+     */
     std::size_t add(std::string config_label,
-                    const SpArchConfig &config, Workload workload);
+                    const SpArchConfig &config, Workload workload,
+                    unsigned shards = 1,
+                    ShardPolicy policy = ShardPolicy::NnzBalanced);
 
     /**
      * Append one task whose workload depends on the per-task seed.
@@ -92,6 +108,17 @@ class BatchRunner
     void addGrid(
         const std::vector<std::pair<std::string, SpArchConfig>> &configs,
         const std::vector<Workload> &workloads);
+
+    /**
+     * Append the config x workload x shard-count cross product, so a
+     * sweep can compare sharded against monolithic execution. A shard
+     * count of 1 means monolithic.
+     */
+    void addShardSweep(
+        const std::vector<std::pair<std::string, SpArchConfig>> &configs,
+        const std::vector<Workload> &workloads,
+        const std::vector<unsigned> &shard_counts,
+        ShardPolicy policy = ShardPolicy::NnzBalanced);
 
     std::size_t size() const { return tasks_.size(); }
     const std::vector<BatchTask> &tasks() const { return tasks_; }

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Sharded SpGEMM: one simulation as cooperating row-block sub-problems.
+ *
+ * SpArch's outer-product formulation makes the left operand separable
+ * by rows: every row block of A yields an independent row block of
+ * C = A x B, computed against the full (shared, read-only) B. A
+ * ShardPlan cuts A into K contiguous row ranges — balanced by row
+ * count or by nonzeros — and ShardedSimulator runs one SpArchSimulator
+ * multiply per range as tasks on the driver's ThreadPool, then
+ * reassembles the exact product with CsrMatrix::vstack.
+ *
+ * Merged measurements follow a documented model:
+ *
+ *  - cycles      = max over shards (the critical path of a fleet of K
+ *                  accelerators working in parallel) + the stitch
+ *                  overhead below;
+ *  - stitch      = rebasing the K per-shard row-pointer arrays into
+ *                  the combined CSR header: every shard's row-pointer
+ *                  array is read once and the combined array written
+ *                  once, at peak HBM bandwidth plus one access
+ *                  latency. Element data needs no movement — row
+ *                  blocks are disjoint and already ordered;
+ *  - bytes/flops = sums over shards. MatA element traffic and final-
+ *                  write element traffic partition exactly; each
+ *                  shard re-emits its own row-pointer tail (one extra
+ *                  entry per additional shard) and may re-read B rows
+ *                  that another shard also touched, so summed MatB
+ *                  traffic is >= the monolithic run's.
+ *
+ * Exactness: the stacked product always has exactly the monolithic
+ * run's sparsity structure (row pointers and column indices), and a
+ * sharded run is bit-deterministic — the same plan yields the same
+ * product and counters at any thread count. Values match the
+ * monolithic run bit for bit whenever no output element sums more
+ * than two partial products; beyond that the simulated adder slices
+ * fold equal-coordinate runs over timing-dependent windows, so the
+ * floating-point association — and hence the final ulp — legitimately
+ * differs between runs of different operand shapes (this is hardware
+ * behaviour, not a sharding artifact; the monolithic simulator
+ * differs from reference SpGEMM the same way).
+ */
+
+#ifndef SPARCH_DRIVER_SHARDED_SIMULATOR_HH
+#define SPARCH_DRIVER_SHARDED_SIMULATOR_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/sparch_simulator.hh"
+#include "matrix/csr.hh"
+
+namespace sparch
+{
+namespace driver
+{
+
+/** How a ShardPlan balances the row-block cuts. */
+enum class ShardPolicy
+{
+    RowBalanced, //!< equal row counts per shard
+    NnzBalanced  //!< equal left-operand nonzeros per shard (greedy)
+};
+
+/** Printable policy name. */
+const char *shardPolicyName(ShardPolicy policy);
+
+/** One contiguous row block [begin, end) of the left operand. */
+struct ShardRange
+{
+    Index begin = 0;
+    Index end = 0;
+    /** Left-operand nonzeros inside the range. */
+    std::size_t nnz = 0;
+
+    Index rows() const { return end - begin; }
+};
+
+/**
+ * A partition of the left operand's rows into contiguous, disjoint,
+ * covering ranges. Never produces empty ranges: the shard count is
+ * clamped to the row count, so a 3-row matrix asked for 8 shards gets
+ * 3 single-row shards, and an empty matrix gets an empty plan.
+ */
+class ShardPlan
+{
+  public:
+    ShardPlan() = default;
+
+    /** Split into (near-)equal row counts. */
+    static ShardPlan rowBalanced(const CsrMatrix &a, unsigned shards);
+
+    /**
+     * Greedy contiguous split targeting equal nonzeros per shard,
+     * re-aiming at the remaining average after each cut so one heavy
+     * row early on does not starve the later shards of rows.
+     */
+    static ShardPlan nnzBalanced(const CsrMatrix &a, unsigned shards);
+
+    /** Dispatch on policy. */
+    static ShardPlan make(ShardPolicy policy, const CsrMatrix &a,
+                          unsigned shards);
+
+    const std::vector<ShardRange> &ranges() const { return ranges_; }
+    std::size_t size() const { return ranges_.size(); }
+    bool empty() const { return ranges_.empty(); }
+
+    /**
+     * Load-balance quality: max shard nnz over mean shard nnz. 1.0 is
+     * a perfect split; large values mean one shard dominates the
+     * critical path. Returns 1.0 for empty or nnz-free plans.
+     */
+    double nnzImbalance() const;
+
+  private:
+    std::vector<ShardRange> ranges_;
+};
+
+/** Everything measured during one sharded SpGEMM. */
+struct ShardedResult
+{
+    /**
+     * Merged view: exact stacked product, critical-path cycles (max
+     * over shards + stitch), summed traffic/operation counters, and
+     * summed per-module stats plus the shard.* gauges.
+     */
+    SpArchResult combined;
+
+    /** Raw per-shard results, in plan order (products retained). */
+    std::vector<SpArchResult> shards;
+
+    /** The row-block partition that was executed. */
+    ShardPlan plan;
+
+    /** Worst shard per statistic (StatSet::mergeMax over shards). */
+    StatSet maxStats;
+
+    /** Modeled row-pointer stitch pass: cycles and bytes moved. */
+    Cycle stitchCycles = 0;
+    Bytes stitchBytes = 0;
+};
+
+/**
+ * Runs one SpGEMM as a ShardPlan's row blocks fanned across a thread
+ * pool. Results are bit-identical regardless of thread count: shards
+ * are independent simulations and the merge is a deterministic fold in
+ * plan order.
+ */
+class ShardedSimulator
+{
+  public:
+    /**
+     * @param config  Accelerator configuration for every shard.
+     * @param policy  How to cut the left operand.
+     * @param shards  Row blocks per multiply; 0 means one per
+     *                hardware thread.
+     * @param threads Pool workers; <= 1 runs shards serially on the
+     *                calling thread (useful inside an outer pool).
+     */
+    explicit ShardedSimulator(const SpArchConfig &config = SpArchConfig{},
+                              ShardPolicy policy = ShardPolicy::NnzBalanced,
+                              unsigned shards = 0, unsigned threads = 1);
+
+    /** Simulate C = a x b with a plan cut by the configured policy. */
+    ShardedResult multiply(const CsrMatrix &a, const CsrMatrix &b) const;
+
+    /** Simulate with an explicit, caller-built plan over a's rows. */
+    ShardedResult multiply(const CsrMatrix &a, const CsrMatrix &b,
+                           const ShardPlan &plan) const;
+
+    const SpArchConfig &config() const { return sim_.config(); }
+    ShardPolicy policy() const { return policy_; }
+    unsigned shards() const { return shards_; }
+
+  private:
+    SpArchSimulator sim_;
+    ShardPolicy policy_;
+    unsigned shards_;
+    unsigned threads_;
+};
+
+} // namespace driver
+} // namespace sparch
+
+#endif // SPARCH_DRIVER_SHARDED_SIMULATOR_HH

@@ -1,5 +1,7 @@
 #include "driver/workload.hh"
 
+#include <fstream>
+
 #include "baselines/benchmarks.hh"
 #include "common/logging.hh"
 #include "matrix/generators.hh"
@@ -20,6 +22,21 @@ Workload::Workload(std::string name,
                   "workload '", name_, "' has no left generator");
     data_->make_left = std::move(make_left);
     data_->make_right = std::move(make_right);
+}
+
+Workload &
+Workload::withValidator(std::function<void()> validator)
+{
+    SPARCH_ASSERT(data_, "withValidator() on an empty workload");
+    data_->validator = std::move(validator);
+    return *this;
+}
+
+void
+Workload::validate() const
+{
+    if (data_ && data_->validator)
+        data_->validator();
 }
 
 const CsrMatrix &
@@ -90,9 +107,23 @@ uniformWorkload(Index rows, Index cols, std::uint64_t nnz,
 Workload
 matrixMarketWorkload(const std::string &path)
 {
-    return Workload(path, [path] {
+    Workload w(path, [path] {
         return readMatrixMarketFile(path);
     });
+    // Probe the file eagerly so a bad path surfaces when the workload
+    // is registered, not minutes later on a batch worker thread.
+    w.withValidator([path] {
+        std::ifstream in(path);
+        if (!in)
+            fatal("workload '", path, "': cannot open file");
+        std::string banner;
+        std::getline(in, banner);
+        if (banner.rfind("%%MatrixMarket", 0) != 0) {
+            fatal("workload '", path,
+                  "': missing %%MatrixMarket banner");
+        }
+    });
+    return w;
 }
 
 Workload
@@ -121,6 +152,8 @@ WorkloadRegistry::add(Workload workload)
     SPARCH_ASSERT(workload.valid(), "registering an empty workload");
     if (contains(workload.name()))
         fatal("duplicate workload '", workload.name(), "'");
+    workload.validate(); // fail fast, not mid-batch
+
     index_[workload.name()] = workloads_.size();
     workloads_.push_back(std::move(workload));
     return workloads_.back();

@@ -56,6 +56,21 @@ class Workload
     /** True once constructed with a generator. */
     bool valid() const { return data_ != nullptr; }
 
+    /**
+     * Attach a cheap eager check (e.g. "does the Matrix Market file
+     * open and carry the right banner?") that validate() runs.
+     * Returns *this so factories can chain it.
+     */
+    Workload &withValidator(std::function<void()> validator);
+
+    /**
+     * Run the attached validator, if any. WorkloadRegistry::add calls
+     * this so a workload that cannot possibly materialize — a missing
+     * or malformed input file — throws FatalError at registration
+     * time instead of failing mid-batch on a worker thread.
+     */
+    void validate() const;
+
     /** Left operand, generated on first call; thread-safe. */
     const CsrMatrix &left() const;
 
@@ -71,6 +86,7 @@ class Workload
         std::mutex mutex;
         std::function<CsrMatrix()> make_left;
         std::function<CsrMatrix()> make_right;
+        std::function<void()> validator;
         std::optional<CsrMatrix> left;
         std::optional<CsrMatrix> right;
     };
@@ -92,7 +108,11 @@ Workload rmatWorkload(Index vertices, Index edge_factor,
 Workload uniformWorkload(Index rows, Index cols, std::uint64_t nnz,
                          std::uint64_t seed);
 
-/** Matrix Market file squared (loaded lazily from disk). */
+/**
+ * Matrix Market file squared. Parsing stays lazy, but the workload
+ * carries a validator that probes the file (readable, Matrix Market
+ * banner) so registration fails fast on a bad path.
+ */
 Workload matrixMarketWorkload(const std::string &path);
 
 /**

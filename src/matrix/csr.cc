@@ -109,6 +109,64 @@ CsrMatrix::transpose() const
     return t;
 }
 
+CsrMatrix
+CsrMatrix::rowSlice(Index begin, Index end) const
+{
+    SPARCH_ASSERT(begin <= end && end <= rows_, "row slice [", begin,
+                  ", ", end, ") out of range for ", rows_, " rows");
+    CsrMatrix s;
+    s.rows_ = end - begin;
+    s.cols_ = cols_;
+    s.row_ptr_.resize(s.rows_ + 1);
+    const Index base = row_ptr_[begin];
+    for (Index r = 0; r <= s.rows_; ++r)
+        s.row_ptr_[r] = row_ptr_[begin + r] - base;
+    s.col_idx_.assign(col_idx_.begin() + base,
+                      col_idx_.begin() + row_ptr_[end]);
+    s.values_.assign(values_.begin() + base,
+                     values_.begin() + row_ptr_[end]);
+    return s;
+}
+
+CsrMatrix
+CsrMatrix::vstack(std::span<const CsrMatrix> parts)
+{
+    std::vector<const CsrMatrix *> ptrs;
+    ptrs.reserve(parts.size());
+    for (const CsrMatrix &p : parts)
+        ptrs.push_back(&p);
+    return vstack(std::span<const CsrMatrix *const>(ptrs));
+}
+
+CsrMatrix
+CsrMatrix::vstack(std::span<const CsrMatrix *const> parts)
+{
+    CsrMatrix m;
+    if (parts.empty())
+        return m;
+    m.cols_ = parts.front()->cols_;
+    std::size_t total_nnz = 0;
+    for (const CsrMatrix *p : parts) {
+        SPARCH_ASSERT(p->cols_ == m.cols_, "vstack column mismatch: ",
+                      p->cols_, " vs ", m.cols_);
+        m.rows_ += p->rows_;
+        total_nnz += p->nnz();
+    }
+    m.row_ptr_.reserve(m.rows_ + 1);
+    m.col_idx_.reserve(total_nnz);
+    m.values_.reserve(total_nnz);
+    for (const CsrMatrix *p : parts) {
+        const Index base = m.row_ptr_.back();
+        for (Index r = 0; r < p->rows_; ++r)
+            m.row_ptr_.push_back(base + p->row_ptr_[r + 1]);
+        m.col_idx_.insert(m.col_idx_.end(), p->col_idx_.begin(),
+                          p->col_idx_.end());
+        m.values_.insert(m.values_.end(), p->values_.begin(),
+                         p->values_.end());
+    }
+    return m;
+}
+
 std::uint64_t
 CsrMatrix::multiplyFlops(const CsrMatrix &b) const
 {

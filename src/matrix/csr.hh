@@ -80,6 +80,30 @@ class CsrMatrix
     CsrMatrix transpose() const;
 
     /**
+     * Copy of the row range [begin, end) as a standalone matrix with
+     * the same column count. Row i of the slice is row begin + i of
+     * this matrix. This is the shard cut of the outer-product
+     * formulation: each row block of the left operand yields an
+     * independent row block of the product.
+     */
+    CsrMatrix rowSlice(Index begin, Index end) const;
+
+    /**
+     * Stack matrices vertically (top to bottom). All parts must share
+     * a column count; an empty list yields an empty 0x0 matrix. The
+     * inverse of cutting with rowSlice: vstack of consecutive slices
+     * reproduces the original matrix exactly.
+     */
+    static CsrMatrix vstack(std::span<const CsrMatrix> parts);
+
+    /**
+     * Pointer variant for callers whose parts live in larger records
+     * (e.g. per-shard SpArchResults) and should not be copied just to
+     * form a contiguous range.
+     */
+    static CsrMatrix vstack(std::span<const CsrMatrix *const> parts);
+
+    /**
      * Number of scalar multiplications in C = this * b, i.e. the paper's
      * M (Section III-C). Sum over nonzeros a_ik of nnz(row k of b).
      */

@@ -6,6 +6,8 @@
  */
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -119,6 +121,43 @@ TEST(Workload, DnnLayerShapesMatch)
     EXPECT_EQ(layer.right().cols(), 16u);
 }
 
+TEST(WorkloadRegistry, MatrixMarketLoadErrorSurfacesAtAddTime)
+{
+    WorkloadRegistry registry;
+    // A missing file must be rejected when registered, not later on a
+    // batch worker thread.
+    EXPECT_THROW(
+        registry.add(driver::matrixMarketWorkload("/no/such/file.mtx")),
+        FatalError);
+    EXPECT_EQ(registry.size(), 0u);
+
+    // A malformed file (no Matrix Market banner) is rejected too.
+    const std::string bogus =
+        ::testing::TempDir() + "/sparch_bogus_workload.mtx";
+    {
+        std::ofstream out(bogus);
+        out << "not a matrix market file\n";
+    }
+    EXPECT_THROW(registry.add(driver::matrixMarketWorkload(bogus)),
+                 FatalError);
+
+    // A well-formed file registers and still loads lazily.
+    const std::string good =
+        ::testing::TempDir() + "/sparch_good_workload.mtx";
+    {
+        std::ofstream out(good);
+        out << "%%MatrixMarket matrix coordinate real general\n"
+            << "2 2 2\n"
+            << "1 1 1.5\n"
+            << "2 2 2.5\n";
+    }
+    const Workload w = registry.add(driver::matrixMarketWorkload(good));
+    EXPECT_EQ(registry.size(), 1u);
+    EXPECT_EQ(w.left().nnz(), 2u);
+    std::remove(bogus.c_str());
+    std::remove(good.c_str());
+}
+
 TEST(WorkloadRegistry, FindsAndRejectsDuplicates)
 {
     WorkloadRegistry registry;
@@ -186,6 +225,7 @@ expectIdenticalRecords(const std::vector<BatchRecord> &serial,
         EXPECT_EQ(s.configLabel, p.configLabel);
         EXPECT_EQ(s.workloadName, p.workloadName);
         EXPECT_EQ(s.seed, p.seed);
+        EXPECT_EQ(s.shards, p.shards);
         EXPECT_EQ(s.sim.cycles, p.sim.cycles);
         EXPECT_EQ(s.sim.flops, p.sim.flops);
         EXPECT_EQ(s.sim.multiplies, p.sim.multiplies);
@@ -259,6 +299,47 @@ TEST(BatchRunner, SeededTasksAreDeterministic)
     expectIdenticalRecords(serial.run(), parallel.run());
 }
 
+TEST(BatchRunner, ShardAxisMatchesMonolithicProduct)
+{
+    // The same workload at shards = 1 and shards = 4: the sharded
+    // record must reproduce the monolithic sparsity structure and
+    // operation counts, and carry its shard count into the records.
+    BatchRunner runner(2);
+    const Workload w = driver::uniformWorkload(64, 64, 500, 91);
+    runner.add("table-I", SpArchConfig{}, w);
+    runner.add("table-I", SpArchConfig{}, w, 4);
+    runner.keepProducts(true);
+    const std::vector<BatchRecord> records = runner.run();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].shards, 1u);
+    EXPECT_EQ(records[1].shards, 4u);
+    EXPECT_EQ(records[0].resultNnz, records[1].resultNnz);
+    EXPECT_EQ(records[0].sim.flops, records[1].sim.flops);
+    EXPECT_EQ(records[0].sim.result.rowPtr(),
+              records[1].sim.result.rowPtr());
+    EXPECT_EQ(records[0].sim.result.colIdx(),
+              records[1].sim.result.colIdx());
+    EXPECT_TRUE(
+        records[1].sim.result.almostEqual(records[0].sim.result, 1e-12));
+    EXPECT_EQ(records[1].sim.stats.get("shard.count"), 4.0);
+}
+
+TEST(BatchRunner, ShardSweepEnumeratesAllCounts)
+{
+    BatchRunner runner(1);
+    runner.addShardSweep(
+        {{"table-I", SpArchConfig{}}},
+        {driver::uniformWorkload(32, 32, 150, 93)}, {1, 2, 8});
+    ASSERT_EQ(runner.size(), 3u);
+    EXPECT_EQ(runner.tasks()[0].shards, 1u);
+    EXPECT_EQ(runner.tasks()[1].shards, 2u);
+    EXPECT_EQ(runner.tasks()[2].shards, 8u);
+
+    std::ostringstream csv;
+    BatchRunner::writeCsv(runner.run(), csv);
+    EXPECT_NE(csv.str().find(",8,"), std::string::npos);
+}
+
 TEST(BatchRunner, RerunIsIdempotent)
 {
     BatchRunner runner(2);
@@ -299,7 +380,7 @@ TEST(BatchRunner, CsvHasHeaderAndOneLinePerRecord)
     for (char c : text)
         lines += c == '\n' ? 1 : 0;
     EXPECT_EQ(lines, 1 + records.size());
-    EXPECT_NE(text.find("id,config,workload,seed,cycles"),
+    EXPECT_NE(text.find("id,config,workload,seed,shards,cycles"),
               std::string::npos);
     EXPECT_NE(text.find("rmat-64-x4"), std::string::npos);
 }

@@ -3,6 +3,9 @@
  * Unit and property tests for the CSR sparse matrix format.
  */
 
+#include <span>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/logging.hh"
@@ -126,6 +129,51 @@ TEST(Csr, StorageBytesMatchesPaperAccounting)
     const CsrMatrix m = smallMatrix();
     EXPECT_EQ(m.storageBytes(),
               4 * bytesPerElement + 4 * bytesPerRowPtr);
+}
+
+TEST(Csr, RowSliceExtractsRange)
+{
+    const CsrMatrix m = smallMatrix();
+    const CsrMatrix s = m.rowSlice(1, 3);
+    EXPECT_EQ(s.rows(), 2u);
+    EXPECT_EQ(s.cols(), 3u);
+    EXPECT_EQ(s.nnz(), 2u);
+    EXPECT_EQ(s.rowNnz(0), 0u);
+    ASSERT_EQ(s.rowNnz(1), 2u);
+    EXPECT_EQ(s.rowCols(1)[0], 0u);
+    EXPECT_DOUBLE_EQ(s.rowVals(1)[1], 4.0);
+}
+
+TEST(Csr, RowSliceEdges)
+{
+    const CsrMatrix m = smallMatrix();
+    EXPECT_EQ(m.rowSlice(0, 3), m);
+    const CsrMatrix empty = m.rowSlice(1, 1);
+    EXPECT_EQ(empty.rows(), 0u);
+    EXPECT_EQ(empty.nnz(), 0u);
+    EXPECT_THROW(m.rowSlice(2, 4), PanicError);
+    EXPECT_THROW(m.rowSlice(2, 1), PanicError);
+}
+
+TEST(Csr, VstackIsInverseOfRowSlice)
+{
+    const CsrMatrix m = generateUniform(50, 40, 400, 77);
+    const std::vector<CsrMatrix> parts = {
+        m.rowSlice(0, 13), m.rowSlice(13, 13), m.rowSlice(13, 44),
+        m.rowSlice(44, 50)};
+    EXPECT_EQ(CsrMatrix::vstack(parts), m);
+}
+
+TEST(Csr, VstackEdges)
+{
+    const CsrMatrix stacked =
+        CsrMatrix::vstack(std::span<const CsrMatrix>{});
+    EXPECT_EQ(stacked.rows(), 0u);
+    EXPECT_EQ(stacked.nnz(), 0u);
+
+    const std::vector<CsrMatrix> mismatched = {CsrMatrix(2, 3),
+                                               CsrMatrix(2, 4)};
+    EXPECT_THROW(CsrMatrix::vstack(mismatched), PanicError);
 }
 
 /** Property sweep: transpose is an involution on random matrices. */
