@@ -15,9 +15,12 @@
 #define SPARCH_BENCH_BENCH_COMMON_HH
 
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "baselines/benchmarks.hh"
+#include "common/logging.hh"
 #include "common/table_printer.hh"
 #include "core/sparch_simulator.hh"
 #include "driver/batch_runner.hh"
@@ -59,6 +62,26 @@ inline driver::BatchRunner
 makeRunner()
 {
     return driver::BatchRunner(benchThreads());
+}
+
+/**
+ * Dump a batch's records as CSV when SPARCH_BENCH_CSV names a path.
+ * The same writeCsv schema backs the sparch CLI and the result cache,
+ * so a bench's grid can be diffed bit for bit against a CLI sweep of
+ * the same grid (the CI cli-smoke job does exactly that).
+ */
+inline void
+maybeWriteCsv(const std::vector<driver::BatchRecord> &records)
+{
+    const char *path = std::getenv("SPARCH_BENCH_CSV");
+    if (path == nullptr)
+        return;
+    std::ofstream out(path);
+    if (!out) {
+        warn("SPARCH_BENCH_CSV: cannot write '", path, "'");
+        return;
+    }
+    driver::BatchRunner::writeCsv(records, out);
 }
 
 /** Generate the proxy for one suite entry at the bench scale. */

@@ -36,6 +36,7 @@ main()
         runner.add("table-I", SpArchConfig{}, workloads.back());
     }
     const std::vector<driver::BatchRecord> records = runner.run();
+    maybeWriteCsv(records);
 
     std::vector<double> e_outer, e_mkl, e_cusparse, e_cusp, e_arm;
     for (std::size_t i = 0; i < workloads.size(); ++i) {

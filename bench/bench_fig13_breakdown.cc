@@ -7,13 +7,15 @@
 
 #include <iostream>
 
-#include "common/table_printer.hh"
+#include "bench/bench_common.hh"
+#include "driver/workload.hh"
 #include "model/energy_model.hh"
 
 int
 main()
 {
     using namespace sparch;
+    using namespace sparch::bench;
 
     const EnergyModel model;
     const AreaBreakdown a = model.area();
@@ -55,5 +57,34 @@ main()
     power_table.row({"Total", TablePrinter::num(p.total(), 3), "100.0",
                      "100.0"});
     power_table.print(std::cout);
+
+    // Cross-check the static shares against a measured run: simulate
+    // one representative workload through the batch driver and group
+    // its event energy as in Table III. Like every other figure
+    // bench, this goes through BatchRunner, so SPARCH_BENCH_CSV and
+    // SPARCH_BENCH_THREADS apply here too.
+    driver::BatchRunner runner = makeRunner();
+    runner.add("table-I", SpArchConfig{},
+               driver::suiteWorkload("web-Google", targetNnz()));
+    const std::vector<driver::BatchRecord> records = runner.run();
+    maybeWriteCsv(records);
+    const EnergyBreakdown e = model.energy(records[0].sim);
+
+    std::cout << "\n";
+    TablePrinter energy_table(
+        "Measured energy split, C = A^2 on the web-Google proxy "
+        "(Table III grouping)");
+    energy_table.header({"group", "uJ", "share %"});
+    auto erow = [&](const char *name, double joules) {
+        energy_table.row({name, TablePrinter::num(joules * 1e6),
+                          TablePrinter::num(
+                              100.0 * joules / e.total(), 1)});
+    };
+    erow("computation", e.computationJ);
+    erow("SRAM", e.sramJ);
+    erow("DRAM", e.dramJ);
+    energy_table.row({"Total", TablePrinter::num(e.total() * 1e6),
+                      "100.0"});
+    energy_table.print(std::cout);
     return 0;
 }

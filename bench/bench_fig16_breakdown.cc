@@ -17,6 +17,7 @@
 
 #include "baselines/outerspace_model.hh"
 #include "bench/bench_common.hh"
+#include "driver/workload.hh"
 
 int
 main()
@@ -48,34 +49,53 @@ main()
 
     const SpArchConfig full; // + prefetcher (Table I)
 
+    // The 4 cumulative configs x 6 matrices fan out across the batch
+    // driver; each workload's proxy is generated once and shared by
+    // all four configurations.
+    const std::vector<std::pair<std::string, SpArchConfig>> configs = {
+        {"1 pipelined multiply+merge", pipeline_only},
+        {"2 + matrix condensing", condensed},
+        {"3 + Huffman scheduler", huffman},
+        {"4 + row prefetcher (full)", full},
+    };
+    std::vector<driver::Workload> workloads;
+    for (const char *name : names)
+        workloads.push_back(driver::suiteWorkload(name, target));
+
+    driver::BatchRunner runner = makeRunner();
+    runner.addGrid(configs, workloads);
+    const std::vector<driver::BatchRecord> records = runner.run();
+    maybeWriteCsv(records);
+
     struct Step
     {
-        const char *name;
-        const SpArchConfig *config;
-        double gflops_sum = 0.0;
+        std::string name;
         double bytes = 0.0;
         double seconds = 0.0;
     };
-    Step steps[] = {
-        {"1 pipelined multiply+merge", &pipeline_only, 0, 0, 0},
-        {"2 + matrix condensing", &condensed, 0, 0, 0},
-        {"3 + Huffman scheduler", &huffman, 0, 0, 0},
-        {"4 + row prefetcher (full)", &full, 0, 0, 0},
-    };
-
-    double outer_seconds = 0.0, outer_bytes = 0.0, flops = 0.0;
-    for (const char *name : names) {
-        const CsrMatrix a =
-            suiteMatrix(findBenchmark(name), target);
-        const BaselineResult outer = outerspaceModel(a, a);
-        outer_seconds += outer.seconds;
-        outer_bytes += static_cast<double>(outer.dramBytes);
-        flops += static_cast<double>(outer.flops);
-        for (Step &s : steps) {
-            const SpArchResult r = runSparch(a, *s.config);
+    std::vector<Step> steps;
+    // addGrid is configuration-major: records [c*6, c*6+6) belong to
+    // configuration c.
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        Step s;
+        s.name = configs[c].first;
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            const SpArchResult &r =
+                records[c * workloads.size() + w].sim;
             s.seconds += r.seconds;
             s.bytes += static_cast<double>(r.bytesTotal);
         }
+        steps.push_back(std::move(s));
+    }
+
+    double outer_seconds = 0.0, outer_bytes = 0.0, flops = 0.0;
+    for (const driver::Workload &w : workloads) {
+        // The matrix is still cached from the batch run.
+        const BaselineResult outer =
+            outerspaceModel(w.left(), w.left());
+        outer_seconds += outer.seconds;
+        outer_bytes += static_cast<double>(outer.dramBytes);
+        flops += static_cast<double>(outer.flops);
     }
 
     TablePrinter table("Figure 16: dissecting the performance gain "
@@ -89,7 +109,7 @@ main()
                "-"});
     double prev_seconds = outer_seconds;
     for (const Step &s : steps) {
-        table.row({s.name,
+        table.row({std::string(s.name),
                    TablePrinter::num(flops / s.seconds / 1e9),
                    TablePrinter::num(outer_seconds / s.seconds),
                    TablePrinter::num(s.bytes / 1e6),

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench/bench_common.hh"
+#include "driver/workload.hh"
 
 int
 main()
@@ -16,16 +17,28 @@ main()
     using namespace sparch;
     using namespace sparch::bench;
 
-    const CsrMatrix a =
-        suiteMatrix(findBenchmark("web-Google"), targetNnz());
+    // The depth axis fans out across the batch driver; the web-Google
+    // proxy is generated once and shared by all six points.
+    std::vector<std::pair<std::string, SpArchConfig>> configs;
+    for (unsigned layers = 2; layers <= 7; ++layers) {
+        SpArchConfig cfg;
+        cfg.mergeTree.layers = layers;
+        configs.emplace_back(std::to_string(layers) + "-layers", cfg);
+    }
+    const std::vector<driver::Workload> workloads = {
+        driver::suiteWorkload("web-Google", targetNnz())};
+
+    driver::BatchRunner runner = makeRunner();
+    runner.addGrid(configs, workloads);
+    const std::vector<driver::BatchRecord> records = runner.run();
+    maybeWriteCsv(records);
 
     TablePrinter t("Figure 18: merge tree depth sweep");
     t.header({"layers", "merge ways", "GFLOPS", "DRAM MB",
               "partial r/w MB", "rounds"});
-    for (unsigned layers = 2; layers <= 7; ++layers) {
-        SpArchConfig cfg;
-        cfg.mergeTree.layers = layers;
-        const SpArchResult r = runSparch(a, cfg);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const unsigned layers = 2 + static_cast<unsigned>(i);
+        const SpArchResult &r = records[i].sim;
         t.row({std::to_string(layers),
                std::to_string(1u << layers),
                TablePrinter::num(r.gflops),

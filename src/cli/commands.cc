@@ -1,0 +1,291 @@
+#include "cli/commands.hh"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "baselines/benchmarks.hh"
+#include "cli/flags.hh"
+#include "cli/spec.hh"
+#include "common/logging.hh"
+#include "common/table_printer.hh"
+#include "driver/batch_runner.hh"
+#include "driver/result_cache.hh"
+#include "driver/thread_pool.hh"
+
+namespace sparch
+{
+namespace cli
+{
+
+namespace
+{
+
+using driver::BatchRecord;
+using driver::BatchRunner;
+using driver::ResultCache;
+using driver::RunStats;
+
+const char *kUsage =
+    "usage: sparch <command> [flags]\n"
+    "\n"
+    "commands:\n"
+    "  run [flags] <workload-spec>...   simulate workloads at one "
+    "config\n"
+    "  sweep --grid FILE [flags]        run a grid-spec sweep\n"
+    "  workloads                        list suite matrices and the "
+    "spec grammar\n"
+    "  cache stats|clear --cache FILE   inspect or drop a result "
+    "cache\n"
+    "  help                             this text\n"
+    "\n"
+    "run flags:\n"
+    "  --config k=v[,k=v...]  overrides on the Table I configuration\n"
+    "  --label NAME           config label in tables/CSV (default: "
+    "the overrides)\n"
+    "  --nnz N                suite-proxy nnz target (default 60000)\n"
+    "  --wseed N              workload generator seed (default 42)\n"
+    "  --seed N               batch base seed (default 0x5eed5eed)\n"
+    "  --shards N             row-block shards per point (default 1)\n"
+    "  --policy row|nnz       shard balancing policy (default nnz)\n"
+    "  --threads N            worker threads (default: all cores)\n"
+    "  --csv PATH             also write records as CSV ('-' = "
+    "stdout)\n"
+    "  --cache PATH           persistent result cache to use\n"
+    "\n"
+    "sweep flags: --grid FILE plus --csv/--cache/--threads/--table as "
+    "above\n"
+    "\n"
+    "workload specs:\n"
+    "  suite:<name> | suite:*            20-matrix suite proxies\n"
+    "  rmat:<vertices>x<edge_factor>     R-MAT adjacency squared\n"
+    "  uniform:<rows>x<cols>:<nnz>       uniform random squared\n"
+    "  dnn:<hidden>x<batch>:<density>    pruned-MLP layer W x X\n"
+    "  mtx:<path> or <path>.mtx          Matrix Market file squared\n";
+
+unsigned
+resolveThreads(unsigned requested)
+{
+    return requested == 0 ? driver::ThreadPool::hardwareThreads()
+                          : requested;
+}
+
+/** Write records where asked: a file, or '-' for stdout. */
+void
+emitCsv(const std::vector<BatchRecord> &records,
+        const std::string &path, std::ostream &out)
+{
+    if (path == "-") {
+        BatchRunner::writeCsv(records, out);
+        return;
+    }
+    std::ofstream file(path);
+    if (!file)
+        fatal("cannot write CSV to '", path, "'");
+    BatchRunner::writeCsv(records, file);
+}
+
+/** The CI-greppable accounting line every cached run ends with. */
+void
+reportStats(const RunStats &stats, const ResultCache *cache,
+            std::ostream &err)
+{
+    err << "sparch: " << stats.total()
+        << " grid points, simulated=" << stats.simulated
+        << ", cache-hits=" << stats.cacheHits;
+    if (cache != nullptr && !cache->path().empty()) {
+        err << " (cache '" << cache->path() << "', " << cache->size()
+            << " entries)";
+    }
+    err << "\n";
+}
+
+int
+cmdRun(const std::vector<std::string> &args, std::ostream &out,
+       std::ostream &err)
+{
+    const FlagSet flags(args,
+                        {"config", "label", "nnz", "wseed", "seed",
+                         "shards", "policy", "threads", "csv",
+                         "cache"},
+                        {});
+    if (flags.positional().empty())
+        fatal("run: no workload specs (try 'sparch workloads')");
+
+    WorkloadDefaults defaults;
+    defaults.nnz = flags.getU64("nnz", defaults.nnz);
+    defaults.seed = flags.getU64("wseed", defaults.seed);
+
+    const std::string overrides = flags.get("config");
+    const SpArchConfig config = parseConfigOverrides(overrides);
+    const std::string label =
+        flags.get("label", overrides.empty() ? "table-I" : overrides);
+
+    const unsigned shards = flags.getUnsigned("shards", 1);
+    const driver::ShardPolicy policy =
+        parseShardPolicy(flags.get("policy", "nnz"));
+
+    BatchRunner runner(resolveThreads(flags.getUnsigned("threads", 0)),
+                       flags.getU64("seed", 0x5eed5eedULL));
+    for (const std::string &spec : flags.positional()) {
+        for (driver::Workload &w :
+             parseWorkloadSpec(spec, defaults))
+            runner.add(label, config, std::move(w), shards, policy);
+    }
+
+    ResultCache cache(flags.get("cache"));
+    ResultCache *cache_ptr =
+        flags.has("cache") ? &cache : nullptr;
+    RunStats stats;
+    const std::vector<BatchRecord> records =
+        runner.run(cache_ptr, &stats);
+    if (cache_ptr != nullptr)
+        cache_ptr->save();
+
+    const std::string csv = flags.get("csv");
+    if (!csv.empty())
+        emitCsv(records, csv, out);
+    if (csv != "-")
+        BatchRunner::toTable(records, "sparch run").print(out);
+    reportStats(stats, cache_ptr, err);
+    return 0;
+}
+
+int
+cmdSweep(const std::vector<std::string> &args, std::ostream &out,
+         std::ostream &err)
+{
+    const FlagSet flags(args, {"grid", "csv", "cache", "threads"},
+                        {"table"});
+    if (!flags.positional().empty())
+        fatal("sweep: unexpected argument '", flags.positional()[0],
+              "' (workloads belong in the grid file)");
+    const std::string grid_path = flags.get("grid");
+    if (grid_path.empty())
+        fatal("sweep: --grid FILE is required");
+
+    const GridSpec grid = parseGridSpecFile(grid_path);
+    const unsigned threads = flags.has("threads")
+                                 ? flags.getUnsigned("threads", 0)
+                                 : grid.threads;
+
+    BatchRunner runner(resolveThreads(threads), grid.seed);
+    runner.addShardSweep(grid.configs, grid.workloads, grid.shards,
+                         grid.policy);
+
+    ResultCache cache(flags.get("cache"));
+    ResultCache *cache_ptr = flags.has("cache") ? &cache : nullptr;
+    RunStats stats;
+    const std::vector<BatchRecord> records =
+        runner.run(cache_ptr, &stats);
+    if (cache_ptr != nullptr)
+        cache_ptr->save();
+
+    const std::string csv = flags.get("csv");
+    if (!csv.empty())
+        emitCsv(records, csv, out);
+    if (csv.empty() || flags.has("table")) {
+        BatchRunner::toTable(records, "sparch sweep: " + grid_path)
+            .print(out);
+    }
+    reportStats(stats, cache_ptr, err);
+    return 0;
+}
+
+const char *
+familyName(MatrixFamily family)
+{
+    switch (family) {
+    case MatrixFamily::Fem:
+        return "fem";
+    case MatrixFamily::PowerLaw:
+        return "power-law";
+    case MatrixFamily::Road:
+        return "road";
+    case MatrixFamily::Circuit:
+        return "circuit";
+    case MatrixFamily::Mesh:
+        return "mesh";
+    }
+    return "?";
+}
+
+int
+cmdWorkloads(const std::vector<std::string> &args, std::ostream &out)
+{
+    FlagSet(args, {}, {}); // rejects stray flags
+    TablePrinter table("built-in suite (paper Figs. 11/12; proxies "
+                       "generated at --nnz scale)");
+    table.header({"spec", "true rows", "true nnz", "family"});
+    for (const BenchmarkSpec &s : benchmarkSuite()) {
+        table.row({"suite:" + s.name, std::to_string(s.rows),
+                   std::to_string(s.nnz), familyName(s.family)});
+    }
+    table.print(out);
+    out << "\nother families: rmat:<v>x<ef>  uniform:<r>x<c>:<nnz>  "
+           "dnn:<h>x<b>:<density>  mtx:<path>\n";
+    return 0;
+}
+
+int
+cmdCache(const std::vector<std::string> &args, std::ostream &out)
+{
+    const FlagSet flags(args, {"cache"}, {});
+    const std::string path = flags.get("cache");
+    if (path.empty())
+        fatal("cache: --cache FILE is required");
+    if (flags.positional().size() != 1)
+        fatal("cache: expected one action, stats or clear");
+
+    const std::string &action = flags.positional()[0];
+    if (action == "stats") {
+        ResultCache cache(path);
+        out << "cache '" << path << "': " << cache.size()
+            << " entries\n";
+        return 0;
+    }
+    if (action == "clear") {
+        ResultCache cache(path);
+        const std::size_t n = cache.size();
+        cache.clear();
+        out << "cache '" << path << "': dropped " << n
+            << " entries\n";
+        return 0;
+    }
+    fatal("cache: unknown action '", action,
+          "'; expected stats or clear");
+}
+
+} // namespace
+
+int
+run(const std::vector<std::string> &args, std::ostream &out,
+    std::ostream &err)
+{
+    try {
+        if (args.empty() || args[0] == "help" || args[0] == "--help" ||
+            args[0] == "-h") {
+            out << kUsage;
+            return args.empty() ? 1 : 0;
+        }
+        const std::string &command = args[0];
+        const std::vector<std::string> rest(args.begin() + 1,
+                                            args.end());
+        if (command == "run")
+            return cmdRun(rest, out, err);
+        if (command == "sweep")
+            return cmdSweep(rest, out, err);
+        if (command == "workloads")
+            return cmdWorkloads(rest, out);
+        if (command == "cache")
+            return cmdCache(rest, out);
+        fatal("unknown command '", command,
+              "'; try 'sparch help'");
+    } catch (const FatalError &e) {
+        err << "sparch: " << e.what() << "\n";
+        return 1;
+    }
+}
+
+} // namespace cli
+} // namespace sparch

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The sparch CLI: one front door over the batch-simulation driver.
+ *
+ * Commands:
+ *   run        simulate ad-hoc workload specs at one configuration
+ *   sweep      run a grid-spec file (configs x workloads x shards)
+ *   workloads  list the built-in suite and the spec grammar
+ *   cache      inspect or clear a persistent result cache
+ *
+ * The entry point takes argv-style strings plus explicit output
+ * streams and returns a process exit code, so tests drive the whole
+ * CLI in-process and assert on its bytes; src/cli/main.cc is a thin
+ * argv adapter around it. All simulation goes through BatchRunner —
+ * the CLI owns no simulation loop of its own — and both `run` and
+ * `sweep` accept `--cache PATH` so repeated sweeps only simulate grid
+ * points the cache has never seen.
+ */
+
+#ifndef SPARCH_CLI_COMMANDS_HH
+#define SPARCH_CLI_COMMANDS_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sparch
+{
+namespace cli
+{
+
+/**
+ * Dispatch one CLI invocation. `args` is argv without the program
+ * name. User errors (FatalError) print to `err` and return 1; success
+ * returns 0.
+ */
+int run(const std::vector<std::string> &args, std::ostream &out,
+        std::ostream &err);
+
+} // namespace cli
+} // namespace sparch
+
+#endif // SPARCH_CLI_COMMANDS_HH

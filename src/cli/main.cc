@@ -1,0 +1,23 @@
+/**
+ * @file
+ * argv adapter for the sparch CLI; all logic lives in cli::run so the
+ * test suite can drive the same code path in-process.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "cli/commands.hh"
+#include "common/logging.hh"
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    try {
+        return sparch::cli::run(args, std::cout, std::cerr);
+    } catch (const sparch::PanicError &e) {
+        std::cerr << "sparch: " << e.what() << "\n";
+        return 2;
+    }
+}

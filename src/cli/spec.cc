@@ -1,0 +1,391 @@
+#include "cli/spec.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "baselines/benchmarks.hh"
+#include "cli/flags.hh"
+#include "common/logging.hh"
+
+namespace sparch
+{
+namespace cli
+{
+
+namespace
+{
+
+std::string
+trimmed(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Split on a delimiter, trimming each piece. */
+std::vector<std::string>
+splitTrimmed(const std::string &text, char delim)
+{
+    std::vector<std::string> out;
+    std::string piece;
+    std::istringstream in(text);
+    while (std::getline(in, piece, delim))
+        out.push_back(trimmed(piece));
+    return out;
+}
+
+/** Parse "AxB" (e.g. "4096x16") into two integers. */
+std::pair<std::uint64_t, std::uint64_t>
+parsePair(const std::string &text, const std::string &what)
+{
+    const std::size_t x = text.find('x');
+    if (x == std::string::npos || x == 0 || x + 1 == text.size())
+        fatal(what, ": expected <a>x<b>, got '", text, "'");
+    return {parseU64(text.substr(0, x), what),
+            parseU64(text.substr(x + 1), what)};
+}
+
+} // namespace
+
+void
+applyConfigOption(SpArchConfig &config, const std::string &key,
+                  const std::string &value)
+{
+    if (key == "clock_ghz") {
+        config.clockHz = parseDouble(value, key) * 1e9;
+    } else if (key == "merge_layers") {
+        config.mergeTree.layers =
+            static_cast<unsigned>(parseU64(value, key));
+    } else if (key == "merger_width") {
+        config.mergeTree.mergerWidth =
+            static_cast<unsigned>(parseU64(value, key));
+    } else if (key == "merge_fifo") {
+        config.mergeTree.fifoCapacity = parseU64(value, key);
+    } else if (key == "combine_duplicates") {
+        config.mergeTree.combineDuplicates = parseBool(value, key);
+    } else if (key == "multipliers") {
+        config.multipliers = static_cast<unsigned>(parseU64(value, key));
+    } else if (key == "lookahead_fifo") {
+        config.lookaheadFifo = parseU64(value, key);
+    } else if (key == "mata_fetch_width") {
+        config.mataFetchWidth =
+            static_cast<unsigned>(parseU64(value, key));
+    } else if (key == "a_element_window") {
+        config.aElementWindow = parseU64(value, key);
+    } else if (key == "prefetch_lines") {
+        config.prefetchLines = parseU64(value, key);
+    } else if (key == "prefetch_line_elems") {
+        config.prefetchLineElems = parseU64(value, key);
+    } else if (key == "row_fetchers") {
+        config.rowFetchers = static_cast<unsigned>(parseU64(value, key));
+    } else if (key == "prefetch_rows_ahead") {
+        config.prefetchRowsAhead =
+            static_cast<unsigned>(parseU64(value, key));
+    } else if (key == "replacement") {
+        if (value == "belady")
+            config.replacement = ReplacementPolicy::Belady;
+        else if (value == "lru")
+            config.replacement = ReplacementPolicy::Lru;
+        else if (value == "fifo")
+            config.replacement = ReplacementPolicy::Fifo;
+        else
+            fatal("replacement: '", value,
+                  "' is not belady, lru or fifo");
+    } else if (key == "writer_fifo") {
+        config.writerFifo = parseU64(value, key);
+    } else if (key == "writer_burst") {
+        config.writerBurst = parseU64(value, key);
+    } else if (key == "partial_fetch_burst") {
+        config.partialFetchBurst = parseU64(value, key);
+    } else if (key == "hbm_channels") {
+        config.hbm.channels =
+            static_cast<unsigned>(parseU64(value, key));
+    } else if (key == "hbm_bytes_per_cycle") {
+        config.hbm.bytesPerCyclePerChannel = parseU64(value, key);
+    } else if (key == "hbm_latency") {
+        config.hbm.accessLatency = parseU64(value, key);
+    } else if (key == "hbm_interleave") {
+        config.hbm.interleaveBytes = parseU64(value, key);
+    } else if (key == "condensing") {
+        config.matrixCondensing = parseBool(value, key);
+    } else if (key == "scheduler") {
+        if (value == "huffman")
+            config.scheduler = SchedulerKind::Huffman;
+        else if (value == "sequential")
+            config.scheduler = SchedulerKind::Sequential;
+        else if (value == "random")
+            config.scheduler = SchedulerKind::Random;
+        else
+            fatal("scheduler: '", value,
+                  "' is not huffman, sequential or random");
+    } else if (key == "prefetcher") {
+        config.rowPrefetcher = parseBool(value, key);
+    } else {
+        fatal("unknown config key '", key,
+              "'; valid keys: clock_ghz merge_layers merger_width "
+              "merge_fifo combine_duplicates multipliers "
+              "lookahead_fifo mata_fetch_width a_element_window "
+              "prefetch_lines prefetch_line_elems row_fetchers "
+              "prefetch_rows_ahead replacement writer_fifo "
+              "writer_burst partial_fetch_burst hbm_channels "
+              "hbm_bytes_per_cycle hbm_latency hbm_interleave "
+              "condensing scheduler prefetcher");
+    }
+}
+
+SpArchConfig
+parseConfigOverrides(const std::string &text, const SpArchConfig &base)
+{
+    SpArchConfig config = base;
+    for (const std::string &piece : splitTrimmed(text, ',')) {
+        if (piece.empty())
+            continue;
+        const std::size_t eq = piece.find('=');
+        if (eq == std::string::npos)
+            fatal("config override '", piece, "' is not key=value");
+        applyConfigOption(config, trimmed(piece.substr(0, eq)),
+                          trimmed(piece.substr(eq + 1)));
+    }
+    return config;
+}
+
+namespace
+{
+
+/** parseWorkloadSpec before the fail-fast validation pass. */
+std::vector<driver::Workload>
+parseWorkloadSpecUnchecked(const std::string &raw,
+                           const WorkloadDefaults &defaults)
+{
+    const std::string spec = trimmed(raw);
+    if (spec.empty())
+        fatal("empty workload spec");
+
+    const std::size_t colon = spec.find(':');
+    if (colon == std::string::npos) {
+        // A bare token: a Matrix Market path if it looks like one.
+        if (spec.size() > 4 &&
+            spec.compare(spec.size() - 4, 4, ".mtx") == 0) {
+            return {driver::matrixMarketWorkload(spec)};
+        }
+        fatal("workload spec '", spec,
+              "' has no family prefix; expected suite:, rmat:, "
+              "uniform:, dnn:, mtx: or a path ending in .mtx");
+    }
+
+    const std::string family = spec.substr(0, colon);
+    const std::string rest = spec.substr(colon + 1);
+    if (family == "mtx")
+        return {driver::matrixMarketWorkload(rest)};
+
+    if (family == "suite") {
+        if (rest == "*") {
+            std::vector<driver::Workload> all;
+            for (const BenchmarkSpec &s : benchmarkSuite()) {
+                all.push_back(driver::suiteWorkload(
+                    s.name, defaults.nnz, defaults.seed));
+            }
+            return all;
+        }
+        return {driver::suiteWorkload(rest, defaults.nnz,
+                                      defaults.seed)};
+    }
+
+    if (family == "rmat") {
+        const auto [v, ef] = parsePair(rest, "rmat");
+        return {driver::rmatWorkload(static_cast<Index>(v),
+                                     static_cast<Index>(ef),
+                                     defaults.seed)};
+    }
+
+    const std::vector<std::string> parts = splitTrimmed(rest, ':');
+    if (family == "uniform") {
+        if (parts.size() != 2)
+            fatal("uniform workload '", spec,
+                  "' must be uniform:<rows>x<cols>:<nnz>");
+        const auto [rows, cols] = parsePair(parts[0], "uniform");
+        return {driver::uniformWorkload(
+            static_cast<Index>(rows), static_cast<Index>(cols),
+            parseU64(parts[1], "uniform nnz"), defaults.seed)};
+    }
+    if (family == "dnn") {
+        if (parts.size() != 2)
+            fatal("dnn workload '", spec,
+                  "' must be dnn:<hidden>x<batch>:<density>");
+        const auto [hidden, batch] = parsePair(parts[0], "dnn");
+        return {driver::dnnLayerWorkload(
+            static_cast<Index>(hidden), static_cast<Index>(batch),
+            parseDouble(parts[1], "dnn density"), defaults.seed)};
+    }
+    fatal("unknown workload family '", family,
+          "'; expected suite, rmat, uniform, dnn or mtx");
+}
+
+} // namespace
+
+std::vector<driver::Workload>
+parseWorkloadSpec(const std::string &raw,
+                  const WorkloadDefaults &defaults)
+{
+    std::vector<driver::Workload> parsed =
+        parseWorkloadSpecUnchecked(raw, defaults);
+    // Run the eager validators (for .mtx: the reader's own header
+    // parse) here, so a bad file fails at spec-parse time instead of
+    // minutes later on a batch worker thread — the CLI builds grids
+    // directly, without a WorkloadRegistry to do this for it.
+    for (const driver::Workload &w : parsed)
+        w.validate();
+    return parsed;
+}
+
+driver::ShardPolicy
+parseShardPolicy(const std::string &text)
+{
+    if (text == "row")
+        return driver::ShardPolicy::RowBalanced;
+    if (text == "nnz")
+        return driver::ShardPolicy::NnzBalanced;
+    fatal("shard policy '", text, "' is not row or nnz");
+}
+
+GridSpec
+parseGridSpec(std::istream &in, const std::string &what)
+{
+    GridSpec grid;
+    grid.configs.clear();
+
+    enum class Section
+    {
+        Top,
+        Config,
+        Workloads
+    };
+    Section section = Section::Top;
+    SpArchConfig *current_config = nullptr;
+    // Workload specs are collected and materialized at the end so
+    // top-level defaults (nnz, wseed) apply wherever they appear.
+    std::vector<std::string> workload_specs;
+    std::string raw;
+    std::size_t line_no = 0;
+
+    auto where = [&] { return what + ":" + std::to_string(line_no); };
+
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::string line = raw;
+        const std::size_t hash = line.find_first_of("#;");
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trimmed(line);
+        if (line.empty())
+            continue;
+
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                fatal(where(), ": unterminated section '", line, "'");
+            const std::string name =
+                trimmed(line.substr(1, line.size() - 2));
+            if (name == "workloads") {
+                section = Section::Workloads;
+                current_config = nullptr;
+            } else if (name.rfind("config", 0) == 0) {
+                std::string label = trimmed(name.substr(6));
+                if (label.empty())
+                    label = "config-" +
+                            std::to_string(grid.configs.size());
+                grid.configs.emplace_back(label, SpArchConfig{});
+                current_config = &grid.configs.back().second;
+                section = Section::Config;
+            } else {
+                fatal(where(), ": unknown section [", name,
+                      "]; expected [config <label>] or [workloads]");
+            }
+            continue;
+        }
+
+        if (section == Section::Workloads) {
+            workload_specs.push_back(line);
+            continue;
+        }
+
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal(where(), ": '", line, "' is not key = value");
+        const std::string key = trimmed(line.substr(0, eq));
+        const std::string value = trimmed(line.substr(eq + 1));
+
+        if (section == Section::Config) {
+            try {
+                applyConfigOption(*current_config, key, value);
+            } catch (const FatalError &e) {
+                fatal(where(), ": ", fatalDetail(e));
+            }
+            continue;
+        }
+
+        // Top-level sweep settings.
+        if (key == "nnz") {
+            grid.defaults.nnz = parseU64(value, key);
+        } else if (key == "wseed") {
+            grid.defaults.seed = parseU64(value, key);
+        } else if (key == "seed") {
+            grid.seed = parseU64(value, key);
+        } else if (key == "threads") {
+            grid.threads =
+                static_cast<unsigned>(parseU64(value, key));
+        } else if (key == "policy") {
+            grid.policy = parseShardPolicy(value);
+        } else if (key == "shards") {
+            grid.shards.clear();
+            for (const std::string &piece : splitTrimmed(value, ' ')) {
+                if (piece.empty())
+                    continue;
+                const auto n = static_cast<unsigned>(
+                    parseU64(piece, "shards"));
+                if (n == 0)
+                    fatal(where(), ": shard count must be >= 1");
+                grid.shards.push_back(n);
+            }
+            if (grid.shards.empty())
+                fatal(where(), ": shards needs at least one count");
+        } else {
+            fatal(where(), ": unknown setting '", key,
+                  "'; expected nnz, seed, wseed, threads, policy or "
+                  "shards");
+        }
+    }
+
+    for (const std::string &spec : workload_specs) {
+        try {
+            for (driver::Workload &w :
+                 parseWorkloadSpec(spec, grid.defaults))
+                grid.workloads.push_back(std::move(w));
+        } catch (const FatalError &e) {
+            fatal(what, ": workload '", spec, "': ", fatalDetail(e));
+        }
+    }
+
+    if (grid.configs.empty())
+        grid.configs.emplace_back("default", SpArchConfig{});
+    if (grid.workloads.empty())
+        fatal(what, ": grid has no workloads (add a [workloads] "
+                    "section)");
+    return grid;
+}
+
+GridSpec
+parseGridSpecFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open grid spec '", path, "'");
+    return parseGridSpec(in, path);
+}
+
+} // namespace cli
+} // namespace sparch

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The sparch CLI's three textual formats.
+ *
+ * 1. Config overrides — comma- or newline-separated `key = value`
+ *    pairs applied onto the Table I defaults, e.g.
+ *    `merge_layers=4,prefetch_lines=512,scheduler=sequential`.
+ *
+ * 2. Workload specs — one-line descriptions of the repository's
+ *    workload families:
+ *        suite:<name> | suite:*        proxy of the 20-matrix suite
+ *        rmat:<vertices>x<edge_factor> R-MAT adjacency squared
+ *        uniform:<rows>x<cols>:<nnz>   uniform random squared
+ *        dnn:<hidden>x<batch>:<density> pruned-MLP layer W x X
+ *        mtx:<path> (or a bare path ending in .mtx)
+ *    Suite nnz targets and generator seeds come from WorkloadDefaults.
+ *
+ * 3. Grid-spec files — a small INI-style format describing one sweep:
+ *    top-level `key = value` settings (nnz, seed, wseed, shards,
+ *    policy, threads), any number of `[config <label>]` sections whose
+ *    bodies are config overrides, and a `[workloads]` section with one
+ *    workload spec per line. The sweep runs the full configs x
+ *    workloads x shards cross product, config-major, exactly like
+ *    BatchRunner::addShardSweep.
+ *
+ * Everything throws FatalError with a file/line-qualified message on
+ * malformed input: these formats are the user-facing surface of the
+ * simulator, so errors must name what was wrong, not crash later.
+ */
+
+#ifndef SPARCH_CLI_SPEC_HH
+#define SPARCH_CLI_SPEC_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sparch_config.hh"
+#include "driver/sharded_simulator.hh"
+#include "driver/workload.hh"
+
+namespace sparch
+{
+namespace cli
+{
+
+/**
+ * Apply one `key = value` override. Throws FatalError on an unknown
+ * key or an unparsable value; the error lists the valid keys so the
+ * format is discoverable from the terminal.
+ */
+void applyConfigOption(SpArchConfig &config, const std::string &key,
+                       const std::string &value);
+
+/** Apply a comma-separated override list onto `base`. */
+SpArchConfig parseConfigOverrides(const std::string &text,
+                                  const SpArchConfig &base = {});
+
+/** Seeds and scale that workload specs inherit when not overridden. */
+struct WorkloadDefaults
+{
+    /** Suite-proxy nnz target (the benches' SPARCH_BENCH_NNZ knob). */
+    std::uint64_t nnz = 60000;
+    /** Generator seed (the factories' historical default). */
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Parse one workload spec. Returns one workload, or the whole
+ * 20-matrix suite for `suite:*`.
+ */
+std::vector<driver::Workload>
+parseWorkloadSpec(const std::string &spec,
+                  const WorkloadDefaults &defaults);
+
+/** A fully parsed grid-spec: one sweep's cross product and settings. */
+struct GridSpec
+{
+    /** Config axis; a specless grid gets one Table I "default". */
+    std::vector<std::pair<std::string, SpArchConfig>> configs;
+    std::vector<driver::Workload> workloads;
+    /** Shard axis (1 = monolithic). */
+    std::vector<unsigned> shards = {1};
+    driver::ShardPolicy policy = driver::ShardPolicy::NnzBalanced;
+    /** Worker threads; 0 = all hardware threads. */
+    unsigned threads = 0;
+    /** BatchRunner base seed. */
+    std::uint64_t seed = 0x5eed5eedULL;
+    WorkloadDefaults defaults;
+};
+
+/** Parse a grid-spec stream; `what` names it in error messages. */
+GridSpec parseGridSpec(std::istream &in, const std::string &what);
+
+/** Parse a grid-spec file from disk. */
+GridSpec parseGridSpecFile(const std::string &path);
+
+/** Parse "row" / "nnz" into a shard policy. */
+driver::ShardPolicy parseShardPolicy(const std::string &text);
+
+} // namespace cli
+} // namespace sparch
+
+#endif // SPARCH_CLI_SPEC_HH

@@ -79,6 +79,20 @@ fatal(const Args &...args)
     throw FatalError(os.str());
 }
 
+/**
+ * A FatalError's message without its "fatal: " prefix — for catch
+ * sites that rethrow with added context via fatal(), which would
+ * otherwise stack "fatal: fatal: ..." prefixes.
+ */
+inline std::string
+fatalDetail(const FatalError &e)
+{
+    std::string what = e.what();
+    if (what.rfind("fatal: ", 0) == 0)
+        what.erase(0, 7);
+    return what;
+}
+
 /** Non-fatal warning to stderr. */
 template <typename... Args>
 void

@@ -16,6 +16,20 @@
 namespace sparch
 {
 
+/**
+ * The SplitMix64 finalizer: the repository's standard 64-bit bit
+ * mixer, shared by the PRNG seeding, the batch driver's per-task seed
+ * derivation, and the result cache's key hashing so the constants
+ * live in exactly one place.
+ */
+inline std::uint64_t
+splitMix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 /** Deterministic 64-bit PRNG (xoshiro256**). */
 class Rng
 {
@@ -28,10 +42,7 @@ class Rng
     {
         for (auto &word : state_) {
             seed += 0x9e3779b97f4a7c15ULL;
-            std::uint64_t z = seed;
-            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-            word = z ^ (z >> 31);
+            word = splitMix64(seed);
         }
     }
 

@@ -1,10 +1,15 @@
 #include "driver/batch_runner.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <future>
+#include <limits>
 #include <ostream>
+#include <sstream>
 
 #include "common/logging.hh"
+#include "common/random.hh"
+#include "driver/result_cache.hh"
 #include "driver/thread_pool.hh"
 
 namespace sparch
@@ -20,11 +25,8 @@ std::uint64_t
 BatchRunner::taskSeed(std::uint64_t base_seed, std::size_t id)
 {
     // SplitMix64 finalizer over base ^ id: adjacent ids decorrelate.
-    std::uint64_t z = base_seed ^ (static_cast<std::uint64_t>(id) +
-                                   0x9e3779b97f4a7c15ULL);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
+    return splitMix64(base_seed ^ (static_cast<std::uint64_t>(id) +
+                                   0x9e3779b97f4a7c15ULL));
 }
 
 std::size_t
@@ -110,30 +112,63 @@ BatchRunner::runTask(const BatchTask &task) const
 std::vector<BatchRecord>
 BatchRunner::run() const
 {
-    std::vector<BatchRecord> records;
-    records.reserve(tasks_.size());
+    return run(nullptr, nullptr);
+}
 
-    if (threads_ <= 1) {
-        for (const BatchTask &task : tasks_)
-            records.push_back(runTask(task));
-        return records;
+std::vector<BatchRecord>
+BatchRunner::run(ResultCache *cache, RunStats *stats) const
+{
+    // Satisfy what the cache can up front: lookups are hash probes,
+    // so a fully warm sweep never touches the pool at all. Cached
+    // records lack the product matrix, so a run that must keep
+    // products simulates everything.
+    const bool use_cache = cache != nullptr && !keep_products_;
+    std::vector<BatchRecord> records(tasks_.size());
+    std::vector<const BatchTask *> misses;
+    misses.reserve(tasks_.size());
+    for (const BatchTask &task : tasks_) {
+        if (use_cache) {
+            if (const BatchRecord *hit =
+                    cache->find(ResultCache::taskKey(task))) {
+                records[task.id] = *hit;
+                // Identity hashes the config contents and workload
+                // identity, not the grid position or display label;
+                // restamp those from this grid.
+                records[task.id].id = task.id;
+                records[task.id].configLabel = task.configLabel;
+                records[task.id].workloadName = task.workload.name();
+                continue;
+            }
+        }
+        misses.push_back(&task);
     }
 
-    ThreadPool pool(threads_);
-    std::vector<std::future<BatchRecord>> futures;
-    futures.reserve(tasks_.size());
-    for (const BatchTask &task : tasks_)
-        futures.push_back(
-            pool.submit([this, &task] { return runTask(task); }));
-    for (std::future<BatchRecord> &f : futures)
-        records.push_back(f.get());
+    if (threads_ <= 1 || misses.size() <= 1) {
+        for (const BatchTask *task : misses)
+            records[task->id] = runTask(*task);
+    } else {
+        ThreadPool pool(threads_);
+        std::vector<std::future<BatchRecord>> futures;
+        futures.reserve(misses.size());
+        for (const BatchTask *task : misses)
+            futures.push_back(
+                pool.submit([this, task] { return runTask(*task); }));
+        for (std::future<BatchRecord> &f : futures) {
+            BatchRecord record = f.get();
+            const std::size_t id = record.id;
+            records[id] = std::move(record);
+        }
+    }
 
-    // Futures were collected in submission order, but keep the
-    // contract explicit: records come back sorted by task id.
-    std::sort(records.begin(), records.end(),
-              [](const BatchRecord &a, const BatchRecord &b) {
-                  return a.id < b.id;
-              });
+    if (use_cache) {
+        for (const BatchTask *task : misses)
+            cache->insert(ResultCache::taskKey(*task),
+                          records[task->id]);
+    }
+    if (stats != nullptr) {
+        stats->simulated = misses.size();
+        stats->cacheHits = tasks_.size() - misses.size();
+    }
     return records;
 }
 
@@ -179,31 +214,149 @@ csvField(const std::string &value)
     return quoted;
 }
 
+/**
+ * Split one RFC-4180 line into fields (quotes and doubled quotes
+ * honoured; embedded newlines are not, since callers read line by
+ * line). Returns false on unbalanced quoting.
+ */
+bool
+splitCsvLine(const std::string &line, std::vector<std::string> &fields)
+{
+    fields.clear();
+    std::string current;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    current += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                current += c;
+            }
+        } else if (c == '"' && current.empty()) {
+            quoted = true;
+        } else if (c == ',') {
+            fields.push_back(std::move(current));
+            current.clear();
+        } else if (c == '\r' && i + 1 == line.size()) {
+            // Tolerate CRLF files.
+        } else {
+            current += c;
+        }
+    }
+    if (quoted)
+        return false;
+    fields.push_back(std::move(current));
+    return true;
+}
+
+/** Strict full-token numeric parses; false on trailing garbage. */
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 10);
+    return end == s.c_str() + s.size();
+}
+
+bool
+parseF64(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(s.c_str(), &end);
+    return end == s.c_str() + s.size();
+}
+
 } // namespace
+
+const char *
+BatchRunner::csvHeader()
+{
+    return "id,config,workload,seed,shards,cycles,seconds,flops,gflops,"
+           "bytes_mat_a,bytes_mat_b,bytes_partial_read,"
+           "bytes_partial_write,bytes_final_write,bytes_total,"
+           "bandwidth_utilization,prefetch_hit_rate,multiplies,"
+           "additions,partial_matrices,merge_rounds,result_nnz";
+}
+
+void
+BatchRunner::writeCsvRow(const BatchRecord &r, std::ostream &out)
+{
+    // max_digits10 makes every double round-trip exactly through the
+    // decimal text, so records reloaded from a result cache reproduce
+    // the original measurements (and CSV bytes) bit for bit.
+    const auto old_precision =
+        out.precision(std::numeric_limits<double>::max_digits10);
+    const SpArchResult &s = r.sim;
+    out << r.id << ',' << csvField(r.configLabel) << ','
+        << csvField(r.workloadName) << ',' << r.seed << ','
+        << r.shards << ',' << s.cycles << ',' << s.seconds
+        << ',' << s.flops << ',' << s.gflops << ','
+        << s.bytesMatA << ',' << s.bytesMatB << ','
+        << s.bytesPartialRead << ',' << s.bytesPartialWrite << ','
+        << s.bytesFinalWrite << ',' << s.bytesTotal << ','
+        << s.bandwidthUtilization << ',' << s.prefetchHitRate
+        << ',' << s.multiplies << ',' << s.additions << ','
+        << s.partialMatrices << ',' << s.mergeRounds << ','
+        << r.resultNnz << '\n';
+    out.precision(old_precision);
+}
+
+bool
+BatchRunner::parseCsvRow(const std::string &line, BatchRecord &record)
+{
+    std::vector<std::string> f;
+    if (!splitCsvLine(line, f) || f.size() != 22)
+        return false;
+
+    BatchRecord r;
+    std::uint64_t id = 0, shards = 0, result_nnz = 0;
+    const bool ok = parseU64(f[0], id) && parseU64(f[3], r.seed) &&
+                    parseU64(f[4], shards) &&
+                    parseU64(f[5], r.sim.cycles) &&
+                    parseF64(f[6], r.sim.seconds) &&
+                    parseU64(f[7], r.sim.flops) &&
+                    parseF64(f[8], r.sim.gflops) &&
+                    parseU64(f[9], r.sim.bytesMatA) &&
+                    parseU64(f[10], r.sim.bytesMatB) &&
+                    parseU64(f[11], r.sim.bytesPartialRead) &&
+                    parseU64(f[12], r.sim.bytesPartialWrite) &&
+                    parseU64(f[13], r.sim.bytesFinalWrite) &&
+                    parseU64(f[14], r.sim.bytesTotal) &&
+                    parseF64(f[15], r.sim.bandwidthUtilization) &&
+                    parseF64(f[16], r.sim.prefetchHitRate) &&
+                    parseU64(f[17], r.sim.multiplies) &&
+                    parseU64(f[18], r.sim.additions) &&
+                    parseU64(f[19], r.sim.partialMatrices) &&
+                    parseU64(f[20], r.sim.mergeRounds) &&
+                    parseU64(f[21], result_nnz);
+    if (!ok)
+        return false;
+    r.id = static_cast<std::size_t>(id);
+    r.configLabel = f[1];
+    r.workloadName = f[2];
+    r.shards = static_cast<unsigned>(shards);
+    r.resultNnz = static_cast<std::size_t>(result_nnz);
+    record = std::move(r);
+    return true;
+}
 
 void
 BatchRunner::writeCsv(const std::vector<BatchRecord> &records,
                       std::ostream &out)
 {
-    out << "id,config,workload,seed,shards,cycles,seconds,flops,gflops,"
-           "bytes_mat_a,bytes_mat_b,bytes_partial_read,"
-           "bytes_partial_write,bytes_final_write,bytes_total,"
-           "bandwidth_utilization,prefetch_hit_rate,multiplies,"
-           "additions,partial_matrices,merge_rounds,result_nnz\n";
-    for (const BatchRecord &r : records) {
-        const SpArchResult &s = r.sim;
-        out << r.id << ',' << csvField(r.configLabel) << ','
-            << csvField(r.workloadName) << ',' << r.seed << ','
-            << r.shards << ',' << s.cycles << ',' << s.seconds
-            << ',' << s.flops << ',' << s.gflops << ','
-            << s.bytesMatA << ',' << s.bytesMatB << ','
-            << s.bytesPartialRead << ',' << s.bytesPartialWrite << ','
-            << s.bytesFinalWrite << ',' << s.bytesTotal << ','
-            << s.bandwidthUtilization << ',' << s.prefetchHitRate
-            << ',' << s.multiplies << ',' << s.additions << ','
-            << s.partialMatrices << ',' << s.mergeRounds << ','
-            << r.resultNnz << '\n';
-    }
+    out << csvHeader() << '\n';
+    for (const BatchRecord &r : records)
+        writeCsvRow(r, out);
 }
 
 } // namespace driver

@@ -39,6 +39,8 @@ namespace sparch
 namespace driver
 {
 
+class ResultCache;
+
 /** One (configuration, workload) point of a batch grid. */
 struct BatchTask
 {
@@ -72,6 +74,17 @@ struct BatchRecord
     /** Product nonzeros (kept even when the matrix is dropped). */
     std::size_t resultNnz = 0;
     SpArchResult sim;
+};
+
+/** How a run's grid points were satisfied. */
+struct RunStats
+{
+    /** Points actually simulated this run. */
+    std::size_t simulated = 0;
+    /** Points satisfied from a ResultCache. */
+    std::size_t cacheHits = 0;
+
+    std::size_t total() const { return simulated + cacheHits; }
 };
 
 /** Runs a config x workload grid, serially or across a thread pool. */
@@ -133,6 +146,21 @@ class BatchRunner
      */
     std::vector<BatchRecord> run() const;
 
+    /**
+     * Run the grid against a persistent result cache: grid points the
+     * cache already holds are returned without simulating (the cached
+     * record is relabelled with this grid's id and config label), and
+     * freshly simulated points are inserted into the cache. The caller
+     * owns persistence (ResultCache::save). Cached records carry the
+     * CSV scalars but neither the product matrix nor module stats, so
+     * a runner with keepProducts(true) bypasses the cache entirely.
+     *
+     * @param cache nullptr behaves exactly like run().
+     * @param stats Optional hit/miss accounting.
+     */
+    std::vector<BatchRecord> run(ResultCache *cache,
+                                 RunStats *stats = nullptr) const;
+
     /** The per-task seed derivation (exposed for tests). */
     static std::uint64_t taskSeed(std::uint64_t base_seed,
                                   std::size_t id);
@@ -144,6 +172,21 @@ class BatchRunner
     /** Write records as CSV (header + one line per record). */
     static void writeCsv(const std::vector<BatchRecord> &records,
                          std::ostream &out);
+
+    /** The writeCsv column list (no trailing newline). */
+    static const char *csvHeader();
+
+    /** Write one record as a writeCsv data line (with newline). */
+    static void writeCsvRow(const BatchRecord &record,
+                            std::ostream &out);
+
+    /**
+     * Parse one writeCsv data line back into a record (scalar fields
+     * only; the product matrix and module stats are not serialized).
+     * Returns false on a malformed line.
+     */
+    static bool parseCsvRow(const std::string &line,
+                            BatchRecord &record);
 
   private:
     BatchRecord runTask(const BatchTask &task) const;

@@ -1,0 +1,203 @@
+#include "driver/result_cache.hh"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace sparch
+{
+namespace driver
+{
+
+namespace
+{
+
+/** Fold one 64-bit word into a running hash (SplitMix64 step). */
+std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    return splitMix64((h ^ v) + 0x9e3779b97f4a7c15ULL);
+}
+
+std::uint64_t
+mixDouble(std::uint64_t h, double v)
+{
+    return mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+/** FNV-1a over the bytes, then folded in as one word. */
+std::uint64_t
+mixString(std::uint64_t h, const std::string &s)
+{
+    std::uint64_t fnv = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s)
+        fnv = (fnv ^ c) * 0x100000001b3ULL;
+    return mix(mix(h, s.size()), fnv);
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string path) : path_(std::move(path))
+{
+    load();
+}
+
+std::uint64_t
+ResultCache::key(const SpArchConfig &config,
+                 const std::string &workload_identity,
+                 std::uint64_t seed, unsigned shards,
+                 ShardPolicy policy)
+{
+    // Every field of SpArchConfig (and its nested merge-tree and HBM
+    // configs) feeds the hash: if a parameter can change the
+    // simulation, it must change the key.
+    std::uint64_t h = mix(0x5eedcac8eULL, kSchemaVersion);
+    h = mixDouble(h, config.clockHz);
+    h = mix(h, config.mergeTree.layers);
+    h = mix(h, config.mergeTree.mergerWidth);
+    h = mix(h, config.mergeTree.fifoCapacity);
+    h = mix(h, config.mergeTree.combineDuplicates ? 1 : 0);
+    h = mix(h, config.multipliers);
+    h = mix(h, config.lookaheadFifo);
+    h = mix(h, config.mataFetchWidth);
+    h = mix(h, config.aElementWindow);
+    h = mix(h, config.prefetchLines);
+    h = mix(h, config.prefetchLineElems);
+    h = mix(h, config.rowFetchers);
+    h = mix(h, config.prefetchRowsAhead);
+    h = mix(h, static_cast<std::uint64_t>(config.replacement));
+    h = mix(h, config.writerFifo);
+    h = mix(h, config.writerBurst);
+    h = mix(h, config.partialFetchBurst);
+    h = mix(h, config.hbm.channels);
+    h = mix(h, config.hbm.bytesPerCyclePerChannel);
+    h = mix(h, config.hbm.accessLatency);
+    h = mix(h, config.hbm.interleaveBytes);
+    h = mix(h, config.matrixCondensing ? 1 : 0);
+    h = mix(h, static_cast<std::uint64_t>(config.scheduler));
+    h = mix(h, config.rowPrefetcher ? 1 : 0);
+
+    h = mixString(h, workload_identity);
+    h = mix(h, seed);
+    h = mix(h, shards);
+    h = mix(h, static_cast<std::uint64_t>(policy));
+    return h;
+}
+
+std::uint64_t
+ResultCache::taskKey(const BatchTask &task)
+{
+    return key(task.config, task.workload.identity(), task.seed,
+               task.shards, task.shardPolicy);
+}
+
+const BatchRecord *
+ResultCache::find(std::uint64_t key) const
+{
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+void
+ResultCache::insert(std::uint64_t key, const BatchRecord &record)
+{
+    entries_[key] = record;
+    // Cached entries must stay CSV-serializable: drop any product
+    // matrix a keepProducts runner left behind.
+    entries_[key].sim.result = CsrMatrix();
+    dirty_ = true;
+}
+
+void
+ResultCache::load()
+{
+    std::ifstream in(path_);
+    if (!in)
+        return; // a missing file is just an empty cache
+
+    const std::string expected_header =
+        std::string("key,") + BatchRunner::csvHeader();
+    std::string line;
+    if (!std::getline(in, line))
+        return; // empty file
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    if (line != expected_header) {
+        warn("result cache '", path_,
+             "': unrecognized header; ignoring the file");
+        return;
+    }
+
+    std::size_t bad_lines = 0;
+    while (std::getline(in, line)) {
+        if (line.empty() || (line.size() == 1 && line[0] == '\r'))
+            continue;
+        const std::size_t comma = line.find(',');
+        bool ok = comma != std::string::npos && comma > 0;
+        std::uint64_t key = 0;
+        if (ok) {
+            const std::string hex = line.substr(0, comma);
+            char *end = nullptr;
+            key = std::strtoull(hex.c_str(), &end, 16);
+            ok = end == hex.c_str() + hex.size();
+        }
+        BatchRecord record;
+        ok = ok && BatchRunner::parseCsvRow(line.substr(comma + 1),
+                                            record);
+        if (!ok) {
+            ++bad_lines;
+            continue;
+        }
+        entries_[key] = std::move(record);
+    }
+    if (bad_lines > 0) {
+        warn("result cache '", path_, "': skipped ", bad_lines,
+             " corrupt line(s); those points will re-simulate");
+    }
+}
+
+void
+ResultCache::save()
+{
+    if (path_.empty() || !dirty_)
+        return;
+
+    const std::string tmp = path_ + ".tmp";
+    {
+        std::ofstream out(tmp);
+        if (!out) {
+            warn("result cache: cannot write '", tmp, "'");
+            return;
+        }
+        out << "key," << BatchRunner::csvHeader() << '\n';
+        for (const auto &[key, record] : entries_) {
+            out << std::hex << std::setw(16) << std::setfill('0')
+                << key << std::dec << std::setfill(' ') << ',';
+            BatchRunner::writeCsvRow(record, out);
+        }
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+        warn("result cache: cannot move '", tmp, "' into place");
+        std::remove(tmp.c_str());
+        return;
+    }
+    dirty_ = false;
+}
+
+void
+ResultCache::clear()
+{
+    entries_.clear();
+    dirty_ = false;
+    if (!path_.empty())
+        std::remove(path_.c_str());
+}
+
+} // namespace driver
+} // namespace sparch

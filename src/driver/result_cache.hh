@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Persistent result cache for batch simulations.
+ *
+ * A DSE loop refines the same grid over and over: every sweep rerun
+ * (CI, a widened axis, a resumed session) re-simulates mostly points
+ * that were already measured. ResultCache memoizes BatchRecords keyed
+ * by a SplitMix64-style hash of everything that determines a
+ * simulation's outcome — the full SpArchConfig contents, the
+ * workload's cache identity (generator parameters, or file size+mtime
+ * for Matrix Market inputs), the per-task seed, and the shard
+ * count/policy — so BatchRunner::run(cache) only simulates grid
+ * points it has never seen.
+ *
+ * Storage is the BatchRunner::writeCsv schema with a leading hex key
+ * column, one file per cache. Cached records therefore carry the CSV
+ * scalars but not the product matrix or module stats; a corrupt file
+ * degrades to cache misses (bad lines are skipped with a warning),
+ * never to wrong results or an abort.
+ */
+
+#ifndef SPARCH_DRIVER_RESULT_CACHE_HH
+#define SPARCH_DRIVER_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "driver/batch_runner.hh"
+
+namespace sparch
+{
+namespace driver
+{
+
+/** Key-value store of finished grid points, optionally file-backed. */
+class ResultCache
+{
+  public:
+    /** In-memory cache: save() is a no-op. */
+    ResultCache() = default;
+
+    /**
+     * File-backed cache: loads `path` if it exists. A missing file is
+     * an empty cache; an unreadable or corrupt one degrades to an
+     * empty/partial cache with a warning.
+     */
+    explicit ResultCache(std::string path);
+
+    /**
+     * Hash of everything that determines a grid point's measurements.
+     * The config is hashed field by field (a changed architectural
+     * parameter can never alias a cached result) together with a
+     * schema-version salt, so bumping kSchemaVersion invalidates every
+     * existing cache when simulator semantics change.
+     */
+    static std::uint64_t key(const SpArchConfig &config,
+                             const std::string &workload_identity,
+                             std::uint64_t seed, unsigned shards,
+                             ShardPolicy policy);
+
+    /** key() over a BatchTask's fields. */
+    static std::uint64_t taskKey(const BatchTask &task);
+
+    /** Cached record for a key, or nullptr. */
+    const BatchRecord *find(std::uint64_t key) const;
+
+    /** Insert or overwrite one record. */
+    void insert(std::uint64_t key, const BatchRecord &record);
+
+    std::size_t size() const { return entries_.size(); }
+    const std::string &path() const { return path_; }
+
+    /** True when entries changed since the last load/save. */
+    bool dirty() const { return dirty_; }
+
+    /**
+     * Write the cache back to its file (atomically, via a temp file).
+     * No-op for in-memory caches and when nothing changed.
+     */
+    void save();
+
+    /** Drop every entry and delete the backing file, if any. */
+    void clear();
+
+    /**
+     * Bump when a simulator change alters measurements for identical
+     * inputs: old caches then miss on every key instead of serving
+     * stale numbers.
+     */
+    static constexpr std::uint64_t kSchemaVersion = 1;
+
+  private:
+    void load();
+
+    std::string path_;
+    /** Ordered so save() writes a deterministic file. */
+    std::map<std::uint64_t, BatchRecord> entries_;
+    bool dirty_ = false;
+};
+
+} // namespace driver
+} // namespace sparch
+
+#endif // SPARCH_DRIVER_RESULT_CACHE_HH

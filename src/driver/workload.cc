@@ -1,6 +1,9 @@
 #include "driver/workload.hh"
 
+#include <chrono>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "baselines/benchmarks.hh"
 #include "common/logging.hh"
@@ -29,6 +32,13 @@ Workload::withValidator(std::function<void()> validator)
 {
     SPARCH_ASSERT(data_, "withValidator() on an empty workload");
     data_->validator = std::move(validator);
+    return *this;
+}
+
+Workload &
+Workload::withIdentity(std::string identity)
+{
+    identity_ = std::move(identity);
     return *this;
 }
 
@@ -76,10 +86,14 @@ suiteWorkload(const std::string &benchmark_name,
               std::uint64_t target_nnz, std::uint64_t seed)
 {
     const BenchmarkSpec &spec = findBenchmark(benchmark_name);
-    return Workload(benchmark_name, [spec, target_nnz, seed] {
+    Workload w(benchmark_name, [spec, target_nnz, seed] {
         return generateBenchmark(spec, defaultScale(spec, target_nnz),
                                  seed);
     });
+    w.withIdentity("suite:" + benchmark_name +
+                   "|nnz=" + std::to_string(target_nnz) +
+                   "|seed=" + std::to_string(seed));
+    return w;
 }
 
 Workload
@@ -87,9 +101,11 @@ rmatWorkload(Index vertices, Index edge_factor, std::uint64_t seed)
 {
     std::string name = "rmat-" + std::to_string(vertices) + "-x" +
                        std::to_string(edge_factor);
-    return Workload(std::move(name), [vertices, edge_factor, seed] {
+    Workload w(name, [vertices, edge_factor, seed] {
         return rmatGenerate(vertices, edge_factor, seed);
     });
+    w.withIdentity(name + "|seed=" + std::to_string(seed));
+    return w;
 }
 
 Workload
@@ -99,9 +115,11 @@ uniformWorkload(Index rows, Index cols, std::uint64_t nnz,
     std::string name = "uniform-" + std::to_string(rows) + "x" +
                        std::to_string(cols) + "-" +
                        std::to_string(nnz);
-    return Workload(std::move(name), [rows, cols, nnz, seed] {
+    Workload w(name, [rows, cols, nnz, seed] {
         return generateUniform(rows, cols, nnz, seed);
     });
+    w.withIdentity(name + "|seed=" + std::to_string(seed));
+    return w;
 }
 
 Workload
@@ -111,18 +129,36 @@ matrixMarketWorkload(const std::string &path)
         return readMatrixMarketFile(path);
     });
     // Probe the file eagerly so a bad path surfaces when the workload
-    // is registered, not minutes later on a batch worker thread.
+    // is registered, not minutes later on a batch worker thread. The
+    // probe is the reader's own header parser, so everything it
+    // accepts — and nothing it rejects — reaches a worker thread.
     w.withValidator([path] {
         std::ifstream in(path);
         if (!in)
             fatal("workload '", path, "': cannot open file");
-        std::string banner;
-        std::getline(in, banner);
-        if (banner.rfind("%%MatrixMarket", 0) != 0) {
-            fatal("workload '", path,
-                  "': missing %%MatrixMarket banner");
+        try {
+            readMatrixMarketHeader(in);
+        } catch (const FatalError &e) {
+            fatal("workload '", path, "': ", fatalDetail(e));
         }
     });
+
+    // Fold the file's size and mtime into the cache identity so a
+    // rewritten input never serves stale cached results. A missing
+    // file keeps the bare path; the validator rejects it at
+    // registration anyway.
+    std::ostringstream identity;
+    identity << "mtx:" << path;
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (!ec)
+        identity << "|size=" << size;
+    const auto mtime = std::filesystem::last_write_time(path, ec);
+    if (!ec) {
+        identity << "|mtime="
+                 << mtime.time_since_epoch().count();
+    }
+    w.withIdentity(identity.str());
     return w;
 }
 
@@ -136,14 +172,18 @@ dnnLayerWorkload(Index hidden, Index batch, double density,
         density * hidden * hidden);
     const auto act_nnz = static_cast<std::uint64_t>(
         density * hidden * batch);
-    return Workload(
-        std::move(name),
+    Workload w(
+        name,
         [hidden, weight_nnz, seed] {
             return generateUniform(hidden, hidden, weight_nnz, seed);
         },
         [hidden, batch, act_nnz, seed] {
             return generateUniform(hidden, batch, act_nnz, seed + 1);
         });
+    std::ostringstream identity;
+    identity << name << "|density=" << density << "|seed=" << seed;
+    w.withIdentity(identity.str());
+    return w;
 }
 
 Workload

@@ -53,6 +53,23 @@ class Workload
 
     const std::string &name() const { return name_; }
 
+    /**
+     * Cache identity: a string that pins down the exact operands this
+     * workload materializes. Names alone are too coarse — two suite
+     * workloads at different nnz targets share a name but not a
+     * matrix — so factories attach the full generator parameters (and,
+     * for Matrix Market files, the file's size and mtime, which makes
+     * an edited input invalidate cached results). Defaults to the
+     * name when no identity was attached.
+     */
+    const std::string &identity() const
+    {
+        return identity_.empty() ? name_ : identity_;
+    }
+
+    /** Attach a cache identity; returns *this so factories can chain. */
+    Workload &withIdentity(std::string identity);
+
     /** True once constructed with a generator. */
     bool valid() const { return data_ != nullptr; }
 
@@ -92,6 +109,7 @@ class Workload
     };
 
     std::string name_;
+    std::string identity_;
     std::shared_ptr<Data> data_;
 };
 

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <fstream>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -23,10 +24,21 @@ lowered(std::string s)
     return s;
 }
 
+/** True for empty and whitespace-only lines (including a lone '\r'). */
+bool
+isBlank(const std::string &line)
+{
+    for (char c : line) {
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            return false;
+    }
+    return true;
+}
+
 } // namespace
 
-CsrMatrix
-readMatrixMarket(std::istream &in)
+MatrixMarketHeader
+readMatrixMarketHeader(std::istream &in)
 {
     std::string line;
     if (!std::getline(in, line))
@@ -44,27 +56,76 @@ readMatrixMarket(std::istream &in)
     if (object != "matrix" || format != "coordinate")
         fatal("matrix market: unsupported header '", object, " ", format,
               "'");
-    if (field != "real" && field != "integer" && field != "pattern")
+    MatrixMarketHeader header;
+    if (field == "real")
+        header.field = MmField::Real;
+    else if (field == "integer")
+        header.field = MmField::Integer;
+    else if (field == "pattern")
+        header.field = MmField::Pattern;
+    else
         fatal("matrix market: unsupported field '", field, "'");
-    if (symmetry != "general" && symmetry != "symmetric")
+    if (symmetry == "general")
+        header.symmetry = MmSymmetry::General;
+    else if (symmetry == "symmetric")
+        header.symmetry = MmSymmetry::Symmetric;
+    else
         fatal("matrix market: unsupported symmetry '", symmetry, "'");
 
-    // Skip comments.
+    // Skip comments and blank lines: SuiteSparse dumps routinely leave
+    // an empty line between the comment block and the size line.
     do {
         if (!std::getline(in, line))
             fatal("matrix market: missing size line");
-    } while (!line.empty() && line[0] == '%');
+    } while (isBlank(line) || line[0] == '%');
 
     std::istringstream size_line(line);
-    std::uint64_t rows = 0, cols = 0, entries = 0;
-    if (!(size_line >> rows >> cols >> entries))
+    if (!(size_line >> header.rows >> header.cols >> header.entries))
         fatal("matrix market: malformed size line '", line, "'");
 
-    CooMatrix coo(static_cast<Index>(rows), static_cast<Index>(cols));
-    coo.triplets().reserve(symmetry == "symmetric" ? entries * 2 : entries);
+    // Dimensions are parsed as 64-bit; anything wider than Index would
+    // silently wrap when the matrix is built, so refuse it here. Entry
+    // coordinates are bounded by the dimensions, so this one check
+    // makes every later static_cast<Index> safe.
+    constexpr std::uint64_t index_max = std::numeric_limits<Index>::max();
+    if (header.rows > index_max || header.cols > index_max) {
+        fatal("matrix market: dimensions ", header.rows, " x ",
+              header.cols, " exceed the ", index_max,
+              " limit of 32-bit indices");
+    }
+    // Coordinate format stores each position at most once, so a
+    // declared entry count beyond rows x cols is a corrupt size line;
+    // catching it here keeps a later reserve() from aborting on an
+    // exabyte allocation. rows and cols both fit 32 bits, so the
+    // product cannot overflow 64.
+    if (header.entries > header.rows * header.cols) {
+        fatal("matrix market: size line declares ", header.entries,
+              " entries for a ", header.rows, " x ", header.cols,
+              " matrix");
+    }
+    return header;
+}
 
-    const bool pattern = field == "pattern";
-    for (std::uint64_t i = 0; i < entries; ++i) {
+CsrMatrix
+readMatrixMarket(std::istream &in)
+{
+    const MatrixMarketHeader header = readMatrixMarketHeader(in);
+    const std::uint64_t rows = header.rows;
+    const std::uint64_t cols = header.cols;
+
+    CooMatrix coo(static_cast<Index>(rows), static_cast<Index>(cols));
+    const bool symmetric = header.symmetry == MmSymmetry::Symmetric;
+    // Trust small declarations only: a header-legal but enormous
+    // count (a dense petascale pattern) must not turn into one giant
+    // up-front reserve; the vector grows as entries actually arrive
+    // and a lying size line fails cleanly at "truncated at entry".
+    const std::uint64_t expected =
+        symmetric ? header.entries * 2 : header.entries;
+    if (expected <= (1ULL << 32))
+        coo.triplets().reserve(expected);
+
+    const bool pattern = header.field == MmField::Pattern;
+    for (std::uint64_t i = 0; i < header.entries; ++i) {
         std::uint64_t r = 0, c = 0;
         double v = 1.0;
         if (!(in >> r >> c))
@@ -77,7 +138,7 @@ readMatrixMarket(std::istream &in)
         const Index ri = static_cast<Index>(r - 1);
         const Index ci = static_cast<Index>(c - 1);
         coo.add(ri, ci, v);
-        if (symmetry == "symmetric" && ri != ci)
+        if (symmetric && ri != ci)
             coo.add(ci, ri, v);
     }
     coo.canonicalize();

@@ -12,6 +12,7 @@
 #ifndef SPARCH_MATRIX_MATRIX_MARKET_HH
 #define SPARCH_MATRIX_MATRIX_MARKET_HH
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -19,6 +20,48 @@
 
 namespace sparch
 {
+
+/** Value interpretation of the entries (`complex` is unsupported). */
+enum class MmField
+{
+    Real,
+    Integer,
+    Pattern //!< structure only; entries get value 1.0
+};
+
+/** Storage symmetry (`skew-symmetric`/`hermitian` are unsupported). */
+enum class MmSymmetry
+{
+    General,
+    Symmetric //!< lower triangle stored; expanded on read
+};
+
+/**
+ * Everything the banner, comment block and size line of a Matrix
+ * Market file declare, fully validated: the header is the supported
+ * `matrix coordinate` subset and the dimensions fit the 32-bit Index
+ * type. Shared between readMatrixMarket and the workload validator so
+ * the two can never disagree about what is acceptable.
+ */
+struct MatrixMarketHeader
+{
+    MmField field = MmField::Real;
+    MmSymmetry symmetry = MmSymmetry::General;
+    std::uint64_t rows = 0;
+    std::uint64_t cols = 0;
+    /** Stored entry count (before symmetric expansion). */
+    std::uint64_t entries = 0;
+};
+
+/**
+ * Parse and validate the banner, comments and size line, leaving the
+ * stream positioned at the first data entry. Blank (or
+ * whitespace-only) lines between the comment block and the size line
+ * are tolerated, as real SuiteSparse dumps contain them. Throws
+ * FatalError on anything the reader could not load, including
+ * dimensions that do not fit Index.
+ */
+MatrixMarketHeader readMatrixMarketHeader(std::istream &in);
 
 /** Parse a Matrix Market stream. Throws FatalError on malformed input. */
 CsrMatrix readMatrixMarket(std::istream &in);

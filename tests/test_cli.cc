@@ -1,0 +1,438 @@
+/**
+ * @file
+ * sparch CLI tests, driven in-process through cli::run.
+ *
+ * The load-bearing checks: a CLI sweep of the Fig. 12 grid reproduces
+ * bench_fig12_energy's batch CSV bit for bit, and an immediate re-run
+ * of the same sweep against a warm cache simulates zero grid points.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "baselines/benchmarks.hh"
+#include "cli/commands.hh"
+#include "cli/flags.hh"
+#include "cli/spec.hh"
+#include "common/logging.hh"
+#include "driver/batch_runner.hh"
+#include "driver/workload.hh"
+
+namespace sparch
+{
+namespace
+{
+
+using cli::FlagSet;
+using driver::BatchRunner;
+
+std::string
+tempPath(const std::string &name)
+{
+    const std::string path = ::testing::TempDir() + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+std::string
+writeFile(const std::string &name, const std::string &contents)
+{
+    const std::string path = ::testing::TempDir() + name;
+    std::ofstream out(path);
+    out << contents;
+    return path;
+}
+
+std::string
+fileContents(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+int
+runCli(const std::vector<std::string> &args, std::string *out_text = nullptr,
+       std::string *err_text = nullptr)
+{
+    std::ostringstream out, err;
+    const int rc = cli::run(args, out, err);
+    if (out_text != nullptr)
+        *out_text = out.str();
+    if (err_text != nullptr)
+        *err_text = err.str();
+    return rc;
+}
+
+// ------------------------------------------------------------- flags
+
+TEST(CliFlags, ParsesValuedBooleanAndPositional)
+{
+    const FlagSet flags({"--csv", "out.csv", "--table",
+                         "--threads=4", "pos1", "pos2"},
+                        {"csv", "threads"}, {"table"});
+    EXPECT_EQ(flags.get("csv"), "out.csv");
+    EXPECT_TRUE(flags.has("table"));
+    EXPECT_EQ(flags.getUnsigned("threads", 0), 4u);
+    ASSERT_EQ(flags.positional().size(), 2u);
+    EXPECT_EQ(flags.positional()[0], "pos1");
+    EXPECT_EQ(flags.getU64("absent", 7), 7u);
+}
+
+TEST(CliFlags, HexSeedsParse)
+{
+    const FlagSet flags({"--seed", "0x5eed5eed"}, {"seed"}, {});
+    EXPECT_EQ(flags.getU64("seed", 0), 0x5eed5eedULL);
+}
+
+TEST(CliFlags, RejectsUnknownFlagAndMissingValue)
+{
+    EXPECT_THROW(FlagSet({"--bogus"}, {"csv"}, {}), FatalError);
+    EXPECT_THROW(FlagSet({"--csv"}, {"csv"}, {}), FatalError);
+    EXPECT_THROW(FlagSet({"--table=1"}, {}, {"table"}), FatalError);
+    EXPECT_THROW(FlagSet({"--threads", "abc"}, {"threads"}, {})
+                     .getU64("threads", 0),
+                 FatalError);
+}
+
+TEST(CliFlags, RejectsNegativeNumbers)
+{
+    // strtoull would wrap "-1" to 2^64 - 1; a negative count must be
+    // an error, not a multi-exabyte request.
+    EXPECT_THROW(cli::parseU64("-1", "seed"), FatalError);
+    EXPECT_THROW(cli::parseU64("+3", "seed"), FatalError);
+    EXPECT_THROW(cli::parseU64(" 5", "seed"), FatalError);
+    EXPECT_EQ(cli::parseU64("5", "seed"), 5u);
+}
+
+// ------------------------------------------------------ config specs
+
+TEST(CliConfigSpec, AppliesOverrides)
+{
+    const SpArchConfig config = cli::parseConfigOverrides(
+        "merge_layers=4, prefetch_lines=512, scheduler=sequential, "
+        "condensing=off, replacement=lru, clock_ghz=2");
+    EXPECT_EQ(config.mergeTree.layers, 4u);
+    EXPECT_EQ(config.prefetchLines, 512u);
+    EXPECT_EQ(config.scheduler, SchedulerKind::Sequential);
+    EXPECT_FALSE(config.matrixCondensing);
+    EXPECT_EQ(config.replacement, ReplacementPolicy::Lru);
+    EXPECT_DOUBLE_EQ(config.clockHz, 2e9);
+}
+
+TEST(CliConfigSpec, RejectsUnknownKeyAndBadValue)
+{
+    SpArchConfig config;
+    EXPECT_THROW(cli::applyConfigOption(config, "warp_drive", "1"),
+                 FatalError);
+    EXPECT_THROW(cli::applyConfigOption(config, "scheduler", "fast"),
+                 FatalError);
+    EXPECT_THROW(cli::parseConfigOverrides("merge_layers"),
+                 FatalError);
+}
+
+// ---------------------------------------------------- workload specs
+
+TEST(CliWorkloadSpec, ParsesEveryFamily)
+{
+    cli::WorkloadDefaults defaults;
+    defaults.nnz = 2000;
+
+    auto suite = cli::parseWorkloadSpec("suite:wiki-Vote", defaults);
+    ASSERT_EQ(suite.size(), 1u);
+    EXPECT_EQ(suite[0].name(), "wiki-Vote");
+
+    auto all = cli::parseWorkloadSpec("suite:*", defaults);
+    EXPECT_EQ(all.size(), benchmarkSuite().size());
+
+    auto rmat = cli::parseWorkloadSpec("rmat:512x8", defaults);
+    ASSERT_EQ(rmat.size(), 1u);
+    EXPECT_EQ(rmat[0].name(), "rmat-512-x8");
+
+    auto uniform =
+        cli::parseWorkloadSpec("uniform:64x32:100", defaults);
+    ASSERT_EQ(uniform.size(), 1u);
+    EXPECT_EQ(uniform[0].left().rows(), 64u);
+    EXPECT_EQ(uniform[0].left().cols(), 32u);
+
+    auto dnn = cli::parseWorkloadSpec("dnn:64x16:0.1", defaults);
+    ASSERT_EQ(dnn.size(), 1u);
+    EXPECT_FALSE(dnn[0].squared());
+}
+
+TEST(CliWorkloadSpec, RejectsMalformedSpecs)
+{
+    const cli::WorkloadDefaults defaults;
+    EXPECT_THROW(cli::parseWorkloadSpec("", defaults), FatalError);
+    EXPECT_THROW(cli::parseWorkloadSpec("nonsense", defaults),
+                 FatalError);
+    EXPECT_THROW(cli::parseWorkloadSpec("warp:1x2", defaults),
+                 FatalError);
+    EXPECT_THROW(cli::parseWorkloadSpec("rmat:512", defaults),
+                 FatalError);
+    EXPECT_THROW(cli::parseWorkloadSpec("uniform:64x32", defaults),
+                 FatalError);
+    EXPECT_THROW(cli::parseWorkloadSpec("suite:not-a-matrix",
+                                        defaults),
+                 FatalError);
+}
+
+// -------------------------------------------------------- grid specs
+
+TEST(CliGridSpec, ParsesSettingsConfigsAndWorkloads)
+{
+    std::istringstream in(
+        "# a sweep\n"
+        "nnz = 1234\n"
+        "seed = 0x10\n"
+        "wseed = 7\n"
+        "threads = 3\n"
+        "shards = 1 4\n"
+        "policy = row\n"
+        "\n"
+        "[config table-I]\n"
+        "[config shallow]\n"
+        "merge_layers = 4   ; inline comment\n"
+        "[workloads]\n"
+        "uniform:64x64:200\n"
+        "rmat:256x4\n");
+    const cli::GridSpec grid = cli::parseGridSpec(in, "test");
+    ASSERT_EQ(grid.configs.size(), 2u);
+    EXPECT_EQ(grid.configs[0].first, "table-I");
+    EXPECT_EQ(grid.configs[1].first, "shallow");
+    EXPECT_EQ(grid.configs[1].second.mergeTree.layers, 4u);
+    ASSERT_EQ(grid.workloads.size(), 2u);
+    EXPECT_EQ(grid.defaults.nnz, 1234u);
+    EXPECT_EQ(grid.defaults.seed, 7u);
+    EXPECT_EQ(grid.seed, 0x10u);
+    EXPECT_EQ(grid.threads, 3u);
+    EXPECT_EQ(grid.shards, (std::vector<unsigned>{1, 4}));
+    EXPECT_EQ(grid.policy, driver::ShardPolicy::RowBalanced);
+}
+
+TEST(CliGridSpec, DefaultsMatchTheBenches)
+{
+    std::istringstream in("[workloads]\nuniform:16x16:30\n");
+    const cli::GridSpec grid = cli::parseGridSpec(in, "test");
+    ASSERT_EQ(grid.configs.size(), 1u);
+    EXPECT_EQ(grid.configs[0].first, "default");
+    EXPECT_EQ(grid.seed, 0x5eed5eedULL);
+    EXPECT_EQ(grid.defaults.nnz, 60000u);
+    EXPECT_EQ(grid.defaults.seed, 42u);
+    EXPECT_EQ(grid.shards, std::vector<unsigned>{1});
+}
+
+TEST(CliGridSpec, RejectsMalformedInput)
+{
+    auto parse = [](const std::string &text) {
+        std::istringstream in(text);
+        return cli::parseGridSpec(in, "test");
+    };
+    EXPECT_THROW(parse("[workloads]\n"), FatalError); // no workloads
+    EXPECT_THROW(parse("nnz = 1\n"), FatalError);     // no workloads
+    EXPECT_THROW(parse("[bogus]\n[workloads]\nuniform:4x4:4\n"),
+                 FatalError);
+    EXPECT_THROW(parse("warp = 9\n[workloads]\nuniform:4x4:4\n"),
+                 FatalError);
+    EXPECT_THROW(parse("shards = 0\n[workloads]\nuniform:4x4:4\n"),
+                 FatalError);
+    EXPECT_THROW(parse("[config c\n[workloads]\nuniform:4x4:4\n"),
+                 FatalError);
+}
+
+TEST(CliWorkloadSpec, BadMatrixMarketFileFailsAtParseTime)
+{
+    // The CLI has no WorkloadRegistry, so the spec parser itself must
+    // run the eager validators: a bad .mtx path (or a file the reader
+    // would reject) fails before any grid point simulates.
+    const cli::WorkloadDefaults defaults;
+    EXPECT_THROW(cli::parseWorkloadSpec("mtx:/nonexistent.mtx",
+                                        defaults),
+                 FatalError);
+
+    const std::string path = writeFile(
+        "sparch_cli_array.mtx",
+        "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n");
+    EXPECT_THROW(cli::parseWorkloadSpec("mtx:" + path, defaults),
+                 FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(CliErrors, DoNotStackFatalPrefixes)
+{
+    const std::string path = writeFile(
+        "sparch_bad_option.grid",
+        "[config c]\nmerge_layers = banana\n[workloads]\n"
+        "uniform:4x4:4\n");
+    std::string err;
+    EXPECT_EQ(runCli({"sweep", "--grid", path}, nullptr, &err), 1);
+    EXPECT_NE(err.find("fatal:"), std::string::npos);
+    EXPECT_EQ(err.find("fatal: fatal:"), std::string::npos) << err;
+    std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------- commands
+
+TEST(Cli, HelpAndUnknownCommand)
+{
+    std::string out;
+    EXPECT_EQ(runCli({"help"}, &out), 0);
+    EXPECT_NE(out.find("usage: sparch"), std::string::npos);
+
+    std::string err;
+    EXPECT_EQ(runCli({"frobnicate"}, nullptr, &err), 1);
+    EXPECT_NE(err.find("unknown command"), std::string::npos);
+
+    EXPECT_EQ(runCli({}, &out), 1); // bare invocation: usage, error rc
+}
+
+TEST(Cli, WorkloadsListsTheSuite)
+{
+    std::string out;
+    EXPECT_EQ(runCli({"workloads"}, &out), 0);
+    for (const BenchmarkSpec &s : benchmarkSuite())
+        EXPECT_NE(out.find("suite:" + s.name), std::string::npos)
+            << s.name;
+}
+
+TEST(Cli, RunSimulatesAdHocWorkloads)
+{
+    std::string out, err;
+    EXPECT_EQ(runCli({"run", "--threads", "2", "--nnz", "1500",
+                      "uniform:96x96:600", "suite:wiki-Vote"},
+                     &out, &err),
+              0);
+    EXPECT_NE(out.find("uniform-96x96-600"), std::string::npos);
+    EXPECT_NE(out.find("wiki-Vote"), std::string::npos);
+    EXPECT_NE(err.find("simulated=2"), std::string::npos);
+}
+
+TEST(Cli, RunErrorsAreReportedNotThrown)
+{
+    std::string err;
+    EXPECT_EQ(runCli({"run"}, nullptr, &err), 1);
+    EXPECT_NE(err.find("no workload specs"), std::string::npos);
+
+    EXPECT_EQ(runCli({"run", "--config", "warp=1",
+                      "uniform:8x8:8"},
+                     nullptr, &err),
+              1);
+    EXPECT_EQ(runCli({"sweep"}, nullptr, &err), 1);
+    EXPECT_EQ(runCli({"sweep", "--grid", "/nonexistent.grid"},
+                     nullptr, &err),
+              1);
+}
+
+/**
+ * The acceptance bar: `sparch sweep` over the Fig. 12 grid writes the
+ * exact bytes BatchRunner::writeCsv produces for the grid
+ * bench_fig12_energy builds (same workloads, same order, same config
+ * label, same default base seed), and a re-run of the sweep hits the
+ * cache for 100% of grid points.
+ */
+TEST(Cli, Fig12SweepIsBitIdenticalAndCaches)
+{
+    constexpr std::uint64_t kNnz = 1500; // keep the 20 sims quick
+
+    // The grid exactly as bench_fig12_energy builds it.
+    BatchRunner bench_runner(2);
+    for (const BenchmarkSpec &spec : benchmarkSuite()) {
+        bench_runner.add("table-I", SpArchConfig{},
+                         driver::suiteWorkload(spec.name, kNnz));
+    }
+    std::ostringstream bench_csv;
+    BatchRunner::writeCsv(bench_runner.run(), bench_csv);
+
+    const std::string grid_path = writeFile(
+        "sparch_fig12.grid",
+        "nnz = " + std::to_string(kNnz) +
+            "\n[config table-I]\n[workloads]\nsuite:*\n");
+    const std::string csv_path = tempPath("sparch_fig12_cli.csv");
+    const std::string cache_path = tempPath("sparch_fig12_cache.csv");
+
+    std::string err;
+    ASSERT_EQ(runCli({"sweep", "--grid", grid_path, "--csv", csv_path,
+                      "--cache", cache_path, "--threads", "2"},
+                     nullptr, &err),
+              0);
+    EXPECT_NE(err.find("simulated=20"), std::string::npos) << err;
+    EXPECT_EQ(fileContents(csv_path), bench_csv.str());
+
+    // Second run of the same sweep: zero new simulations, same bytes.
+    const std::string csv2_path = tempPath("sparch_fig12_cli2.csv");
+    ASSERT_EQ(runCli({"sweep", "--grid", grid_path, "--csv", csv2_path,
+                      "--cache", cache_path, "--threads", "2"},
+                     nullptr, &err),
+              0);
+    EXPECT_NE(err.find("simulated=0"), std::string::npos) << err;
+    EXPECT_NE(err.find("cache-hits=20"), std::string::npos) << err;
+    EXPECT_EQ(fileContents(csv2_path), bench_csv.str());
+
+    std::remove(grid_path.c_str());
+    std::remove(csv_path.c_str());
+    std::remove(csv2_path.c_str());
+    std::remove(cache_path.c_str());
+}
+
+TEST(Cli, CacheStatsAndClear)
+{
+    const std::string cache_path = tempPath("sparch_cli_cache.csv");
+    std::string out, err;
+
+    // Populate through `run`.
+    ASSERT_EQ(runCli({"run", "--threads", "1", "--cache", cache_path,
+                      "uniform:64x64:300"},
+                     &out, &err),
+              0);
+    EXPECT_NE(err.find("simulated=1"), std::string::npos);
+
+    EXPECT_EQ(runCli({"cache", "stats", "--cache", cache_path}, &out),
+              0);
+    EXPECT_NE(out.find("1 entries"), std::string::npos);
+
+    // A second `run` of the same point is a pure cache hit.
+    ASSERT_EQ(runCli({"run", "--threads", "1", "--cache", cache_path,
+                      "uniform:64x64:300"},
+                     &out, &err),
+              0);
+    EXPECT_NE(err.find("simulated=0"), std::string::npos);
+    EXPECT_NE(err.find("cache-hits=1"), std::string::npos);
+
+    EXPECT_EQ(runCli({"cache", "clear", "--cache", cache_path}, &out),
+              0);
+    EXPECT_EQ(runCli({"cache", "stats", "--cache", cache_path}, &out),
+              0);
+    EXPECT_NE(out.find("0 entries"), std::string::npos);
+
+    EXPECT_EQ(runCli({"cache", "frob", "--cache", cache_path}, &out,
+                     &err),
+              1);
+    EXPECT_EQ(runCli({"cache", "stats"}, &out, &err), 1);
+    std::remove(cache_path.c_str());
+}
+
+TEST(Cli, SweepShardAxisMatchesAddShardSweep)
+{
+    const std::string grid_path = writeFile(
+        "sparch_shards.grid",
+        "shards = 1 2\n[workloads]\nuniform:128x128:900\n");
+    const std::string csv_path = tempPath("sparch_shards.csv");
+    std::string err;
+    ASSERT_EQ(runCli({"sweep", "--grid", grid_path, "--csv", csv_path,
+                      "--threads", "2"},
+                     nullptr, &err),
+              0);
+    const std::string csv = fileContents(csv_path);
+    EXPECT_NE(err.find("simulated=2"), std::string::npos);
+    // One monolithic and one 2-shard record of the same workload.
+    EXPECT_NE(csv.find(",uniform-128x128-900,"), std::string::npos);
+    std::remove(grid_path.c_str());
+    std::remove(csv_path.c_str());
+}
+
+} // namespace
+} // namespace sparch
