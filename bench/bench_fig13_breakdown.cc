@@ -53,7 +53,7 @@ main()
     prow("Multiplier Array", p.multiplierArray, "0.9");
     prow("Merge Tree", p.mergeTree, "55.4");
     prow("Partial Mat Writer", p.partialMatWriter, "2.8");
-    prow("HBM", p.hbm, "26.2");
+    prow("HBM", p.dram, "26.2");
     power_table.row({"Total", TablePrinter::num(p.total(), 3), "100.0",
                      "100.0"});
     power_table.print(std::cout);

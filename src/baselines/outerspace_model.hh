@@ -20,6 +20,7 @@
 
 #include "common/types.hh"
 #include "matrix/csr.hh"
+#include "mem/memory_model.hh"
 
 namespace sparch
 {
@@ -48,6 +49,19 @@ struct OuterSpaceConfig
 BaselineResult outerspaceModel(const CsrMatrix &a, const CsrMatrix &b,
                                const OuterSpaceConfig &config =
                                    OuterSpaceConfig{});
+
+/**
+ * OuterSPACE parameters re-based onto a memory backend, so the
+ * baseline and a non-HBM SpArch run compare against the *same* memory
+ * system: bandwidth comes from the backend's peak at `clock_hz`
+ * (unchanged for `ideal`, which has no finite peak), and the DRAM
+ * share of energy/FLOP is re-priced by the backend's energy per byte.
+ * The published utilization and peak-fraction figures are kept —
+ * OuterSPACE is traffic-dominated, so scaling its deliverable
+ * bandwidth is the apples-to-apples adjustment.
+ */
+OuterSpaceConfig outerspaceConfigFor(const mem::MemoryConfig &memory,
+                                     double clock_hz = 1e9);
 
 /** The DRAM traffic OuterSPACE moves for C = a x b, in bytes. */
 Bytes outerspaceTraffic(const CsrMatrix &a, const CsrMatrix &b,

@@ -41,6 +41,8 @@ const char *kUsage =
     "\n"
     "run flags:\n"
     "  --config k=v[,k=v...]  overrides on the Table I configuration\n"
+    "                         (memory=hbm|ddr4|lpddr4|ideal selects "
+    "the DRAM backend)\n"
     "  --label NAME           config label in tables/CSV (default: "
     "the overrides)\n"
     "  --nnz N                suite-proxy nnz target (default 60000)\n"

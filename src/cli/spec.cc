@@ -2,7 +2,9 @@
 
 #include <cctype>
 #include <fstream>
+#include <functional>
 #include <sstream>
+#include <utility>
 
 #include "baselines/benchmarks.hh"
 #include "cli/flags.hh"
@@ -50,92 +52,257 @@ parsePair(const std::string &text, const std::string &what)
             parseU64(text.substr(x + 1), what)};
 }
 
+/**
+ * One config key: its name and how to apply a value. The parser
+ * dispatch AND the unknown-key error listing are both generated from
+ * the one table below, so they cannot drift apart (the hand-maintained
+ * error string used to).
+ */
+struct ConfigKey
+{
+    std::string name;
+    std::function<void(SpArchConfig &, const std::string &)> apply;
+};
+
+const std::vector<ConfigKey> &
+configKeys()
+{
+    static const std::vector<ConfigKey> keys = [] {
+        std::vector<ConfigKey> k;
+        const auto add = [&k](const char *name, auto &&fn) {
+            k.push_back(
+                {name, [name, fn](SpArchConfig &c,
+                                  const std::string &v) { fn(c, name, v); }});
+        };
+
+        add("clock_ghz", [](SpArchConfig &c, const char *n,
+                            const std::string &v) {
+            c.clockHz = parseDouble(v, n) * 1e9;
+        });
+        add("merge_layers", [](SpArchConfig &c, const char *n,
+                               const std::string &v) {
+            c.mergeTree.layers =
+                static_cast<unsigned>(parseU64(v, n));
+        });
+        add("merger_width", [](SpArchConfig &c, const char *n,
+                               const std::string &v) {
+            c.mergeTree.mergerWidth =
+                static_cast<unsigned>(parseU64(v, n));
+        });
+        add("merge_fifo", [](SpArchConfig &c, const char *n,
+                             const std::string &v) {
+            c.mergeTree.fifoCapacity = parseU64(v, n);
+        });
+        add("combine_duplicates", [](SpArchConfig &c, const char *n,
+                                     const std::string &v) {
+            c.mergeTree.combineDuplicates = parseBool(v, n);
+        });
+        add("multipliers", [](SpArchConfig &c, const char *n,
+                              const std::string &v) {
+            c.multipliers = static_cast<unsigned>(parseU64(v, n));
+        });
+        add("lookahead_fifo", [](SpArchConfig &c, const char *n,
+                                 const std::string &v) {
+            c.lookaheadFifo = parseU64(v, n);
+        });
+        add("mata_fetch_width", [](SpArchConfig &c, const char *n,
+                                   const std::string &v) {
+            c.mataFetchWidth = static_cast<unsigned>(parseU64(v, n));
+        });
+        add("a_element_window", [](SpArchConfig &c, const char *n,
+                                   const std::string &v) {
+            c.aElementWindow = parseU64(v, n);
+        });
+        add("prefetch_lines", [](SpArchConfig &c, const char *n,
+                                 const std::string &v) {
+            c.prefetchLines = parseU64(v, n);
+        });
+        add("prefetch_line_elems", [](SpArchConfig &c, const char *n,
+                                      const std::string &v) {
+            c.prefetchLineElems = parseU64(v, n);
+        });
+        add("row_fetchers", [](SpArchConfig &c, const char *n,
+                               const std::string &v) {
+            c.rowFetchers = static_cast<unsigned>(parseU64(v, n));
+        });
+        add("prefetch_rows_ahead", [](SpArchConfig &c, const char *n,
+                                      const std::string &v) {
+            c.prefetchRowsAhead =
+                static_cast<unsigned>(parseU64(v, n));
+        });
+        add("replacement", [](SpArchConfig &c, const char *,
+                              const std::string &v) {
+            if (v == "belady")
+                c.replacement = ReplacementPolicy::Belady;
+            else if (v == "lru")
+                c.replacement = ReplacementPolicy::Lru;
+            else if (v == "fifo")
+                c.replacement = ReplacementPolicy::Fifo;
+            else
+                fatal("replacement: '", v,
+                      "' is not belady, lru or fifo");
+        });
+        add("writer_fifo", [](SpArchConfig &c, const char *n,
+                              const std::string &v) {
+            c.writerFifo = parseU64(v, n);
+        });
+        add("writer_burst", [](SpArchConfig &c, const char *n,
+                               const std::string &v) {
+            c.writerBurst = parseU64(v, n);
+        });
+        add("partial_fetch_burst", [](SpArchConfig &c, const char *n,
+                                      const std::string &v) {
+            c.partialFetchBurst = parseU64(v, n);
+        });
+
+        // ---- memory backend selection + per-backend parameters ----
+        add("memory", [](SpArchConfig &c, const char *,
+                         const std::string &v) {
+            if (v == "hbm")
+                c.memory.kind = mem::MemoryKind::Hbm;
+            else if (v == "ddr4")
+                c.memory.kind = mem::MemoryKind::Ddr4;
+            else if (v == "lpddr4")
+                c.memory.kind = mem::MemoryKind::Lpddr4;
+            else if (v == "ideal")
+                c.memory.kind = mem::MemoryKind::Ideal;
+            else
+                fatal("memory: '", v,
+                      "' is not hbm, ddr4, lpddr4 or ideal");
+        });
+        add("hbm_channels", [](SpArchConfig &c, const char *n,
+                               const std::string &v) {
+            c.memory.hbm.channels =
+                static_cast<unsigned>(parseU64(v, n));
+        });
+        add("hbm_bytes_per_cycle", [](SpArchConfig &c, const char *n,
+                                      const std::string &v) {
+            c.memory.hbm.bytesPerCyclePerChannel = parseU64(v, n);
+        });
+        add("hbm_latency", [](SpArchConfig &c, const char *n,
+                              const std::string &v) {
+            c.memory.hbm.accessLatency = parseU64(v, n);
+        });
+        add("hbm_interleave", [](SpArchConfig &c, const char *n,
+                                 const std::string &v) {
+            c.memory.hbm.interleaveBytes = parseU64(v, n);
+        });
+        // DDR4 and LPDDR4 share one parameter block; generate both
+        // key families from one field list.
+        struct BankedField
+        {
+            const char *suffix;
+            void (*set)(mem::BankedDramConfig &, std::uint64_t);
+        };
+        static constexpr BankedField banked_fields[] = {
+            {"channels",
+             [](mem::BankedDramConfig &d, std::uint64_t v) {
+                 d.channels = static_cast<unsigned>(v);
+             }},
+            {"bytes_per_cycle",
+             [](mem::BankedDramConfig &d, std::uint64_t v) {
+                 d.bytesPerCyclePerChannel = v;
+             }},
+            {"banks",
+             [](mem::BankedDramConfig &d, std::uint64_t v) {
+                 d.banksPerChannel = static_cast<unsigned>(v);
+             }},
+            {"row_bytes",
+             [](mem::BankedDramConfig &d, std::uint64_t v) {
+                 d.rowBufferBytes = v;
+             }},
+            {"hit_latency",
+             [](mem::BankedDramConfig &d, std::uint64_t v) {
+                 d.rowHitLatency = v;
+             }},
+            {"miss_penalty",
+             [](mem::BankedDramConfig &d, std::uint64_t v) {
+                 d.rowMissPenalty = v;
+             }},
+            {"interleave",
+             [](mem::BankedDramConfig &d, std::uint64_t v) {
+                 d.interleaveBytes = v;
+             }},
+        };
+        using BankedGet = mem::BankedDramConfig &(*)(SpArchConfig &);
+        const std::pair<const char *, BankedGet> banked_blocks[] = {
+            {"ddr4",
+             [](SpArchConfig &c) -> mem::BankedDramConfig & {
+                 return c.memory.ddr4;
+             }},
+            {"lpddr4",
+             [](SpArchConfig &c) -> mem::BankedDramConfig & {
+                 return c.memory.lpddr4;
+             }},
+        };
+        for (const auto &[prefix, get] : banked_blocks) {
+            for (const BankedField &field : banked_fields) {
+                const std::string name =
+                    std::string(prefix) + "_" + field.suffix;
+                auto set = field.set;
+                k.push_back(
+                    {name, [name, get, set](SpArchConfig &c,
+                                            const std::string &v) {
+                         set(get(c), parseU64(v, name));
+                     }});
+            }
+        }
+        add("ideal_latency", [](SpArchConfig &c, const char *n,
+                                const std::string &v) {
+            c.memory.ideal.accessLatency = parseU64(v, n);
+        });
+
+        add("condensing", [](SpArchConfig &c, const char *n,
+                             const std::string &v) {
+            c.matrixCondensing = parseBool(v, n);
+        });
+        add("scheduler", [](SpArchConfig &c, const char *,
+                            const std::string &v) {
+            if (v == "huffman")
+                c.scheduler = SchedulerKind::Huffman;
+            else if (v == "sequential")
+                c.scheduler = SchedulerKind::Sequential;
+            else if (v == "random")
+                c.scheduler = SchedulerKind::Random;
+            else
+                fatal("scheduler: '", v,
+                      "' is not huffman, sequential or random");
+        });
+        add("prefetcher", [](SpArchConfig &c, const char *n,
+                             const std::string &v) {
+            c.rowPrefetcher = parseBool(v, n);
+        });
+        return k;
+    }();
+    return keys;
+}
+
 } // namespace
+
+std::string
+configKeyList()
+{
+    std::string out;
+    for (const ConfigKey &key : configKeys()) {
+        if (!out.empty())
+            out += ' ';
+        out += key.name;
+    }
+    return out;
+}
 
 void
 applyConfigOption(SpArchConfig &config, const std::string &key,
                   const std::string &value)
 {
-    if (key == "clock_ghz") {
-        config.clockHz = parseDouble(value, key) * 1e9;
-    } else if (key == "merge_layers") {
-        config.mergeTree.layers =
-            static_cast<unsigned>(parseU64(value, key));
-    } else if (key == "merger_width") {
-        config.mergeTree.mergerWidth =
-            static_cast<unsigned>(parseU64(value, key));
-    } else if (key == "merge_fifo") {
-        config.mergeTree.fifoCapacity = parseU64(value, key);
-    } else if (key == "combine_duplicates") {
-        config.mergeTree.combineDuplicates = parseBool(value, key);
-    } else if (key == "multipliers") {
-        config.multipliers = static_cast<unsigned>(parseU64(value, key));
-    } else if (key == "lookahead_fifo") {
-        config.lookaheadFifo = parseU64(value, key);
-    } else if (key == "mata_fetch_width") {
-        config.mataFetchWidth =
-            static_cast<unsigned>(parseU64(value, key));
-    } else if (key == "a_element_window") {
-        config.aElementWindow = parseU64(value, key);
-    } else if (key == "prefetch_lines") {
-        config.prefetchLines = parseU64(value, key);
-    } else if (key == "prefetch_line_elems") {
-        config.prefetchLineElems = parseU64(value, key);
-    } else if (key == "row_fetchers") {
-        config.rowFetchers = static_cast<unsigned>(parseU64(value, key));
-    } else if (key == "prefetch_rows_ahead") {
-        config.prefetchRowsAhead =
-            static_cast<unsigned>(parseU64(value, key));
-    } else if (key == "replacement") {
-        if (value == "belady")
-            config.replacement = ReplacementPolicy::Belady;
-        else if (value == "lru")
-            config.replacement = ReplacementPolicy::Lru;
-        else if (value == "fifo")
-            config.replacement = ReplacementPolicy::Fifo;
-        else
-            fatal("replacement: '", value,
-                  "' is not belady, lru or fifo");
-    } else if (key == "writer_fifo") {
-        config.writerFifo = parseU64(value, key);
-    } else if (key == "writer_burst") {
-        config.writerBurst = parseU64(value, key);
-    } else if (key == "partial_fetch_burst") {
-        config.partialFetchBurst = parseU64(value, key);
-    } else if (key == "hbm_channels") {
-        config.hbm.channels =
-            static_cast<unsigned>(parseU64(value, key));
-    } else if (key == "hbm_bytes_per_cycle") {
-        config.hbm.bytesPerCyclePerChannel = parseU64(value, key);
-    } else if (key == "hbm_latency") {
-        config.hbm.accessLatency = parseU64(value, key);
-    } else if (key == "hbm_interleave") {
-        config.hbm.interleaveBytes = parseU64(value, key);
-    } else if (key == "condensing") {
-        config.matrixCondensing = parseBool(value, key);
-    } else if (key == "scheduler") {
-        if (value == "huffman")
-            config.scheduler = SchedulerKind::Huffman;
-        else if (value == "sequential")
-            config.scheduler = SchedulerKind::Sequential;
-        else if (value == "random")
-            config.scheduler = SchedulerKind::Random;
-        else
-            fatal("scheduler: '", value,
-                  "' is not huffman, sequential or random");
-    } else if (key == "prefetcher") {
-        config.rowPrefetcher = parseBool(value, key);
-    } else {
-        fatal("unknown config key '", key,
-              "'; valid keys: clock_ghz merge_layers merger_width "
-              "merge_fifo combine_duplicates multipliers "
-              "lookahead_fifo mata_fetch_width a_element_window "
-              "prefetch_lines prefetch_line_elems row_fetchers "
-              "prefetch_rows_ahead replacement writer_fifo "
-              "writer_burst partial_fetch_burst hbm_channels "
-              "hbm_bytes_per_cycle hbm_latency hbm_interleave "
-              "condensing scheduler prefetcher");
+    for (const ConfigKey &entry : configKeys()) {
+        if (entry.name == key) {
+            entry.apply(config, value);
+            return;
+        }
     }
+    fatal("unknown config key '", key, "'; valid keys: ",
+          configKeyList());
 }
 
 SpArchConfig
@@ -331,6 +498,10 @@ parseGridSpec(std::istream &in, const std::string &what)
         // Top-level sweep settings.
         if (key == "nnz") {
             grid.defaults.nnz = parseU64(value, key);
+        } else if (key == "seeds") {
+            grid.seeds = static_cast<unsigned>(parseU64(value, key));
+            if (grid.seeds == 0)
+                fatal(where(), ": seeds must be >= 1");
         } else if (key == "wseed") {
             grid.defaults.seed = parseU64(value, key);
         } else if (key == "seed") {
@@ -355,18 +526,36 @@ parseGridSpec(std::istream &in, const std::string &what)
                 fatal(where(), ": shards needs at least one count");
         } else {
             fatal(where(), ": unknown setting '", key,
-                  "'; expected nnz, seed, wseed, threads, policy or "
-                  "shards");
+                  "'; expected nnz, seed, seeds, wseed, threads, "
+                  "policy or shards");
         }
     }
 
+    // Materialize the workload axis, replicated across the seed axis:
+    // replicate r regenerates every spec with wseed + r, so the grid
+    // carries `seeds` independent samples of each workload. Matrix
+    // Market specs ignore generator seeds (the file *is* the matrix),
+    // so they materialize once — replicating them would emit N
+    // identical rows masquerading as variance data.
+    const auto spec_uses_seed = [](const std::string &spec) {
+        return spec.rfind("mtx:", 0) != 0 &&
+               !(spec.size() > 4 &&
+                 spec.compare(spec.size() - 4, 4, ".mtx") == 0);
+    };
     for (const std::string &spec : workload_specs) {
-        try {
-            for (driver::Workload &w :
-                 parseWorkloadSpec(spec, grid.defaults))
-                grid.workloads.push_back(std::move(w));
-        } catch (const FatalError &e) {
-            fatal(what, ": workload '", spec, "': ", fatalDetail(e));
+        const unsigned replicates =
+            spec_uses_seed(trimmed(spec)) ? grid.seeds : 1;
+        for (unsigned r = 0; r < replicates; ++r) {
+            WorkloadDefaults defaults = grid.defaults;
+            defaults.seed += r;
+            try {
+                for (driver::Workload &w :
+                     parseWorkloadSpec(spec, defaults))
+                    grid.workloads.push_back(std::move(w));
+            } catch (const FatalError &e) {
+                fatal(what, ": workload '", spec, "': ",
+                      fatalDetail(e));
+            }
         }
     }
 

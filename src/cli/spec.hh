@@ -4,7 +4,11 @@
  *
  * 1. Config overrides — comma- or newline-separated `key = value`
  *    pairs applied onto the Table I defaults, e.g.
- *    `merge_layers=4,prefetch_lines=512,scheduler=sequential`.
+ *    `merge_layers=4,prefetch_lines=512,scheduler=sequential` or
+ *    `memory=ddr4,ddr4_channels=4`. The key set (including the
+ *    memory-backend keys memory, hbm_*, ddr4_*, lpddr4_*,
+ *    ideal_latency) lives in one table in spec.cc; configKeyList()
+ *    renders it.
  *
  * 2. Workload specs — one-line descriptions of the repository's
  *    workload families:
@@ -16,12 +20,14 @@
  *    Suite nnz targets and generator seeds come from WorkloadDefaults.
  *
  * 3. Grid-spec files — a small INI-style format describing one sweep:
- *    top-level `key = value` settings (nnz, seed, wseed, shards,
- *    policy, threads), any number of `[config <label>]` sections whose
- *    bodies are config overrides, and a `[workloads]` section with one
- *    workload spec per line. The sweep runs the full configs x
- *    workloads x shards cross product, config-major, exactly like
- *    BatchRunner::addShardSweep.
+ *    top-level `key = value` settings (nnz, seed, seeds, wseed,
+ *    shards, policy, threads), any number of `[config <label>]`
+ *    sections whose bodies are config overrides, and a `[workloads]`
+ *    section with one workload spec per line. The sweep runs the full
+ *    configs x workloads x shards cross product, config-major, exactly
+ *    like BatchRunner::addShardSweep; `seeds = N` replicates every
+ *    workload N times at generator seeds wseed..wseed+N-1 so sweeps
+ *    emit variance data.
  *
  * Everything throws FatalError with a file/line-qualified message on
  * malformed input: these formats are the user-facing surface of the
@@ -54,6 +60,13 @@ namespace cli
 void applyConfigOption(SpArchConfig &config, const std::string &key,
                        const std::string &value);
 
+/**
+ * Space-separated list of every valid config key. Generated from the
+ * same table that drives applyConfigOption, so the error message, the
+ * docs and the parser cannot drift apart.
+ */
+std::string configKeyList();
+
 /** Apply a comma-separated override list onto `base`. */
 SpArchConfig parseConfigOverrides(const std::string &text,
                                   const SpArchConfig &base = {});
@@ -84,6 +97,14 @@ struct GridSpec
     /** Shard axis (1 = monolithic). */
     std::vector<unsigned> shards = {1};
     driver::ShardPolicy policy = driver::ShardPolicy::NnzBalanced;
+    /**
+     * Seed-replication axis: every workload spec is materialized
+     * `seeds` times with generator seeds wseed, wseed+1, ... so a
+     * sweep emits variance data (replicates share a workload name and
+     * differ in the CSV seed column). Matrix Market specs take no
+     * generator seed and materialize once regardless.
+     */
+    unsigned seeds = 1;
     /** Worker threads; 0 = all hardware threads. */
     unsigned threads = 0;
     /** BatchRunner base seed. */

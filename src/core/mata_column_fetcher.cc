@@ -6,8 +6,9 @@ namespace sparch
 {
 
 MataColumnFetcher::MataColumnFetcher(const SpArchConfig &config,
-                                     HbmModel &hbm, std::string name)
-    : Clocked(std::move(name)), config_(&config), hbm_(&hbm)
+                                     mem::MemoryModel &mem,
+                                     std::string name)
+    : Clocked(std::move(name)), config_(&config), mem_(&mem)
 {}
 
 void
@@ -28,7 +29,7 @@ MataColumnFetcher::startRound(
     // Row-pointer metadata for the selected columns streams in at the
     // start of the round.
     if (rowptr_bytes > 0)
-        hbm_->read(DramStream::MatA, 0, rowptr_bytes, now_);
+        mem_->read(DramStream::MatA, 0, rowptr_bytes, now_);
 }
 
 void
@@ -59,7 +60,7 @@ MataColumnFetcher::clockUpdate()
             continue;
         }
         const std::uint64_t pos = queue[issued_[p]];
-        const Cycle ready = hbm_->read(
+        const Cycle ready = mem_->read(
             DramStream::MatA, (*tasks_)[pos].addr, bytesPerElement,
             now_);
         inflight_.emplace(ready, pos);

@@ -22,7 +22,7 @@
 
 #include "core/round_stream.hh"
 #include "core/sparch_config.hh"
-#include "dram/hbm.hh"
+#include "mem/memory_model.hh"
 #include "hw/clocked.hh"
 
 namespace sparch
@@ -32,8 +32,8 @@ namespace sparch
 class MataColumnFetcher : public hw::Clocked
 {
   public:
-    MataColumnFetcher(const SpArchConfig &config, HbmModel &hbm,
-                      std::string name);
+    MataColumnFetcher(const SpArchConfig &config,
+                      mem::MemoryModel &mem, std::string name);
 
     /**
      * Begin a merge round.
@@ -67,7 +67,7 @@ class MataColumnFetcher : public hw::Clocked
 
   private:
     const SpArchConfig *config_;
-    HbmModel *hbm_;
+    mem::MemoryModel *mem_;
     Cycle now_ = 0;
 
     const std::vector<MultTask> *tasks_ = nullptr;

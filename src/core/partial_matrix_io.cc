@@ -8,9 +8,9 @@ namespace sparch
 {
 
 PartialMatrixFetcher::PartialMatrixFetcher(const SpArchConfig &config,
-                                           HbmModel &hbm,
+                                           mem::MemoryModel &mem,
                                            std::string name)
-    : Clocked(std::move(name)), config_(&config), hbm_(&hbm)
+    : Clocked(std::move(name)), config_(&config), mem_(&mem)
 {}
 
 void
@@ -53,7 +53,7 @@ PartialMatrixFetcher::clockUpdate()
                 config_->partialFetchBurst, total - s.fetched);
             const Bytes addr = s.input.baseAddr +
                 static_cast<Bytes>(s.fetched) * bytesPerElement;
-            s.burst_ready = hbm_->read(
+            s.burst_ready = mem_->read(
                 DramStream::PartialRead, addr,
                 static_cast<Bytes>(burst) * bytesPerElement, now_);
             s.burst_end = s.fetched + burst;
@@ -92,8 +92,9 @@ PartialMatrixFetcher::recordStats(StatSet &stats) const
 }
 
 PartialMatrixWriter::PartialMatrixWriter(const SpArchConfig &config,
-                                         HbmModel &hbm, std::string name)
-    : Clocked(std::move(name)), config_(&config), hbm_(&hbm)
+                                         mem::MemoryModel &mem,
+                                         std::string name)
+    : Clocked(std::move(name)), config_(&config), mem_(&mem)
 {}
 
 void
@@ -131,7 +132,7 @@ PartialMatrixWriter::writeBurst(std::size_t elems)
             bytesPerElement;
     last_write_done_ = std::max(
         last_write_done_,
-        hbm_->write(stream, addr,
+        mem_->write(stream, addr,
                     static_cast<Bytes>(elems) * bytesPerElement, now_));
     pending_ -= elems;
     ++bursts_;
@@ -170,7 +171,7 @@ PartialMatrixWriter::clockUpdate()
             // CSR conversion also emits the row-pointer array.
             last_write_done_ = std::max(
                 last_write_done_,
-                hbm_->write(DramStream::FinalWrite,
+                mem_->write(DramStream::FinalWrite,
                             base_addr_ + rowptr_bytes_, rowptr_bytes_,
                             now_));
         }

@@ -17,7 +17,7 @@
 
 #include "core/round_stream.hh"
 #include "core/sparch_config.hh"
-#include "dram/hbm.hh"
+#include "mem/memory_model.hh"
 #include "hw/clocked.hh"
 #include "hw/merge_tree.hh"
 
@@ -28,8 +28,8 @@ namespace sparch
 class PartialMatrixFetcher : public hw::Clocked
 {
   public:
-    PartialMatrixFetcher(const SpArchConfig &config, HbmModel &hbm,
-                         std::string name);
+    PartialMatrixFetcher(const SpArchConfig &config,
+                         mem::MemoryModel &mem, std::string name);
 
     void connectTree(hw::MergeTree *tree) { tree_ = tree; }
 
@@ -55,7 +55,7 @@ class PartialMatrixFetcher : public hw::Clocked
     };
 
     const SpArchConfig *config_;
-    HbmModel *hbm_;
+    mem::MemoryModel *mem_;
     hw::MergeTree *tree_ = nullptr;
     Cycle now_ = 0;
 
@@ -67,8 +67,8 @@ class PartialMatrixFetcher : public hw::Clocked
 class PartialMatrixWriter : public hw::Clocked
 {
   public:
-    PartialMatrixWriter(const SpArchConfig &config, HbmModel &hbm,
-                        std::string name);
+    PartialMatrixWriter(const SpArchConfig &config,
+                        mem::MemoryModel &mem, std::string name);
 
     void connectTree(hw::MergeTree *tree) { tree_ = tree; }
 
@@ -104,7 +104,7 @@ class PartialMatrixWriter : public hw::Clocked
     void writeBurst(std::size_t elems);
 
     const SpArchConfig *config_;
-    HbmModel *hbm_;
+    mem::MemoryModel *mem_;
     hw::MergeTree *tree_ = nullptr;
     Cycle now_ = 0;
 

@@ -8,9 +8,9 @@
 namespace sparch
 {
 
-RowPrefetcher::RowPrefetcher(const SpArchConfig &config, HbmModel &hbm,
-                             std::string name)
-    : Clocked(std::move(name)), config_(&config), hbm_(&hbm)
+RowPrefetcher::RowPrefetcher(const SpArchConfig &config,
+                             mem::MemoryModel &mem, std::string name)
+    : Clocked(std::move(name)), config_(&config), mem_(&mem)
 {}
 
 void
@@ -231,7 +231,7 @@ RowPrefetcher::prefetchRow(Index row, unsigned &budget,
             (static_cast<Bytes>(b_->rowPtr()[row]) +
              static_cast<Bytes>(l) * config_->prefetchLineElems) *
                 bytesPerElement;
-        const Cycle ready = hbm_->read(DramStream::MatB, addr,
+        const Cycle ready = mem_->read(DramStream::MatB, addr,
                                        lineBytes(row, l), now_) +
                             decision;
         lines[l] = ready;
@@ -269,7 +269,7 @@ RowPrefetcher::rowReady(std::uint64_t pos)
             const Bytes bytes =
                 static_cast<Bytes>(b_->rowNnz(row)) * bytesPerElement;
             bypass_ready_[pos] =
-                hbm_->read(DramStream::MatB, addr, bytes, now_);
+                mem_->read(DramStream::MatB, addr, bytes, now_);
             misses_ += rowLines(row);
             return false;
         }
@@ -374,7 +374,7 @@ RowPrefetcher::clockUpdate()
                     static_cast<Bytes>(b_->rowNnz(row)) *
                     bytesPerElement;
                 streaming_ready_[cursor_] =
-                    hbm_->read(DramStream::MatB, addr, bytes, now_);
+                    mem_->read(DramStream::MatB, addr, bytes, now_);
                 misses_ += rowLines(row);
                 budget = budget > 1 ? budget - 1 : 0;
             }

@@ -24,7 +24,7 @@
 #include "core/distance_list.hh"
 #include "core/round_stream.hh"
 #include "core/sparch_config.hh"
-#include "dram/hbm.hh"
+#include "mem/memory_model.hh"
 #include "hw/clocked.hh"
 #include "matrix/csr.hh"
 
@@ -35,7 +35,7 @@ namespace sparch
 class RowPrefetcher : public hw::Clocked
 {
   public:
-    RowPrefetcher(const SpArchConfig &config, HbmModel &hbm,
+    RowPrefetcher(const SpArchConfig &config, mem::MemoryModel &mem,
                   std::string name);
 
     /**
@@ -134,7 +134,7 @@ class RowPrefetcher : public hw::Clocked
     bool evictOne(std::uint64_t protect_pos);
 
     const SpArchConfig *config_;
-    HbmModel *hbm_;
+    mem::MemoryModel *mem_;
     Cycle now_ = 0;
 
     const std::vector<MultTask> *tasks_ = nullptr;

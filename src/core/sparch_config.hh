@@ -16,8 +16,8 @@
 #include <cstdint>
 
 #include "common/types.hh"
-#include "dram/hbm.hh"
 #include "hw/merge_tree.hh"
+#include "mem/memory_model.hh"
 
 namespace sparch
 {
@@ -93,8 +93,14 @@ struct SpArchConfig
     /** Elements per DRAM read burst into the partial fetcher. */
     std::size_t partialFetchBurst = 256;
 
-    // ---- memory ----
-    HbmConfig hbm{};
+    // ---- memory (Table I: 16-channel HBM; see src/mem/) ----
+    /**
+     * Backend selector plus every backend's parameter block. The
+     * default (memory.kind == Hbm with Table I parameters) reproduces
+     * the paper's design point bit for bit; ddr4/lpddr4/ideal open the
+     * memory system as a design-space axis.
+     */
+    mem::MemoryConfig memory{};
 
     // ---- ablation switches (Fig. 16) ----
     /** Matrix condensing (Section II-B); off = plain CSC columns. */

@@ -1,6 +1,7 @@
 #include "core/sparch_simulator.hh"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -65,13 +66,13 @@ class RunContext
         : config_(config), a_(a), b_(b), condensed_(a),
           a_base_(0), b_base_(a.storageBytes()),
           partial_bump_(b_base_ + b.storageBytes()),
-          hbm_(config.hbm),
-          fetcher_(config, hbm_, "mata_fetcher"),
-          prefetcher_(config, hbm_, "row_prefetcher"),
+          mem_(mem::createMemoryModel(config.memory)),
+          fetcher_(config, *mem_, "mata_fetcher"),
+          prefetcher_(config, *mem_, "row_prefetcher"),
           multiplier_(config, "multiplier"),
-          partial_fetcher_(config, hbm_, "partial_fetcher"),
+          partial_fetcher_(config, *mem_, "partial_fetcher"),
           tree_(config.mergeTree, "merge_tree"),
-          writer_(config, hbm_, "writer")
+          writer_(config, *mem_, "writer")
     {
         multiplier_.connect(&fetcher_, &prefetcher_, &tree_);
         partial_fetcher_.connectTree(&tree_);
@@ -295,18 +296,20 @@ class RunContext
                                res.seconds / 1e9
                          : 0.0;
 
-        res.bytesMatA = hbm_.streamBytes(DramStream::MatA);
-        res.bytesMatB = hbm_.streamBytes(DramStream::MatB);
-        res.bytesPartialRead = hbm_.streamBytes(DramStream::PartialRead);
+        res.bytesMatA = mem_->streamBytes(DramStream::MatA);
+        res.bytesMatB = mem_->streamBytes(DramStream::MatB);
+        res.bytesPartialRead =
+            mem_->streamBytes(DramStream::PartialRead);
         res.bytesPartialWrite =
-            hbm_.streamBytes(DramStream::PartialWrite);
-        res.bytesFinalWrite = hbm_.streamBytes(DramStream::FinalWrite);
-        res.bytesTotal = hbm_.totalBytes();
-        res.bandwidthUtilization = hbm_.utilization(res.cycles);
+            mem_->streamBytes(DramStream::PartialWrite);
+        res.bytesFinalWrite =
+            mem_->streamBytes(DramStream::FinalWrite);
+        res.bytesTotal = mem_->totalBytes();
+        res.bandwidthUtilization = mem_->utilization(res.cycles);
         res.prefetchHitRate = prefetcher_.hitRate();
 
         kernel_.recordStats(res.stats);
-        hbm_.recordStats(res.stats);
+        mem_->recordStats(res.stats);
         res.stats.set("plan.internal_weight",
                       static_cast<double>(plan_.internalWeight()));
         res.stats.set("plan.total_weight",
@@ -332,7 +335,7 @@ class RunContext
     Bytes partial_bump_;
 
     // ---- the clocked pipeline of Fig. 10 ----
-    HbmModel hbm_;
+    std::unique_ptr<mem::MemoryModel> mem_;
     hw::SimKernel kernel_;
     MataColumnFetcher fetcher_;
     RowPrefetcher prefetcher_;

@@ -1,138 +1,23 @@
 /**
  * @file
- * High Bandwidth Memory (HBM) channel model.
- *
- * Table I of the paper: "16x64-bit HBM channels, each channel provides
- * 8GB/s bandwidth" for 128 GB/s aggregate at the 1 GHz core clock, i.e.
- * 8 bytes per channel per cycle. The model tracks per-channel occupancy
- * (so bandwidth is a real constraint, not an average), a fixed access
- * latency, and per-stream byte counters used for every DRAM-traffic
- * number the benches report.
+ * Compatibility shim: the HBM model now lives in the pluggable memory
+ * layer (src/mem/) as mem::HbmBackend, one of four MemoryModel
+ * backends. Existing code and tests that speak `HbmModel`/`HbmConfig`
+ * keep compiling through these aliases; new code should include
+ * "mem/memory_model.hh" (interface) or "mem/hbm_backend.hh" (backend)
+ * directly.
  */
 
 #ifndef SPARCH_DRAM_HBM_HH
 #define SPARCH_DRAM_HBM_HH
 
-#include <array>
-#include <cstdint>
-#include <string>
-#include <vector>
-
-#include "common/stats.hh"
-#include "common/types.hh"
+#include "mem/hbm_backend.hh"
 
 namespace sparch
 {
 
-/** Traffic classes, matching the streams in Fig. 10. */
-enum class DramStream : unsigned
-{
-    MatA = 0,        //!< left-matrix CSR stream (column fetcher)
-    MatB,            //!< right-matrix rows (row prefetcher)
-    PartialRead,     //!< partially merged results read back
-    PartialWrite,    //!< partially merged results written out
-    FinalWrite,      //!< final result written in CSR
-    NumStreams
-};
-
-/** Printable name of a stream class. */
-const char *dramStreamName(DramStream s);
-
-/** Configuration of the HBM stack. */
-struct HbmConfig
-{
-    /** Number of independent channels (Table I: 16). */
-    unsigned channels = 16;
-
-    /** Bytes per channel per cycle (8 GB/s at 1 GHz = 8 B/cycle). */
-    Bytes bytesPerCyclePerChannel = 8;
-
-    /** Access latency in cycles added to every request. */
-    Cycle accessLatency = 64;
-
-    /** Address interleaving granularity in bytes. */
-    Bytes interleaveBytes = 64;
-
-    /** Peak aggregate bandwidth in bytes per cycle. */
-    Bytes
-    peakBytesPerCycle() const
-    {
-        return channels * bytesPerCyclePerChannel;
-    }
-};
-
-/**
- * Bandwidth- and latency-aware HBM model.
- *
- * Requests are split into interleave-granularity chunks; each chunk
- * occupies its channel for bytes/bandwidth cycles. A request completes
- * when its last chunk has been transferred plus the access latency (for
- * reads). This is deliberately simpler than a DDR state machine — the
- * paper's results are bandwidth-dominated, and this model makes
- * bandwidth and channel conflicts first-class while keeping simulation
- * cost O(chunks).
- */
-class HbmModel
-{
-  public:
-    explicit HbmModel(const HbmConfig &config = HbmConfig{});
-
-    /**
-     * Issue a read of `bytes` at `addr` at time `now`.
-     * @return cycle at which the data is available on chip.
-     */
-    Cycle read(DramStream stream, Bytes addr, Bytes bytes, Cycle now);
-
-    /**
-     * Issue a write of `bytes` at `addr` at time `now`.
-     * @return cycle at which the write has drained.
-     */
-    Cycle write(DramStream stream, Bytes addr, Bytes bytes, Cycle now);
-
-    /** Total bytes moved on behalf of one stream. */
-    Bytes streamBytes(DramStream stream) const;
-
-    /** Total bytes moved across all streams. */
-    Bytes totalBytes() const;
-
-    /** Total read bytes across all streams. */
-    Bytes totalReadBytes() const { return total_read_; }
-
-    /** Total write bytes across all streams. */
-    Bytes totalWriteBytes() const { return total_write_; }
-
-    /**
-     * Achieved bandwidth utilization over [0, end_cycle]: bytes moved
-     * divided by peak bytes deliverable.
-     */
-    double utilization(Cycle end_cycle) const;
-
-    /** Peak aggregate bandwidth in bytes per cycle. */
-    Bytes
-    peakBytesPerCycle() const
-    {
-        return config_.peakBytesPerCycle();
-    }
-
-    const HbmConfig &config() const { return config_; }
-
-    /** Reset occupancy and counters. */
-    void reset();
-
-    /** Dump per-stream traffic into a StatSet. */
-    void recordStats(StatSet &stats) const;
-
-  private:
-    Cycle access(DramStream stream, Bytes addr, Bytes bytes, Cycle now,
-                 bool is_write);
-
-    HbmConfig config_;
-    std::vector<Cycle> channel_busy_until_;
-    std::array<Bytes, static_cast<std::size_t>(DramStream::NumStreams)>
-        stream_bytes_{};
-    Bytes total_read_ = 0;
-    Bytes total_write_ = 0;
-};
+using HbmConfig = mem::HbmConfig;
+using HbmModel = mem::HbmBackend;
 
 } // namespace sparch
 

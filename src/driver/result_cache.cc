@@ -54,9 +54,12 @@ ResultCache::key(const SpArchConfig &config,
                  std::uint64_t seed, unsigned shards,
                  ShardPolicy policy)
 {
-    // Every field of SpArchConfig (and its nested merge-tree and HBM
-    // configs) feeds the hash: if a parameter can change the
-    // simulation, it must change the key.
+    // Every field of SpArchConfig that can change the simulation feeds
+    // the hash. Only the *active* memory backend's parameters are
+    // hashed: inactive blocks cannot affect results, and keeping the
+    // default (HBM) field sequence exactly as it was before the
+    // memory.kind axis existed means caches written by older builds
+    // still hit on memory=hbm grids (test_result_cache pins the keys).
     std::uint64_t h = mix(0x5eedcac8eULL, kSchemaVersion);
     h = mixDouble(h, config.clockHz);
     h = mix(h, config.mergeTree.layers);
@@ -75,10 +78,40 @@ ResultCache::key(const SpArchConfig &config,
     h = mix(h, config.writerFifo);
     h = mix(h, config.writerBurst);
     h = mix(h, config.partialFetchBurst);
-    h = mix(h, config.hbm.channels);
-    h = mix(h, config.hbm.bytesPerCyclePerChannel);
-    h = mix(h, config.hbm.accessLatency);
-    h = mix(h, config.hbm.interleaveBytes);
+    // The active memory backend occupies the slot the HBM block held
+    // before memory.kind existed: for kind == Hbm the exact legacy
+    // field sequence (byte-stable keys for old caches), otherwise a
+    // kind marker plus the active backend's own fields. Inactive
+    // blocks — including the HBM block on non-HBM runs — never feed
+    // the hash.
+    switch (config.memory.kind) {
+      case mem::MemoryKind::Hbm:
+        h = mix(h, config.memory.hbm.channels);
+        h = mix(h, config.memory.hbm.bytesPerCyclePerChannel);
+        h = mix(h, config.memory.hbm.accessLatency);
+        h = mix(h, config.memory.hbm.interleaveBytes);
+        break;
+      case mem::MemoryKind::Ddr4:
+      case mem::MemoryKind::Lpddr4: {
+        h = mix(h, static_cast<std::uint64_t>(config.memory.kind));
+        const mem::BankedDramConfig &d =
+            config.memory.kind == mem::MemoryKind::Ddr4
+                ? config.memory.ddr4
+                : config.memory.lpddr4;
+        h = mix(h, d.channels);
+        h = mix(h, d.bytesPerCyclePerChannel);
+        h = mix(h, d.banksPerChannel);
+        h = mix(h, d.rowBufferBytes);
+        h = mix(h, d.rowHitLatency);
+        h = mix(h, d.rowMissPenalty);
+        h = mix(h, d.interleaveBytes);
+        break;
+      }
+      case mem::MemoryKind::Ideal:
+        h = mix(h, static_cast<std::uint64_t>(config.memory.kind));
+        h = mix(h, config.memory.ideal.accessLatency);
+        break;
+    }
     h = mix(h, config.matrixCondensing ? 1 : 0);
     h = mix(h, static_cast<std::uint64_t>(config.scheduler));
     h = mix(h, config.rowPrefetcher ? 1 : 0);

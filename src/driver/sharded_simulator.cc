@@ -227,10 +227,13 @@ ShardedSimulator::multiply(const CsrMatrix &a, const CsrMatrix &b,
                 static_cast<Bytes>(r.rows() + 1) * bytesPerRowPtr;
         out.stitchBytes +=
             static_cast<Bytes>(a.rows() + 1) * bytesPerRowPtr;
-        const HbmConfig &hbm = config().hbm;
-        const Bytes peak = hbm.peakBytesPerCycle();
+        const mem::MemoryConfig &memcfg = config().memory;
+        const Bytes peak = memcfg.peakBytesPerCycle();
+        // peak == 0 means unlimited bandwidth (the ideal backend):
+        // stitching costs only the access latency.
         out.stitchCycles =
-            hbm.accessLatency + (out.stitchBytes + peak - 1) / peak;
+            memcfg.accessLatency() +
+            (peak > 0 ? (out.stitchBytes + peak - 1) / peak : 0);
     }
 
     c.cycles = max_cycles + out.stitchCycles;
@@ -238,9 +241,8 @@ ShardedSimulator::multiply(const CsrMatrix &a, const CsrMatrix &b,
     c.gflops = c.seconds > 0.0
                    ? static_cast<double>(c.flops) / c.seconds / 1e9
                    : 0.0;
-    const HbmConfig &hbm = config().hbm;
     const double peak_bytes =
-        static_cast<double>(hbm.peakBytesPerCycle()) *
+        static_cast<double>(config().memory.peakBytesPerCycle()) *
         static_cast<double>(c.cycles);
     c.bandwidthUtilization =
         peak_bytes > 0.0 ? static_cast<double>(c.bytesTotal) / peak_bytes

@@ -1,0 +1,59 @@
+#include "mem/hbm_backend.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sparch
+{
+namespace mem
+{
+
+HbmBackend::HbmBackend(const HbmConfig &config) : config_(config)
+{
+    SPARCH_ASSERT(config_.channels > 0, "HBM needs at least one channel");
+    SPARCH_ASSERT(config_.bytesPerCyclePerChannel > 0,
+                  "HBM channel bandwidth must be positive");
+    SPARCH_ASSERT(config_.interleaveBytes > 0,
+                  "HBM interleave granularity must be positive");
+    channel_busy_until_.assign(config_.channels, 0);
+}
+
+Cycle
+HbmBackend::timeAccess(Bytes addr, Bytes bytes, Cycle now, bool is_write)
+{
+    // Split the request into interleave-sized chunks striped across
+    // channels, starting at the channel addr maps to.
+    const Bytes gran = config_.interleaveBytes;
+    const Bytes bw = config_.bytesPerCyclePerChannel;
+    Cycle last_done = now;
+
+    Bytes offset = addr % gran;
+    Bytes remaining = bytes;
+    unsigned channel =
+        static_cast<unsigned>((addr / gran) % config_.channels);
+    while (remaining > 0) {
+        const Bytes chunk = std::min(remaining, gran - offset);
+        offset = 0;
+        Cycle &busy = channel_busy_until_[channel];
+        const Cycle start = std::max(busy, now);
+        const Cycle xfer = (chunk + bw - 1) / bw;
+        busy = start + xfer;
+        last_done = std::max(last_done, busy);
+        remaining -= chunk;
+        channel = (channel + 1) % config_.channels;
+    }
+
+    // Reads pay the array-access latency before data is usable; writes
+    // complete (from the producer's view) when the last beat drains.
+    return is_write ? last_done : last_done + config_.accessLatency;
+}
+
+void
+HbmBackend::resetTiming()
+{
+    std::fill(channel_busy_until_.begin(), channel_busy_until_.end(), 0);
+}
+
+} // namespace mem
+} // namespace sparch

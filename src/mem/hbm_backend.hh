@@ -1,0 +1,66 @@
+/**
+ * @file
+ * High Bandwidth Memory (HBM) channel backend.
+ *
+ * Table I of the paper: "16x64-bit HBM channels, each channel provides
+ * 8GB/s bandwidth" for 128 GB/s aggregate at the 1 GHz core clock, i.e.
+ * 8 bytes per channel per cycle. The model tracks per-channel occupancy
+ * (so bandwidth is a real constraint, not an average) and a fixed
+ * access latency; per-stream byte counters come from the MemoryModel
+ * base. This is the default backend and the timing reference: it must
+ * reproduce the original HbmModel cycle-for-cycle (the golden tests in
+ * test_memory_model.cc pin this).
+ */
+
+#ifndef SPARCH_MEM_HBM_BACKEND_HH
+#define SPARCH_MEM_HBM_BACKEND_HH
+
+#include <vector>
+
+#include "mem/memory_model.hh"
+
+namespace sparch
+{
+namespace mem
+{
+
+/**
+ * Bandwidth- and latency-aware HBM model.
+ *
+ * Requests are split into interleave-granularity chunks; each chunk
+ * occupies its channel for bytes/bandwidth cycles. A request completes
+ * when its last chunk has been transferred plus the access latency (for
+ * reads). This is deliberately simpler than a DDR state machine — the
+ * paper's results are bandwidth-dominated, and this model makes
+ * bandwidth and channel conflicts first-class while keeping simulation
+ * cost O(chunks).
+ */
+class HbmBackend final : public MemoryModel
+{
+  public:
+    explicit HbmBackend(const HbmConfig &config = HbmConfig{});
+
+    Bytes
+    peakBytesPerCycle() const override
+    {
+        return config_.peakBytesPerCycle();
+    }
+
+    MemoryKind kind() const override { return MemoryKind::Hbm; }
+
+    const HbmConfig &config() const { return config_; }
+
+  protected:
+    Cycle timeAccess(Bytes addr, Bytes bytes, Cycle now,
+                     bool is_write) override;
+    void resetTiming() override;
+
+  private:
+    HbmConfig config_;
+    std::vector<Cycle> channel_busy_until_;
+};
+
+} // namespace mem
+} // namespace sparch
+
+#endif // SPARCH_MEM_HBM_BACKEND_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ideal (infinite-bandwidth) memory backend.
+ *
+ * Every access completes after at most a fixed latency (0 by default),
+ * with no channel occupancy and no queueing, while byte accounting
+ * still runs — so DRAM-traffic numbers stay comparable across
+ * backends. Running a sweep against this backend isolates the
+ * compute-bound component of each configuration: the gap between ideal
+ * and a real backend is exactly the cycles the memory system costs.
+ */
+
+#ifndef SPARCH_MEM_IDEAL_BACKEND_HH
+#define SPARCH_MEM_IDEAL_BACKEND_HH
+
+#include "mem/memory_model.hh"
+
+namespace sparch
+{
+namespace mem
+{
+
+/** Infinite bandwidth, optional fixed read latency. */
+class IdealBackend final : public MemoryModel
+{
+  public:
+    explicit IdealBackend(const IdealConfig &config = IdealConfig{})
+        : config_(config)
+    {}
+
+    /** 0 = unlimited; utilization() reports 0 for this backend. */
+    Bytes peakBytesPerCycle() const override { return 0; }
+
+    MemoryKind kind() const override { return MemoryKind::Ideal; }
+
+    const IdealConfig &config() const { return config_; }
+
+  protected:
+    Cycle
+    timeAccess(Bytes, Bytes, Cycle now, bool is_write) override
+    {
+        return is_write ? now : now + config_.accessLatency;
+    }
+
+    void resetTiming() override {}
+
+  private:
+    IdealConfig config_;
+};
+
+} // namespace mem
+} // namespace sparch
+
+#endif // SPARCH_MEM_IDEAL_BACKEND_HH

@@ -1,0 +1,186 @@
+#include "mem/memory_model.hh"
+
+#include "common/logging.hh"
+#include "mem/banked_dram.hh"
+#include "mem/hbm_backend.hh"
+#include "mem/ideal_backend.hh"
+
+namespace sparch
+{
+
+const char *
+dramStreamName(DramStream s)
+{
+    switch (s) {
+      case DramStream::MatA:
+        return "mat_a";
+      case DramStream::MatB:
+        return "mat_b";
+      case DramStream::PartialRead:
+        return "partial_read";
+      case DramStream::PartialWrite:
+        return "partial_write";
+      case DramStream::FinalWrite:
+        return "final_write";
+      default:
+        return "unknown";
+    }
+}
+
+namespace mem
+{
+
+const char *
+memoryKindName(MemoryKind kind)
+{
+    switch (kind) {
+      case MemoryKind::Hbm:
+        return "hbm";
+      case MemoryKind::Ddr4:
+        return "ddr4";
+      case MemoryKind::Lpddr4:
+        return "lpddr4";
+      case MemoryKind::Ideal:
+        return "ideal";
+      default:
+        return "unknown";
+    }
+}
+
+BankedDramConfig
+ddr4Defaults()
+{
+    return BankedDramConfig{};
+}
+
+BankedDramConfig
+lpddr4Defaults()
+{
+    BankedDramConfig cfg;
+    cfg.channels = 4;
+    cfg.bytesPerCyclePerChannel = 4;
+    cfg.banksPerChannel = 8;
+    cfg.rowBufferBytes = 1024;
+    cfg.rowHitLatency = 96;
+    cfg.rowMissPenalty = 64;
+    return cfg;
+}
+
+Bytes
+MemoryConfig::peakBytesPerCycle() const
+{
+    switch (kind) {
+      case MemoryKind::Hbm:
+        return hbm.peakBytesPerCycle();
+      case MemoryKind::Ddr4:
+        return ddr4.peakBytesPerCycle();
+      case MemoryKind::Lpddr4:
+        return lpddr4.peakBytesPerCycle();
+      case MemoryKind::Ideal:
+        return 0; // unlimited
+    }
+    return 0;
+}
+
+Cycle
+MemoryConfig::accessLatency() const
+{
+    switch (kind) {
+      case MemoryKind::Hbm:
+        return hbm.accessLatency;
+      case MemoryKind::Ddr4:
+        return ddr4.rowHitLatency;
+      case MemoryKind::Lpddr4:
+        return lpddr4.rowHitLatency;
+      case MemoryKind::Ideal:
+        return ideal.accessLatency;
+    }
+    return 0;
+}
+
+Cycle
+MemoryModel::read(DramStream stream, Bytes addr, Bytes bytes, Cycle now)
+{
+    if (bytes == 0)
+        return now;
+    stream_bytes_[static_cast<std::size_t>(stream)] += bytes;
+    total_read_ += bytes;
+    return timeAccess(addr, bytes, now, false);
+}
+
+Cycle
+MemoryModel::write(DramStream stream, Bytes addr, Bytes bytes, Cycle now)
+{
+    if (bytes == 0)
+        return now;
+    stream_bytes_[static_cast<std::size_t>(stream)] += bytes;
+    total_write_ += bytes;
+    return timeAccess(addr, bytes, now, true);
+}
+
+Bytes
+MemoryModel::streamBytes(DramStream stream) const
+{
+    return stream_bytes_[static_cast<std::size_t>(stream)];
+}
+
+double
+MemoryModel::utilization(Cycle end_cycle) const
+{
+    // Guard both factors: end_cycle == 0 (nothing simulated yet) and
+    // peak == 0 (the ideal backend) must report 0, not NaN.
+    const Bytes peak_rate = peakBytesPerCycle();
+    if (end_cycle == 0 || peak_rate == 0)
+        return 0.0;
+    const double peak = static_cast<double>(peak_rate) *
+                        static_cast<double>(end_cycle);
+    return static_cast<double>(totalBytes()) / peak;
+}
+
+void
+MemoryModel::reset()
+{
+    stream_bytes_.fill(0);
+    total_read_ = 0;
+    total_write_ = 0;
+    resetTiming();
+}
+
+void
+MemoryModel::recordStats(StatSet &stats) const
+{
+    for (unsigned s = 0;
+         s < static_cast<unsigned>(DramStream::NumStreams); ++s) {
+        stats.set(std::string("dram.bytes.") +
+                      dramStreamName(static_cast<DramStream>(s)),
+                  static_cast<double>(stream_bytes_[s]));
+    }
+    stats.set("dram.bytes.read", static_cast<double>(total_read_));
+    stats.set("dram.bytes.write", static_cast<double>(total_write_));
+    stats.set("dram.bytes.total", static_cast<double>(totalBytes()));
+    recordTimingStats(stats);
+}
+
+void
+MemoryModel::recordTimingStats(StatSet &) const
+{}
+
+std::unique_ptr<MemoryModel>
+createMemoryModel(const MemoryConfig &config)
+{
+    switch (config.kind) {
+      case MemoryKind::Hbm:
+        return std::make_unique<HbmBackend>(config.hbm);
+      case MemoryKind::Ddr4:
+        return std::make_unique<Ddr4Backend>(config.ddr4);
+      case MemoryKind::Lpddr4:
+        return std::make_unique<Lpddr4Backend>(config.lpddr4);
+      case MemoryKind::Ideal:
+        return std::make_unique<IdealBackend>(config.ideal);
+    }
+    panic("unknown memory kind ",
+          static_cast<unsigned>(config.kind));
+}
+
+} // namespace mem
+} // namespace sparch

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * The pluggable memory-backend interface.
+ *
+ * SpArch's results are bandwidth-dominated, so the memory system is a
+ * first-class axis of the design space: the paper evaluates a 16-channel
+ * HBM stack (Table I), compares against DDR4-class baselines, and any
+ * DSE sweep worth running wants an infinite-bandwidth point to separate
+ * memory-bound from compute-bound behavior. MemoryModel is the abstract
+ * contract every backend implements; per-stream byte accounting (the
+ * Fig. 10 traffic classes every bench reports) lives here in the base
+ * class so all backends count bytes identically, and only *timing*
+ * differs per backend:
+ *
+ *   - HbmBackend      channel-occupancy HBM model (the paper's design)
+ *   - Ddr4Backend     banked DDR4 with row-buffer hit/miss latency
+ *   - Lpddr4Backend   low-power DDR4 point for energy sweeps
+ *   - IdealBackend    infinite bandwidth, isolates compute-bound runs
+ *
+ * All backend parameter blocks plus the MemoryConfig selector are
+ * defined here so config-consuming layers (SpArchConfig, the CLI, the
+ * result cache) depend on one header.
+ */
+
+#ifndef SPARCH_MEM_MEMORY_MODEL_HH
+#define SPARCH_MEM_MEMORY_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace sparch
+{
+
+/** Traffic classes, matching the streams in Fig. 10. */
+enum class DramStream : unsigned
+{
+    MatA = 0,        //!< left-matrix CSR stream (column fetcher)
+    MatB,            //!< right-matrix rows (row prefetcher)
+    PartialRead,     //!< partially merged results read back
+    PartialWrite,    //!< partially merged results written out
+    FinalWrite,      //!< final result written in CSR
+    NumStreams
+};
+
+/** Printable name of a stream class. */
+const char *dramStreamName(DramStream s);
+
+namespace mem
+{
+
+/** The selectable memory backends. */
+enum class MemoryKind : unsigned
+{
+    Hbm = 0, //!< Table I: 16x64-bit HBM channels (the paper's design)
+    Ddr4,    //!< banked DDR4, OuterSpace-class baseline memory
+    Lpddr4,  //!< low-power mobile DRAM point for energy sweeps
+    Ideal    //!< infinite bandwidth, zero queueing
+};
+
+/** Printable backend name ("hbm", "ddr4", "lpddr4", "ideal"). */
+const char *memoryKindName(MemoryKind kind);
+
+/** Configuration of the HBM stack. */
+struct HbmConfig
+{
+    /** Number of independent channels (Table I: 16). */
+    unsigned channels = 16;
+
+    /** Bytes per channel per cycle (8 GB/s at 1 GHz = 8 B/cycle). */
+    Bytes bytesPerCyclePerChannel = 8;
+
+    /** Access latency in cycles added to every request. */
+    Cycle accessLatency = 64;
+
+    /** Address interleaving granularity in bytes. */
+    Bytes interleaveBytes = 64;
+
+    /** Peak aggregate bandwidth in bytes per cycle. */
+    Bytes
+    peakBytesPerCycle() const
+    {
+        return channels * bytesPerCyclePerChannel;
+    }
+};
+
+/**
+ * Configuration of a banked DRAM channel group (DDR4 / LPDDR4). The
+ * distinguishing feature over the HBM model is the per-bank row buffer:
+ * an access that hits the open row pays only the CAS-class latency,
+ * while switching rows additionally occupies the channel for the
+ * precharge + activate penalty.
+ */
+struct BankedDramConfig
+{
+    /** Independent channels. */
+    unsigned channels = 2;
+
+    /** Bytes per channel per cycle at the 1 GHz core clock. */
+    Bytes bytesPerCyclePerChannel = 16;
+
+    /** Banks per channel, each with one open row. */
+    unsigned banksPerChannel = 16;
+
+    /** Row-buffer size in bytes. */
+    Bytes rowBufferBytes = 2048;
+
+    /** Read latency on a row-buffer hit (CAS class). */
+    Cycle rowHitLatency = 64;
+
+    /** Extra channel-occupancy cycles on a row miss (tRP + tRCD). */
+    Cycle rowMissPenalty = 48;
+
+    /** Address interleaving granularity in bytes. */
+    Bytes interleaveBytes = 64;
+
+    /** Peak aggregate bandwidth in bytes per cycle. */
+    Bytes
+    peakBytesPerCycle() const
+    {
+        return channels * bytesPerCyclePerChannel;
+    }
+};
+
+/**
+ * Dual-channel DDR4 at the core clock: 32 B/cycle aggregate (a quarter
+ * of the HBM stack) with the row-hit latency pinned to the HBM access
+ * latency so DDR4 is never the lower-latency *and* lower-bandwidth
+ * point — that keeps hbm <= ddr4 in cycles across sweeps.
+ */
+BankedDramConfig ddr4Defaults();
+
+/**
+ * Quad-channel LPDDR4: half the DDR4 bandwidth again, higher latency,
+ * smaller row buffers — the low-power corner for energy sweeps.
+ */
+BankedDramConfig lpddr4Defaults();
+
+/** Configuration of the ideal (infinite-bandwidth) backend. */
+struct IdealConfig
+{
+    /** Optional fixed latency per read; 0 = pure ideal. */
+    Cycle accessLatency = 0;
+};
+
+/**
+ * The full memory specification of a simulation: which backend plus
+ * every backend's parameter block. Inactive blocks are carried along
+ * untouched so a grid sweep can flip `kind` without re-stating
+ * parameters; only the active block affects simulation (and result
+ * cache keys).
+ */
+struct MemoryConfig
+{
+    MemoryKind kind = MemoryKind::Hbm;
+
+    HbmConfig hbm{};
+    BankedDramConfig ddr4 = ddr4Defaults();
+    BankedDramConfig lpddr4 = lpddr4Defaults();
+    IdealConfig ideal{};
+
+    /**
+     * Peak aggregate bandwidth of the active backend in bytes per
+     * cycle; 0 means unlimited (the ideal backend).
+     */
+    Bytes peakBytesPerCycle() const;
+
+    /** Baseline read latency of the active backend in cycles. */
+    Cycle accessLatency() const;
+};
+
+/**
+ * Abstract DRAM timing + accounting model.
+ *
+ * Byte accounting is shared: read() and write() tally per-stream and
+ * read/write totals in the base class, then delegate the completion
+ * time to the backend's timeAccess(). utilization() is achieved bytes
+ * over peak deliverable bytes, defined as 0 when either the elapsed
+ * cycles or the peak is zero (the ideal backend has no finite peak),
+ * so it never divides by zero.
+ */
+class MemoryModel
+{
+  public:
+    virtual ~MemoryModel() = default;
+
+    /**
+     * Issue a read of `bytes` at `addr` at time `now`.
+     * @return cycle at which the data is available on chip.
+     */
+    Cycle read(DramStream stream, Bytes addr, Bytes bytes, Cycle now);
+
+    /**
+     * Issue a write of `bytes` at `addr` at time `now`.
+     * @return cycle at which the write has drained.
+     */
+    Cycle write(DramStream stream, Bytes addr, Bytes bytes, Cycle now);
+
+    /** Total bytes moved on behalf of one stream. */
+    Bytes streamBytes(DramStream stream) const;
+
+    /** Total bytes moved across all streams. */
+    Bytes totalBytes() const { return total_read_ + total_write_; }
+
+    /** Total read bytes across all streams. */
+    Bytes totalReadBytes() const { return total_read_; }
+
+    /** Total write bytes across all streams. */
+    Bytes totalWriteBytes() const { return total_write_; }
+
+    /**
+     * Achieved bandwidth utilization over [0, end_cycle]: bytes moved
+     * divided by peak bytes deliverable; 0 when end_cycle or the peak
+     * is zero.
+     */
+    double utilization(Cycle end_cycle) const;
+
+    /**
+     * Peak aggregate bandwidth in bytes per cycle; 0 means unlimited
+     * (the ideal backend).
+     */
+    virtual Bytes peakBytesPerCycle() const = 0;
+
+    /** Which backend this is. */
+    virtual MemoryKind kind() const = 0;
+
+    /** Reset timing state and byte counters. */
+    void reset();
+
+    /** Dump per-stream traffic (plus backend extras) into a StatSet. */
+    void recordStats(StatSet &stats) const;
+
+  protected:
+    /**
+     * Backend timing: when does an access of `bytes` at `addr` issued
+     * at `now` complete? Called only for bytes > 0, after accounting.
+     */
+    virtual Cycle timeAccess(Bytes addr, Bytes bytes, Cycle now,
+                             bool is_write) = 0;
+
+    /** Clear backend timing state (channel occupancy, open rows). */
+    virtual void resetTiming() = 0;
+
+    /** Backend-specific stats (e.g. row-buffer hits); default none. */
+    virtual void recordTimingStats(StatSet &stats) const;
+
+  private:
+    std::array<Bytes, static_cast<std::size_t>(DramStream::NumStreams)>
+        stream_bytes_{};
+    Bytes total_read_ = 0;
+    Bytes total_write_ = 0;
+};
+
+/** Instantiate the backend `config.kind` selects. */
+std::unique_ptr<MemoryModel> createMemoryModel(const MemoryConfig &config);
+
+} // namespace mem
+} // namespace sparch
+
+#endif // SPARCH_MEM_MEMORY_MODEL_HH

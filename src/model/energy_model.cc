@@ -24,6 +24,9 @@ constexpr double kPowerMultiplier = 0.07310;
 constexpr double kPowerMergeTree = 4.73847;
 constexpr double kPowerWriter = 0.24304;
 constexpr double kPowerHbm = 2.2404;
+// Non-HBM memory power at the same ~75% average utilization: peak
+// bandwidth (B/cycle at 1 GHz) x the backend's energy per byte.
+constexpr double kTypicalUtilization = 0.75;
 
 // ---- per-event energies (picojoules), chosen so the Table I design
 // reproduces the Table III per-FLOP split at the paper's average
@@ -57,6 +60,25 @@ EnergyModel::dramEnergyPerByte()
     // Table II note: "the same DRAM power estimation as OuterSPACE,
     // which is 42.6 GB/s/W" -> 1 / 42.6e9 joules per byte.
     return 1.0 / 42.6e9;
+}
+
+double
+EnergyModel::dramEnergyPerByte(mem::MemoryKind kind)
+{
+    switch (kind) {
+      case mem::MemoryKind::Hbm:
+        return dramEnergyPerByte();
+      case mem::MemoryKind::Ddr4:
+        // Off-package DDR4 pays roughly 3x the pJ/byte of stacked HBM
+        // (long board traces, higher I/O voltage): ~14.2 GB/s/W.
+        return 1.0 / 14.2e9;
+      case mem::MemoryKind::Lpddr4:
+        // Mobile DRAM undercuts HBM per byte: ~51.2 GB/s/W.
+        return 1.0 / 51.2e9;
+      case mem::MemoryKind::Ideal:
+        return 0.0;
+    }
+    return dramEnergyPerByte();
 }
 
 AreaBreakdown
@@ -117,7 +139,15 @@ EnergyModel::typicalPower() const
     p.mergeTree = kPowerMergeTree * a.mergeTree / kAreaMergeTree;
     p.partialMatWriter =
         kPowerWriter * a.partialMatWriter / kAreaWriter;
-    p.hbm = kPowerHbm;
+    if (config_.memory.kind == mem::MemoryKind::Hbm) {
+        p.dram = kPowerHbm; // the Fig. 13(b) calibration anchor
+    } else {
+        p.dram =
+            kTypicalUtilization *
+            static_cast<double>(config_.memory.peakBytesPerCycle()) *
+            config_.clockHz *
+            dramEnergyPerByte(config_.memory.kind);
+    }
     return p;
 }
 
@@ -147,7 +177,7 @@ EnergyModel::energy(const SpArchResult &result) const
               1e-12;
 
     e.dramJ = static_cast<double>(result.bytesTotal) *
-              dramEnergyPerByte();
+              dramEnergyPerByte(config_.memory.kind);
     return e;
 }
 

@@ -49,13 +49,14 @@ struct PowerBreakdown
     double multiplierArray = 0.0;
     double mergeTree = 0.0;
     double partialMatWriter = 0.0;
-    double hbm = 0.0;
+    /** Memory-system power (HBM at the paper's operating point). */
+    double dram = 0.0;
 
     double
     total() const
     {
         return columnFetcher + rowPrefetcher + multiplierArray +
-               mergeTree + partialMatWriter + hbm;
+               mergeTree + partialMatWriter + dram;
     }
 };
 
@@ -64,7 +65,7 @@ struct EnergyBreakdown
 {
     double computationJ = 0.0; //!< multipliers, adders, comparators
     double sramJ = 0.0;        //!< FIFOs and prefetch buffer
-    double dramJ = 0.0;        //!< HBM traffic
+    double dramJ = 0.0;        //!< memory traffic (backend-specific)
 
     double total() const { return computationJ + sramJ + dramJ; }
 
@@ -92,11 +93,21 @@ class EnergyModel
      */
     PowerBreakdown typicalPower() const;
 
-    /** Energy of one simulated run, from its event counts. */
+    /**
+     * Energy of one simulated run, from its event counts. DRAM energy
+     * uses the per-byte figure of the configured memory backend.
+     */
     EnergyBreakdown energy(const SpArchResult &result) const;
 
-    /** DRAM energy per byte from the 42.6 GB/s/W figure. */
+    /** HBM energy per byte from the 42.6 GB/s/W figure. */
     static double dramEnergyPerByte();
+
+    /**
+     * Energy per byte of one memory backend: HBM at the paper's
+     * 42.6 GB/s/W, DDR4 roughly 3x that per byte, LPDDR4 below HBM
+     * (the low-power point), ideal free.
+     */
+    static double dramEnergyPerByte(mem::MemoryKind kind);
 
     const SpArchConfig &config() const { return config_; }
 

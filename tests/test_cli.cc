@@ -135,6 +135,65 @@ TEST(CliConfigSpec, RejectsUnknownKeyAndBadValue)
                  FatalError);
 }
 
+TEST(CliConfigSpec, AppliesMemoryBackendOverrides)
+{
+    const SpArchConfig ddr4 = cli::parseConfigOverrides(
+        "memory=ddr4, ddr4_channels=4, ddr4_bytes_per_cycle=8, "
+        "ddr4_banks=32, ddr4_row_bytes=4096, ddr4_hit_latency=50, "
+        "ddr4_miss_penalty=30, ddr4_interleave=128");
+    EXPECT_EQ(ddr4.memory.kind, mem::MemoryKind::Ddr4);
+    EXPECT_EQ(ddr4.memory.ddr4.channels, 4u);
+    EXPECT_EQ(ddr4.memory.ddr4.bytesPerCyclePerChannel, 8u);
+    EXPECT_EQ(ddr4.memory.ddr4.banksPerChannel, 32u);
+    EXPECT_EQ(ddr4.memory.ddr4.rowBufferBytes, 4096u);
+    EXPECT_EQ(ddr4.memory.ddr4.rowHitLatency, 50u);
+    EXPECT_EQ(ddr4.memory.ddr4.rowMissPenalty, 30u);
+    EXPECT_EQ(ddr4.memory.ddr4.interleaveBytes, 128u);
+
+    const SpArchConfig lp = cli::parseConfigOverrides(
+        "memory=lpddr4, lpddr4_channels=2, lpddr4_hit_latency=120");
+    EXPECT_EQ(lp.memory.kind, mem::MemoryKind::Lpddr4);
+    EXPECT_EQ(lp.memory.lpddr4.channels, 2u);
+    EXPECT_EQ(lp.memory.lpddr4.rowHitLatency, 120u);
+    // ddr4 block untouched by lpddr4_* keys.
+    EXPECT_EQ(lp.memory.ddr4.channels, mem::ddr4Defaults().channels);
+
+    const SpArchConfig ideal =
+        cli::parseConfigOverrides("memory=ideal, ideal_latency=9");
+    EXPECT_EQ(ideal.memory.kind, mem::MemoryKind::Ideal);
+    EXPECT_EQ(ideal.memory.ideal.accessLatency, 9u);
+
+    SpArchConfig config;
+    EXPECT_THROW(cli::applyConfigOption(config, "memory", "sram"),
+                 FatalError);
+}
+
+TEST(CliConfigSpec, KeyListIsGeneratedFromTheTable)
+{
+    // The unknown-key error and the parser share one table; the list
+    // must carry both the legacy keys and the new memory keys.
+    const std::string keys = cli::configKeyList();
+    for (const char *expect :
+         {"clock_ghz", "merge_layers", "replacement", "hbm_channels",
+          "memory", "ddr4_channels", "ddr4_miss_penalty",
+          "lpddr4_row_bytes", "ideal_latency", "prefetcher"}) {
+        EXPECT_NE(keys.find(expect), std::string::npos)
+            << "missing key " << expect;
+    }
+
+    // And the error message really is generated from it.
+    try {
+        SpArchConfig config;
+        cli::applyConfigOption(config, "warp_drive", "1");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("memory"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("lpddr4_interleave"),
+                  std::string::npos);
+    }
+}
+
 // ---------------------------------------------------- workload specs
 
 TEST(CliWorkloadSpec, ParsesEveryFamily)
@@ -226,6 +285,71 @@ TEST(CliGridSpec, DefaultsMatchTheBenches)
     EXPECT_EQ(grid.shards, std::vector<unsigned>{1});
 }
 
+TEST(CliGridSpec, SeedsAxisReplicatesWorkloads)
+{
+    std::istringstream in(
+        "wseed = 100\n"
+        "seeds = 3\n"
+        "[workloads]\n"
+        "uniform:64x64:200\n"
+        "rmat:256x4\n");
+    const cli::GridSpec grid = cli::parseGridSpec(in, "test");
+    EXPECT_EQ(grid.seeds, 3u);
+    // Each spec materializes once per seed, spec-major.
+    ASSERT_EQ(grid.workloads.size(), 6u);
+    for (int i : {0, 1, 2})
+        EXPECT_EQ(grid.workloads[i].name(), "uniform-64x64-200");
+    for (int i : {3, 4, 5})
+        EXPECT_EQ(grid.workloads[i].name(), "rmat-256-x4");
+    // Replicates are distinct samples: same name, different identity
+    // (the generator seed is part of it), so the result cache keeps
+    // them apart and the CSV rows carry independent measurements.
+    EXPECT_NE(grid.workloads[0].identity(),
+              grid.workloads[1].identity());
+    EXPECT_NE(grid.workloads[1].identity(),
+              grid.workloads[2].identity());
+    EXPECT_NE(grid.workloads[3].identity(),
+              grid.workloads[4].identity());
+}
+
+TEST(CliGridSpec, SeedsAxisDoesNotReplicateMatrixMarketFiles)
+{
+    // A .mtx workload ignores generator seeds (the file is the
+    // matrix); replicating it would fake N identical "samples".
+    const std::string path = writeFile(
+        "sparch_cli_seeds.mtx",
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n1 1 1.0\n2 2 2.0\n");
+    std::istringstream in("seeds = 3\n[workloads]\nuniform:32x32:64\n"
+                          "mtx:" +
+                          path + "\n");
+    const cli::GridSpec grid = cli::parseGridSpec(in, "test");
+    std::remove(path.c_str());
+    // 3 uniform replicates + 1 mtx instance.
+    ASSERT_EQ(grid.workloads.size(), 4u);
+    EXPECT_EQ(grid.workloads[3].name(), path);
+}
+
+TEST(CliGridSpec, MemoryBackendsAsConfigAxes)
+{
+    std::istringstream in(
+        "[config hbm]\n"
+        "[config ddr4]\n"
+        "memory = ddr4\n"
+        "[config ideal]\n"
+        "memory = ideal\n"
+        "[workloads]\n"
+        "uniform:64x64:200\n");
+    const cli::GridSpec grid = cli::parseGridSpec(in, "test");
+    ASSERT_EQ(grid.configs.size(), 3u);
+    EXPECT_EQ(grid.configs[0].second.memory.kind,
+              mem::MemoryKind::Hbm);
+    EXPECT_EQ(grid.configs[1].second.memory.kind,
+              mem::MemoryKind::Ddr4);
+    EXPECT_EQ(grid.configs[2].second.memory.kind,
+              mem::MemoryKind::Ideal);
+}
+
 TEST(CliGridSpec, RejectsMalformedInput)
 {
     auto parse = [](const std::string &text) {
@@ -239,6 +363,8 @@ TEST(CliGridSpec, RejectsMalformedInput)
     EXPECT_THROW(parse("warp = 9\n[workloads]\nuniform:4x4:4\n"),
                  FatalError);
     EXPECT_THROW(parse("shards = 0\n[workloads]\nuniform:4x4:4\n"),
+                 FatalError);
+    EXPECT_THROW(parse("seeds = 0\n[workloads]\nuniform:4x4:4\n"),
                  FatalError);
     EXPECT_THROW(parse("[config c\n[workloads]\nuniform:4x4:4\n"),
                  FatalError);

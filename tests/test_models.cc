@@ -90,7 +90,7 @@ TEST(EnergyModel, DefaultPowerMatchesFig13)
     const EnergyModel model;
     const PowerBreakdown p = model.typicalPower();
     EXPECT_NEAR(p.mergeTree, 4.74, 0.01);
-    EXPECT_NEAR(p.hbm, 2.24, 0.01);
+    EXPECT_NEAR(p.dram, 2.24, 0.01);
     // Merge tree dominates (55.4% of total in Fig. 13b).
     EXPECT_GT(p.mergeTree / p.total(), 0.5);
 }
@@ -177,6 +177,38 @@ TEST(OuterSpace, SpArchBeatsItOnTimeAndEnergy)
     EXPECT_LT(sparch.seconds, outer.seconds);
     const EnergyModel model;
     EXPECT_LT(model.energy(sparch).total(), outer.energyJ);
+}
+
+TEST(OuterSpace, RebasesOntoMemoryBackends)
+{
+    // Default HBM: identical to the published configuration.
+    const mem::MemoryConfig hbm{};
+    const OuterSpaceConfig on_hbm = outerspaceConfigFor(hbm);
+    EXPECT_DOUBLE_EQ(on_hbm.bandwidthGBs,
+                     OuterSpaceConfig{}.bandwidthGBs);
+    EXPECT_DOUBLE_EQ(on_hbm.energyPerFlopNj,
+                     OuterSpaceConfig{}.energyPerFlopNj);
+
+    // DDR4: a quarter of the bandwidth, costlier per FLOP.
+    mem::MemoryConfig ddr4;
+    ddr4.kind = mem::MemoryKind::Ddr4;
+    const OuterSpaceConfig on_ddr4 = outerspaceConfigFor(ddr4);
+    EXPECT_DOUBLE_EQ(on_ddr4.bandwidthGBs, 32.0);
+    EXPECT_GT(on_ddr4.energyPerFlopNj, on_hbm.energyPerFlopNj);
+
+    // Ideal has no finite peak: bandwidth is left at the published
+    // figure, and the DRAM energy share drops out.
+    mem::MemoryConfig ideal;
+    ideal.kind = mem::MemoryKind::Ideal;
+    const OuterSpaceConfig on_ideal = outerspaceConfigFor(ideal);
+    EXPECT_DOUBLE_EQ(on_ideal.bandwidthGBs,
+                     OuterSpaceConfig{}.bandwidthGBs);
+    EXPECT_LT(on_ideal.energyPerFlopNj, on_hbm.energyPerFlopNj);
+
+    // A slower memory makes the traffic-dominated baseline slower.
+    const CsrMatrix a = generateUniform(300, 300, 2500, 9);
+    EXPECT_GT(outerspaceModel(a, a, on_ddr4).seconds,
+              outerspaceModel(a, a, on_hbm).seconds);
 }
 
 TEST(PlatformModels, AllProxiesProduceSaneResults)

@@ -105,6 +105,74 @@ TEST(ResultCacheKey, DependsOnEveryComponent)
                                      ShardPolicy::RowBalanced));
 }
 
+TEST(ResultCacheKey, LegacyHbmKeysAreByteStable)
+{
+    // These exact values were produced by the pre-refactor cache (the
+    // HBM-only SpArchConfig, before memory.kind existed). They must
+    // never change for memory=hbm configurations, or every result
+    // cache written by an older build silently misses.
+    const SpArchConfig def{};
+    EXPECT_EQ(ResultCache::key(def, "w1", 7, 1,
+                               ShardPolicy::NnzBalanced),
+              0xf85038a81fbd8a92ULL);
+    EXPECT_EQ(ResultCache::key(def, "w1", 7, 4,
+                               ShardPolicy::RowBalanced),
+              0x2733ce329ec94cc9ULL);
+
+    SpArchConfig hbm8 = def;
+    hbm8.memory.hbm.channels = 8;
+    hbm8.memory.hbm.accessLatency = 100;
+    EXPECT_EQ(ResultCache::key(hbm8, "w2", 9, 1,
+                               ShardPolicy::NnzBalanced),
+              0x4a428ae6a23c91e1ULL);
+}
+
+TEST(ResultCacheKey, OnlyTheActiveMemoryBackendFeedsTheKey)
+{
+    const SpArchConfig base{};
+    const std::uint64_t hbm_key =
+        ResultCache::key(base, "w", 1, 1, ShardPolicy::NnzBalanced);
+
+    // Inactive backend parameters cannot change the simulation, so
+    // they must not change the key (this is also what keeps legacy
+    // HBM keys stable).
+    SpArchConfig tweaked_inactive = base;
+    tweaked_inactive.memory.ddr4.channels = 8;
+    tweaked_inactive.memory.lpddr4.rowHitLatency = 1;
+    tweaked_inactive.memory.ideal.accessLatency = 99;
+    EXPECT_EQ(hbm_key,
+              ResultCache::key(tweaked_inactive, "w", 1, 1,
+                               ShardPolicy::NnzBalanced));
+
+    // Switching backends must change the key...
+    SpArchConfig ddr4 = base;
+    ddr4.memory.kind = mem::MemoryKind::Ddr4;
+    const std::uint64_t ddr4_key =
+        ResultCache::key(ddr4, "w", 1, 1, ShardPolicy::NnzBalanced);
+    EXPECT_NE(hbm_key, ddr4_key);
+
+    SpArchConfig ideal = base;
+    ideal.memory.kind = mem::MemoryKind::Ideal;
+    EXPECT_NE(hbm_key, ResultCache::key(ideal, "w", 1, 1,
+                                        ShardPolicy::NnzBalanced));
+    EXPECT_NE(ddr4_key, ResultCache::key(ideal, "w", 1, 1,
+                                         ShardPolicy::NnzBalanced));
+
+    // ...and so must the active backend's own parameters.
+    SpArchConfig ddr4_wide = ddr4;
+    ddr4_wide.memory.ddr4.channels = 8;
+    EXPECT_NE(ddr4_key, ResultCache::key(ddr4_wide, "w", 1, 1,
+                                         ShardPolicy::NnzBalanced));
+
+    // The HBM block is inactive on a ddr4 run: leftover hbm_* keys
+    // in a grid must not cause spurious cache misses.
+    SpArchConfig ddr4_hbm_tweak = ddr4;
+    ddr4_hbm_tweak.memory.hbm.channels = 4;
+    ddr4_hbm_tweak.memory.hbm.accessLatency = 100;
+    EXPECT_EQ(ddr4_key, ResultCache::key(ddr4_hbm_tweak, "w", 1, 1,
+                                         ShardPolicy::NnzBalanced));
+}
+
 TEST(ResultCacheKey, WorkloadIdentityCoversGeneratorParams)
 {
     // Same name, different nnz target: identity must differ or a
