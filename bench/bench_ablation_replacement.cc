@@ -49,7 +49,8 @@ main()
 
     driver::BatchRunner runner = makeRunner();
     runner.addGrid(configs, workloads);
-    const std::vector<driver::BatchRecord> records = runner.run();
+    const std::vector<driver::BatchRecord> records =
+        bench::runBatch(runner);
 
     // addGrid is configuration-major: one contiguous stripe of
     // `workloads.size()` records per policy.

@@ -25,6 +25,8 @@
 #include "core/sparch_simulator.hh"
 #include "driver/batch_runner.hh"
 #include "driver/thread_pool.hh"
+#include "exec/local_executors.hh"
+#include "exec/process_pool_executor.hh"
 
 namespace sparch
 {
@@ -62,6 +64,53 @@ inline driver::BatchRunner
 makeRunner()
 {
     return driver::BatchRunner(benchThreads());
+}
+
+/**
+ * Run a bench grid through the execution backend SPARCH_BENCH_EXEC
+ * names (inline | threads | procs, default threads — see
+ * exec/executor.hh; all three are byte-identical by contract).
+ * `procs` additionally needs SPARCH_BENCH_WORKER pointing at the
+ * built sparch binary, since a bench binary has no `worker`
+ * subcommand of its own. Failed points abort the bench: a figure
+ * with silently missing grid points would be worse than no figure.
+ */
+inline std::vector<driver::BatchRecord>
+runBatch(const driver::BatchRunner &runner)
+{
+    const char *env = std::getenv("SPARCH_BENCH_EXEC");
+    const std::string kind = env == nullptr ? "threads" : env;
+
+    driver::RunStats stats;
+    std::vector<driver::BatchRecord> records;
+    if (kind == "threads") {
+        records = runner.run(nullptr, &stats);
+    } else if (kind == "inline") {
+        exec::InlineExecutor serial;
+        records = runner.run(serial, nullptr, &stats);
+    } else if (kind == "procs") {
+        exec::ProcessPoolOptions options;
+        options.procs = benchThreads();
+        const char *worker = std::getenv("SPARCH_BENCH_WORKER");
+        if (worker == nullptr) {
+            fatal("SPARCH_BENCH_EXEC=procs needs "
+                  "SPARCH_BENCH_WORKER=/path/to/sparch (a bench "
+                  "binary cannot act as its own worker)");
+        }
+        options.workerBinary = worker;
+        exec::ProcessPoolExecutor procs(options);
+        records = runner.run(procs, nullptr, &stats);
+    } else {
+        fatal("SPARCH_BENCH_EXEC '", kind,
+              "' is not inline, threads or procs");
+    }
+    for (const driver::FailedPoint &f : stats.failures) {
+        warn("grid point ", f.id, " (", f.configLabel, " x ",
+             f.workloadName, ") failed: ", f.error);
+    }
+    if (stats.failed != 0)
+        fatal(stats.failed, " grid point(s) failed; figure aborted");
+    return records;
 }
 
 /**

@@ -33,7 +33,8 @@ main()
         workloads.push_back(driver::suiteWorkload(spec.name, target));
         runner.add("table-I", SpArchConfig{}, workloads.back());
     }
-    const std::vector<driver::BatchRecord> records = runner.run();
+    const std::vector<driver::BatchRecord> records =
+        bench::runBatch(runner);
 
     std::vector<double> s_outer, s_mkl, s_cusparse, s_cusp, s_arm;
     for (std::size_t i = 0; i < workloads.size(); ++i) {

@@ -35,7 +35,8 @@ main()
         workloads.push_back(driver::suiteWorkload(spec.name, target));
         runner.add("table-I", SpArchConfig{}, workloads.back());
     }
-    const std::vector<driver::BatchRecord> records = runner.run();
+    const std::vector<driver::BatchRecord> records =
+        bench::runBatch(runner);
     maybeWriteCsv(records);
 
     std::vector<double> e_outer, e_mkl, e_cusparse, e_cusp, e_arm;

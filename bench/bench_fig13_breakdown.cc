@@ -66,7 +66,8 @@ main()
     driver::BatchRunner runner = makeRunner();
     runner.add("table-I", SpArchConfig{},
                driver::suiteWorkload("web-Google", targetNnz()));
-    const std::vector<driver::BatchRecord> records = runner.run();
+    const std::vector<driver::BatchRecord> records =
+        bench::runBatch(runner);
     maybeWriteCsv(records);
     const EnergyBreakdown e = model.energy(records[0].sim);
 

@@ -70,7 +70,8 @@ main()
             driver::rmatWorkload(vertices, pt.edge_factor, 1234));
         runner.add("table-I", SpArchConfig{}, workloads.back());
     }
-    const std::vector<driver::BatchRecord> records = runner.run();
+    const std::vector<driver::BatchRecord> records =
+        bench::runBatch(runner);
 
     std::vector<double> ours, mkls;
     double first_ours = 0.0, last_ours = 0.0;
@@ -141,7 +142,7 @@ main()
     shard_runner.addShardSweep({{"table-I", SpArchConfig{}}}, extremes,
                                shard_counts);
     const std::vector<driver::BatchRecord> shard_records =
-        shard_runner.run();
+        bench::runBatch(shard_runner);
     // Anchor each workload's speedup on its own monolithic record,
     // whatever order the shard counts were given in.
     std::map<std::string, double> mono_cycles;

@@ -64,7 +64,8 @@ main()
 
     driver::BatchRunner runner = makeRunner();
     runner.addGrid(configs, workloads);
-    const std::vector<driver::BatchRecord> records = runner.run();
+    const std::vector<driver::BatchRecord> records =
+        bench::runBatch(runner);
     maybeWriteCsv(records);
 
     struct Step

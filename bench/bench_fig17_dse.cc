@@ -127,7 +127,8 @@ main()
         sweeps.push_back(std::move(s));
     }
 
-    const std::vector<driver::BatchRecord> records = runner.run();
+    const std::vector<driver::BatchRecord> records =
+        bench::runBatch(runner);
     for (const Sweep &sweep : sweeps)
         printSweep(sweep, records);
     return 0;

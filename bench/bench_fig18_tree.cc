@@ -30,7 +30,8 @@ main()
 
     driver::BatchRunner runner = makeRunner();
     runner.addGrid(configs, workloads);
-    const std::vector<driver::BatchRecord> records = runner.run();
+    const std::vector<driver::BatchRecord> records =
+        bench::runBatch(runner);
     maybeWriteCsv(records);
 
     TablePrinter t("Figure 18: merge tree depth sweep");

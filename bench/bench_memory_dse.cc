@@ -91,7 +91,8 @@ main()
 
     driver::BatchRunner runner = makeRunner();
     runner.addGrid(configs, workloads);
-    const std::vector<driver::BatchRecord> records = runner.run();
+    const std::vector<driver::BatchRecord> records =
+        bench::runBatch(runner);
 
     // cycles[(structural, workload)][kind]
     std::map<std::pair<std::string, std::string>,

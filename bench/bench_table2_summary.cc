@@ -28,7 +28,8 @@ main()
         runner.add("table-I", SpArchConfig{},
                    driver::suiteWorkload(spec.name, target));
     }
-    const std::vector<driver::BatchRecord> records = runner.run();
+    const std::vector<driver::BatchRecord> records =
+        bench::runBatch(runner);
     double util_sum = 0.0;
     for (const driver::BatchRecord &r : records)
         util_sum += r.sim.bandwidthUtilization;

@@ -1,6 +1,11 @@
 #include "cli/commands.hh"
 
+#include <cstdlib>
 #include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <memory>
 #include <ostream>
 #include <sstream>
 
@@ -12,6 +17,8 @@
 #include "driver/batch_runner.hh"
 #include "driver/result_cache.hh"
 #include "driver/thread_pool.hh"
+#include "exec/local_executors.hh"
+#include "exec/process_pool_executor.hh"
 
 namespace sparch
 {
@@ -37,6 +44,8 @@ const char *kUsage =
     "spec grammar\n"
     "  cache stats|clear --cache FILE   inspect or drop a result "
     "cache\n"
+    "  worker --tasks FILE              internal: simulate manifest "
+    "task ids fed on stdin\n"
     "  help                             this text\n"
     "\n"
     "run flags:\n"
@@ -56,7 +65,19 @@ const char *kUsage =
     "  --cache PATH           persistent result cache to use\n"
     "\n"
     "sweep flags: --grid FILE plus --csv/--cache/--threads/--table as "
-    "above\n"
+    "above, and\n"
+    "  --exec inline|threads|procs  execution backend (default "
+    "threads);\n"
+    "                               all three emit byte-identical "
+    "CSVs\n"
+    "  --procs N              worker subprocesses for --exec=procs\n"
+    "                         (default: all cores; a dead worker's "
+    "tasks\n"
+    "                         are requeued to the survivors)\n"
+    "sweep exits 3 when grid points failed (they are reported and "
+    "omitted\n"
+    "from the CSV; re-run with --cache to simulate only those "
+    "points)\n"
     "\n"
     "workload specs:\n"
     "  suite:<name> | suite:*            20-matrix suite proxies\n"
@@ -92,14 +113,42 @@ void
 reportStats(const RunStats &stats, const ResultCache *cache,
             std::ostream &err)
 {
+    // Failed points are never dropped silently: each one is named
+    // before the summary line counts them.
+    for (const driver::FailedPoint &f : stats.failures) {
+        err << "sparch: point " << f.id << " (" << f.configLabel
+            << " x " << f.workloadName << ") failed: " << f.error
+            << "\n";
+    }
     err << "sparch: " << stats.total()
         << " grid points, simulated=" << stats.simulated
-        << ", cache-hits=" << stats.cacheHits;
+        << ", cache-hits=" << stats.cacheHits
+        << ", failed=" << stats.failed;
     if (cache != nullptr && !cache->path().empty()) {
         err << " (cache '" << cache->path() << "', " << cache->size()
             << " entries)";
     }
     err << "\n";
+}
+
+/** Build the executor `--exec`/`--procs` ask for. */
+std::unique_ptr<sparch::exec::Executor>
+makeExecutor(const std::string &kind, unsigned threads,
+             unsigned procs)
+{
+    if (kind == "inline")
+        return std::make_unique<sparch::exec::InlineExecutor>();
+    if (kind == "threads") {
+        return std::make_unique<sparch::exec::ThreadPoolExecutor>(
+            threads);
+    }
+    if (kind == "procs") {
+        sparch::exec::ProcessPoolOptions options;
+        options.procs = procs;
+        return std::make_unique<sparch::exec::ProcessPoolExecutor>(
+            options);
+    }
+    fatal("--exec '", kind, "' is not inline, threads or procs");
 }
 
 int
@@ -150,15 +199,16 @@ cmdRun(const std::vector<std::string> &args, std::ostream &out,
     if (csv != "-")
         BatchRunner::toTable(records, "sparch run").print(out);
     reportStats(stats, cache_ptr, err);
-    return 0;
+    return stats.failed == 0 ? 0 : 3;
 }
 
 int
 cmdSweep(const std::vector<std::string> &args, std::ostream &out,
          std::ostream &err)
 {
-    const FlagSet flags(args, {"grid", "csv", "cache", "threads"},
-                        {"table"});
+    const FlagSet flags(
+        args, {"grid", "csv", "cache", "threads", "exec", "procs"},
+        {"table"});
     if (!flags.positional().empty())
         fatal("sweep: unexpected argument '", flags.positional()[0],
               "' (workloads belong in the grid file)");
@@ -175,11 +225,16 @@ cmdSweep(const std::vector<std::string> &args, std::ostream &out,
     runner.addShardSweep(grid.configs, grid.workloads, grid.shards,
                          grid.policy);
 
+    const std::unique_ptr<sparch::exec::Executor> executor =
+        makeExecutor(flags.get("exec", "threads"),
+                     resolveThreads(threads),
+                     resolveThreads(flags.getUnsigned("procs", 0)));
+
     ResultCache cache(flags.get("cache"));
     ResultCache *cache_ptr = flags.has("cache") ? &cache : nullptr;
     RunStats stats;
     const std::vector<BatchRecord> records =
-        runner.run(cache_ptr, &stats);
+        runner.run(*executor, cache_ptr, &stats);
     if (cache_ptr != nullptr)
         cache_ptr->save();
 
@@ -191,7 +246,7 @@ cmdSweep(const std::vector<std::string> &args, std::ostream &out,
             .print(out);
     }
     reportStats(stats, cache_ptr, err);
-    return 0;
+    return stats.failed == 0 ? 0 : 3;
 }
 
 const char *
@@ -258,6 +313,89 @@ cmdCache(const std::vector<std::string> &args, std::ostream &out)
           "'; expected stats or clear");
 }
 
+/**
+ * The multi-process backend's subprocess side: parse the shared task
+ * manifest, then simulate one task id per line of stdin (or the
+ * comma-separated `--ids` list, for in-process tests), answering each
+ * with exactly one line on stdout — a record in the result-cache CSV
+ * schema (`<16-hex cache key>,<writeCsv row>`), or `err <id> <what>`
+ * when the simulation threw. Output is flushed per line: the parent
+ * schedules on completed lines, and a buffered record would count as
+ * lost work if this process dies.
+ *
+ * `--exit-after N` hard-exits after N records — the deterministic
+ * crash injection behind the worker-kill tests and the CI exec-smoke
+ * job.
+ */
+int
+cmdWorker(const std::vector<std::string> &args, std::ostream &out)
+{
+    const FlagSet flags(args, {"tasks", "ids", "exit-after"}, {});
+    const std::string manifest_path = flags.get("tasks");
+    if (manifest_path.empty())
+        fatal("worker: --tasks FILE is required");
+    const std::uint64_t exit_after = flags.getU64("exit-after", 0);
+
+    std::map<std::size_t, const driver::BatchTask *> by_id;
+    const std::vector<driver::BatchTask> tasks =
+        parseWorkerManifestFile(manifest_path);
+    for (const driver::BatchTask &task : tasks)
+        by_id[task.id] = &task;
+
+    std::uint64_t emitted = 0;
+    const auto simulate = [&](const std::string &token) {
+        std::size_t id = 0;
+        const driver::BatchTask *task = nullptr;
+        try {
+            id = static_cast<std::size_t>(
+                parseU64(token, "task id"));
+            const auto it = by_id.find(id);
+            if (it == by_id.end())
+                fatal("task id ", id, " is not in the manifest");
+            task = it->second;
+            const BatchRecord record = BatchRunner::simulateTask(
+                *task, /*keep_products=*/false);
+            std::ostringstream line;
+            line << std::hex << std::setw(16) << std::setfill('0')
+                 << driver::ResultCache::taskKey(*task) << std::dec
+                 << std::setfill(' ') << ',';
+            BatchRunner::writeCsvRow(record, line);
+            out << line.str();
+        } catch (const std::exception &e) {
+            // One line per answer: newlines inside the message would
+            // desynchronize the protocol.
+            std::string message = e.what();
+            for (char &c : message)
+                if (c == '\n' || c == '\r')
+                    c = ' ';
+            out << "err " << token << ' ' << message << '\n';
+        }
+        out.flush();
+        if (exit_after > 0 && ++emitted >= exit_after) {
+            // Simulated crash: no unwinding, no flushing beyond what
+            // already hit the pipe.
+            std::_Exit(3);
+        }
+    };
+
+    if (flags.has("ids")) {
+        std::istringstream ids(flags.get("ids"));
+        std::string token;
+        while (std::getline(ids, token, ','))
+            if (!token.empty())
+                simulate(token);
+        return 0;
+    }
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (!line.empty())
+            simulate(line);
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -281,6 +419,8 @@ run(const std::vector<std::string> &args, std::ostream &out,
             return cmdWorkloads(rest, out);
         if (command == "cache")
             return cmdCache(rest, out);
+        if (command == "worker")
+            return cmdWorker(rest, out);
         fatal("unknown command '", command,
               "'; try 'sparch help'");
     } catch (const FatalError &e) {

@@ -1,13 +1,19 @@
 #include "cli/spec.hh"
 
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <functional>
+#include <limits>
+#include <map>
+#include <set>
 #include <sstream>
+#include <tuple>
 #include <utility>
 
 #include "baselines/benchmarks.hh"
 #include "cli/flags.hh"
+#include "common/format.hh"
 #include "common/logging.hh"
 
 namespace sparch
@@ -52,16 +58,25 @@ parsePair(const std::string &text, const std::string &what)
             parseU64(text.substr(x + 1), what)};
 }
 
+std::string
+fmtBool(bool v)
+{
+    return v ? "true" : "false";
+}
+
 /**
- * One config key: its name and how to apply a value. The parser
- * dispatch AND the unknown-key error listing are both generated from
- * the one table below, so they cannot drift apart (the hand-maintained
- * error string used to).
+ * One config key: its name, how to apply a value, and how to render
+ * the current value back as parser-accepted text. The parser
+ * dispatch, the unknown-key error listing AND the serializer
+ * (writeConfigOverrides, which the multi-process executor ships to
+ * workers) are all generated from the one table below, so they cannot
+ * drift apart (the hand-maintained error string used to).
  */
 struct ConfigKey
 {
     std::string name;
     std::function<void(SpArchConfig &, const std::string &)> apply;
+    std::function<std::string(const SpArchConfig &)> render;
 };
 
 const std::vector<ConfigKey> &
@@ -69,209 +84,372 @@ configKeys()
 {
     static const std::vector<ConfigKey> keys = [] {
         std::vector<ConfigKey> k;
-        const auto add = [&k](const char *name, auto &&fn) {
-            k.push_back(
-                {name, [name, fn](SpArchConfig &c,
-                                  const std::string &v) { fn(c, name, v); }});
+        const auto add = [&k](const char *name, auto &&fn,
+                              auto &&render) {
+            k.push_back({name,
+                         [name, fn](SpArchConfig &c,
+                                    const std::string &v) {
+                             fn(c, name, v);
+                         },
+                         render});
         };
 
-        add("clock_ghz", [](SpArchConfig &c, const char *n,
-                            const std::string &v) {
-            c.clockHz = parseDouble(v, n) * 1e9;
-        });
-        add("merge_layers", [](SpArchConfig &c, const char *n,
-                               const std::string &v) {
-            c.mergeTree.layers =
-                static_cast<unsigned>(parseU64(v, n));
-        });
-        add("merger_width", [](SpArchConfig &c, const char *n,
-                               const std::string &v) {
-            c.mergeTree.mergerWidth =
-                static_cast<unsigned>(parseU64(v, n));
-        });
-        add("merge_fifo", [](SpArchConfig &c, const char *n,
-                             const std::string &v) {
-            c.mergeTree.fifoCapacity = parseU64(v, n);
-        });
-        add("combine_duplicates", [](SpArchConfig &c, const char *n,
-                                     const std::string &v) {
-            c.mergeTree.combineDuplicates = parseBool(v, n);
-        });
-        add("multipliers", [](SpArchConfig &c, const char *n,
-                              const std::string &v) {
-            c.multipliers = static_cast<unsigned>(parseU64(v, n));
-        });
-        add("lookahead_fifo", [](SpArchConfig &c, const char *n,
-                                 const std::string &v) {
-            c.lookaheadFifo = parseU64(v, n);
-        });
-        add("mata_fetch_width", [](SpArchConfig &c, const char *n,
-                                   const std::string &v) {
-            c.mataFetchWidth = static_cast<unsigned>(parseU64(v, n));
-        });
-        add("a_element_window", [](SpArchConfig &c, const char *n,
-                                   const std::string &v) {
-            c.aElementWindow = parseU64(v, n);
-        });
-        add("prefetch_lines", [](SpArchConfig &c, const char *n,
-                                 const std::string &v) {
-            c.prefetchLines = parseU64(v, n);
-        });
-        add("prefetch_line_elems", [](SpArchConfig &c, const char *n,
-                                      const std::string &v) {
-            c.prefetchLineElems = parseU64(v, n);
-        });
-        add("row_fetchers", [](SpArchConfig &c, const char *n,
-                               const std::string &v) {
-            c.rowFetchers = static_cast<unsigned>(parseU64(v, n));
-        });
-        add("prefetch_rows_ahead", [](SpArchConfig &c, const char *n,
-                                      const std::string &v) {
-            c.prefetchRowsAhead =
-                static_cast<unsigned>(parseU64(v, n));
-        });
-        add("replacement", [](SpArchConfig &c, const char *,
-                              const std::string &v) {
-            if (v == "belady")
-                c.replacement = ReplacementPolicy::Belady;
-            else if (v == "lru")
-                c.replacement = ReplacementPolicy::Lru;
-            else if (v == "fifo")
-                c.replacement = ReplacementPolicy::Fifo;
-            else
-                fatal("replacement: '", v,
-                      "' is not belady, lru or fifo");
-        });
-        add("writer_fifo", [](SpArchConfig &c, const char *n,
-                              const std::string &v) {
-            c.writerFifo = parseU64(v, n);
-        });
-        add("writer_burst", [](SpArchConfig &c, const char *n,
-                               const std::string &v) {
-            c.writerBurst = parseU64(v, n);
-        });
-        add("partial_fetch_burst", [](SpArchConfig &c, const char *n,
-                                      const std::string &v) {
-            c.partialFetchBurst = parseU64(v, n);
-        });
+        add("clock_ghz",
+            [](SpArchConfig &c, const char *n,
+               const std::string &v) {
+                c.clockHz = parseDouble(v, n) * 1e9;
+            },
+            [](const SpArchConfig &c) {
+                return fmtDouble(c.clockHz / 1e9);
+            });
+        add("merge_layers",
+            [](SpArchConfig &c, const char *n,
+               const std::string &v) {
+                c.mergeTree.layers =
+                    static_cast<unsigned>(parseU64(v, n));
+            },
+            [](const SpArchConfig &c) {
+                return std::to_string(c.mergeTree.layers);
+            });
+        add("merger_width",
+            [](SpArchConfig &c, const char *n,
+               const std::string &v) {
+                c.mergeTree.mergerWidth =
+                    static_cast<unsigned>(parseU64(v, n));
+            },
+            [](const SpArchConfig &c) {
+                return std::to_string(c.mergeTree.mergerWidth);
+            });
+        add("merge_fifo",
+            [](SpArchConfig &c, const char *n,
+               const std::string &v) {
+                c.mergeTree.fifoCapacity = parseU64(v, n);
+            },
+            [](const SpArchConfig &c) {
+                return std::to_string(c.mergeTree.fifoCapacity);
+            });
+        add("combine_duplicates",
+            [](SpArchConfig &c, const char *n,
+               const std::string &v) {
+                c.mergeTree.combineDuplicates = parseBool(v, n);
+            },
+            [](const SpArchConfig &c) {
+                return fmtBool(c.mergeTree.combineDuplicates);
+            });
+        add("multipliers",
+            [](SpArchConfig &c, const char *n,
+               const std::string &v) {
+                c.multipliers = static_cast<unsigned>(parseU64(v, n));
+            },
+            [](const SpArchConfig &c) {
+                return std::to_string(c.multipliers);
+            });
+        add("lookahead_fifo",
+            [](SpArchConfig &c, const char *n,
+               const std::string &v) {
+                c.lookaheadFifo = parseU64(v, n);
+            },
+            [](const SpArchConfig &c) {
+                return std::to_string(c.lookaheadFifo);
+            });
+        add("mata_fetch_width",
+            [](SpArchConfig &c, const char *n,
+               const std::string &v) {
+                c.mataFetchWidth =
+                    static_cast<unsigned>(parseU64(v, n));
+            },
+            [](const SpArchConfig &c) {
+                return std::to_string(c.mataFetchWidth);
+            });
+        add("a_element_window",
+            [](SpArchConfig &c, const char *n,
+               const std::string &v) {
+                c.aElementWindow = parseU64(v, n);
+            },
+            [](const SpArchConfig &c) {
+                return std::to_string(c.aElementWindow);
+            });
+        add("prefetch_lines",
+            [](SpArchConfig &c, const char *n,
+               const std::string &v) {
+                c.prefetchLines = parseU64(v, n);
+            },
+            [](const SpArchConfig &c) {
+                return std::to_string(c.prefetchLines);
+            });
+        add("prefetch_line_elems",
+            [](SpArchConfig &c, const char *n,
+               const std::string &v) {
+                c.prefetchLineElems = parseU64(v, n);
+            },
+            [](const SpArchConfig &c) {
+                return std::to_string(c.prefetchLineElems);
+            });
+        add("row_fetchers",
+            [](SpArchConfig &c, const char *n,
+               const std::string &v) {
+                c.rowFetchers = static_cast<unsigned>(parseU64(v, n));
+            },
+            [](const SpArchConfig &c) {
+                return std::to_string(c.rowFetchers);
+            });
+        add("prefetch_rows_ahead",
+            [](SpArchConfig &c, const char *n,
+               const std::string &v) {
+                c.prefetchRowsAhead =
+                    static_cast<unsigned>(parseU64(v, n));
+            },
+            [](const SpArchConfig &c) {
+                return std::to_string(c.prefetchRowsAhead);
+            });
+        add("replacement",
+            [](SpArchConfig &c, const char *, const std::string &v) {
+                if (v == "belady")
+                    c.replacement = ReplacementPolicy::Belady;
+                else if (v == "lru")
+                    c.replacement = ReplacementPolicy::Lru;
+                else if (v == "fifo")
+                    c.replacement = ReplacementPolicy::Fifo;
+                else
+                    fatal("replacement: '", v,
+                          "' is not belady, lru or fifo");
+            },
+            [](const SpArchConfig &c) -> std::string {
+                switch (c.replacement) {
+                case ReplacementPolicy::Belady:
+                    return "belady";
+                case ReplacementPolicy::Lru:
+                    return "lru";
+                case ReplacementPolicy::Fifo:
+                    return "fifo";
+                }
+                return "belady";
+            });
+        add("writer_fifo",
+            [](SpArchConfig &c, const char *n,
+               const std::string &v) {
+                c.writerFifo = parseU64(v, n);
+            },
+            [](const SpArchConfig &c) {
+                return std::to_string(c.writerFifo);
+            });
+        add("writer_burst",
+            [](SpArchConfig &c, const char *n,
+               const std::string &v) {
+                c.writerBurst = parseU64(v, n);
+            },
+            [](const SpArchConfig &c) {
+                return std::to_string(c.writerBurst);
+            });
+        add("partial_fetch_burst",
+            [](SpArchConfig &c, const char *n,
+               const std::string &v) {
+                c.partialFetchBurst = parseU64(v, n);
+            },
+            [](const SpArchConfig &c) {
+                return std::to_string(c.partialFetchBurst);
+            });
 
         // ---- memory backend selection + per-backend parameters ----
-        add("memory", [](SpArchConfig &c, const char *,
-                         const std::string &v) {
-            if (v == "hbm")
-                c.memory.kind = mem::MemoryKind::Hbm;
-            else if (v == "ddr4")
-                c.memory.kind = mem::MemoryKind::Ddr4;
-            else if (v == "lpddr4")
-                c.memory.kind = mem::MemoryKind::Lpddr4;
-            else if (v == "ideal")
-                c.memory.kind = mem::MemoryKind::Ideal;
-            else
-                fatal("memory: '", v,
-                      "' is not hbm, ddr4, lpddr4 or ideal");
-        });
-        add("hbm_channels", [](SpArchConfig &c, const char *n,
-                               const std::string &v) {
-            c.memory.hbm.channels =
-                static_cast<unsigned>(parseU64(v, n));
-        });
-        add("hbm_bytes_per_cycle", [](SpArchConfig &c, const char *n,
-                                      const std::string &v) {
-            c.memory.hbm.bytesPerCyclePerChannel = parseU64(v, n);
-        });
-        add("hbm_latency", [](SpArchConfig &c, const char *n,
-                              const std::string &v) {
-            c.memory.hbm.accessLatency = parseU64(v, n);
-        });
-        add("hbm_interleave", [](SpArchConfig &c, const char *n,
-                                 const std::string &v) {
-            c.memory.hbm.interleaveBytes = parseU64(v, n);
-        });
+        add("memory",
+            [](SpArchConfig &c, const char *, const std::string &v) {
+                if (v == "hbm")
+                    c.memory.kind = mem::MemoryKind::Hbm;
+                else if (v == "ddr4")
+                    c.memory.kind = mem::MemoryKind::Ddr4;
+                else if (v == "lpddr4")
+                    c.memory.kind = mem::MemoryKind::Lpddr4;
+                else if (v == "ideal")
+                    c.memory.kind = mem::MemoryKind::Ideal;
+                else
+                    fatal("memory: '", v,
+                          "' is not hbm, ddr4, lpddr4 or ideal");
+            },
+            [](const SpArchConfig &c) {
+                return std::string(
+                    mem::memoryKindName(c.memory.kind));
+            });
+        add("hbm_channels",
+            [](SpArchConfig &c, const char *n,
+               const std::string &v) {
+                c.memory.hbm.channels =
+                    static_cast<unsigned>(parseU64(v, n));
+            },
+            [](const SpArchConfig &c) {
+                return std::to_string(c.memory.hbm.channels);
+            });
+        add("hbm_bytes_per_cycle",
+            [](SpArchConfig &c, const char *n,
+               const std::string &v) {
+                c.memory.hbm.bytesPerCyclePerChannel = parseU64(v, n);
+            },
+            [](const SpArchConfig &c) {
+                return std::to_string(
+                    c.memory.hbm.bytesPerCyclePerChannel);
+            });
+        add("hbm_latency",
+            [](SpArchConfig &c, const char *n,
+               const std::string &v) {
+                c.memory.hbm.accessLatency = parseU64(v, n);
+            },
+            [](const SpArchConfig &c) {
+                return std::to_string(c.memory.hbm.accessLatency);
+            });
+        add("hbm_interleave",
+            [](SpArchConfig &c, const char *n,
+               const std::string &v) {
+                c.memory.hbm.interleaveBytes = parseU64(v, n);
+            },
+            [](const SpArchConfig &c) {
+                return std::to_string(c.memory.hbm.interleaveBytes);
+            });
         // DDR4 and LPDDR4 share one parameter block; generate both
         // key families from one field list.
         struct BankedField
         {
             const char *suffix;
             void (*set)(mem::BankedDramConfig &, std::uint64_t);
+            std::uint64_t (*get)(const mem::BankedDramConfig &);
         };
         static constexpr BankedField banked_fields[] = {
             {"channels",
              [](mem::BankedDramConfig &d, std::uint64_t v) {
                  d.channels = static_cast<unsigned>(v);
+             },
+             [](const mem::BankedDramConfig &d) {
+                 return static_cast<std::uint64_t>(d.channels);
              }},
             {"bytes_per_cycle",
              [](mem::BankedDramConfig &d, std::uint64_t v) {
                  d.bytesPerCyclePerChannel = v;
+             },
+             [](const mem::BankedDramConfig &d) {
+                 return static_cast<std::uint64_t>(
+                     d.bytesPerCyclePerChannel);
              }},
             {"banks",
              [](mem::BankedDramConfig &d, std::uint64_t v) {
                  d.banksPerChannel = static_cast<unsigned>(v);
+             },
+             [](const mem::BankedDramConfig &d) {
+                 return static_cast<std::uint64_t>(d.banksPerChannel);
              }},
             {"row_bytes",
              [](mem::BankedDramConfig &d, std::uint64_t v) {
                  d.rowBufferBytes = v;
+             },
+             [](const mem::BankedDramConfig &d) {
+                 return static_cast<std::uint64_t>(d.rowBufferBytes);
              }},
             {"hit_latency",
              [](mem::BankedDramConfig &d, std::uint64_t v) {
                  d.rowHitLatency = v;
+             },
+             [](const mem::BankedDramConfig &d) {
+                 return static_cast<std::uint64_t>(d.rowHitLatency);
              }},
             {"miss_penalty",
              [](mem::BankedDramConfig &d, std::uint64_t v) {
                  d.rowMissPenalty = v;
+             },
+             [](const mem::BankedDramConfig &d) {
+                 return static_cast<std::uint64_t>(d.rowMissPenalty);
              }},
             {"interleave",
              [](mem::BankedDramConfig &d, std::uint64_t v) {
                  d.interleaveBytes = v;
+             },
+             [](const mem::BankedDramConfig &d) {
+                 return static_cast<std::uint64_t>(d.interleaveBytes);
              }},
         };
         using BankedGet = mem::BankedDramConfig &(*)(SpArchConfig &);
-        const std::pair<const char *, BankedGet> banked_blocks[] = {
-            {"ddr4",
-             [](SpArchConfig &c) -> mem::BankedDramConfig & {
-                 return c.memory.ddr4;
-             }},
-            {"lpddr4",
-             [](SpArchConfig &c) -> mem::BankedDramConfig & {
-                 return c.memory.lpddr4;
-             }},
-        };
-        for (const auto &[prefix, get] : banked_blocks) {
+        using BankedGetConst =
+            const mem::BankedDramConfig &(*)(const SpArchConfig &);
+        const std::tuple<const char *, BankedGet, BankedGetConst>
+            banked_blocks[] = {
+                {"ddr4",
+                 [](SpArchConfig &c) -> mem::BankedDramConfig & {
+                     return c.memory.ddr4;
+                 },
+                 [](const SpArchConfig &c)
+                     -> const mem::BankedDramConfig & {
+                     return c.memory.ddr4;
+                 }},
+                {"lpddr4",
+                 [](SpArchConfig &c) -> mem::BankedDramConfig & {
+                     return c.memory.lpddr4;
+                 },
+                 [](const SpArchConfig &c)
+                     -> const mem::BankedDramConfig & {
+                     return c.memory.lpddr4;
+                 }},
+            };
+        for (const auto &[prefix, get, cget] : banked_blocks) {
             for (const BankedField &field : banked_fields) {
                 const std::string name =
                     std::string(prefix) + "_" + field.suffix;
                 auto set = field.set;
+                auto read = field.get;
                 k.push_back(
-                    {name, [name, get, set](SpArchConfig &c,
-                                            const std::string &v) {
+                    {name,
+                     [name, get, set](SpArchConfig &c,
+                                      const std::string &v) {
                          set(get(c), parseU64(v, name));
+                     },
+                     [cget, read](const SpArchConfig &c) {
+                         return std::to_string(read(cget(c)));
                      }});
             }
         }
-        add("ideal_latency", [](SpArchConfig &c, const char *n,
-                                const std::string &v) {
-            c.memory.ideal.accessLatency = parseU64(v, n);
-        });
+        add("ideal_latency",
+            [](SpArchConfig &c, const char *n,
+               const std::string &v) {
+                c.memory.ideal.accessLatency = parseU64(v, n);
+            },
+            [](const SpArchConfig &c) {
+                return std::to_string(c.memory.ideal.accessLatency);
+            });
 
-        add("condensing", [](SpArchConfig &c, const char *n,
-                             const std::string &v) {
-            c.matrixCondensing = parseBool(v, n);
-        });
-        add("scheduler", [](SpArchConfig &c, const char *,
-                            const std::string &v) {
-            if (v == "huffman")
-                c.scheduler = SchedulerKind::Huffman;
-            else if (v == "sequential")
-                c.scheduler = SchedulerKind::Sequential;
-            else if (v == "random")
-                c.scheduler = SchedulerKind::Random;
-            else
-                fatal("scheduler: '", v,
-                      "' is not huffman, sequential or random");
-        });
-        add("prefetcher", [](SpArchConfig &c, const char *n,
-                             const std::string &v) {
-            c.rowPrefetcher = parseBool(v, n);
-        });
+        add("condensing",
+            [](SpArchConfig &c, const char *n,
+               const std::string &v) {
+                c.matrixCondensing = parseBool(v, n);
+            },
+            [](const SpArchConfig &c) {
+                return fmtBool(c.matrixCondensing);
+            });
+        add("scheduler",
+            [](SpArchConfig &c, const char *, const std::string &v) {
+                if (v == "huffman")
+                    c.scheduler = SchedulerKind::Huffman;
+                else if (v == "sequential")
+                    c.scheduler = SchedulerKind::Sequential;
+                else if (v == "random")
+                    c.scheduler = SchedulerKind::Random;
+                else
+                    fatal("scheduler: '", v,
+                          "' is not huffman, sequential or random");
+            },
+            [](const SpArchConfig &c) -> std::string {
+                switch (c.scheduler) {
+                case SchedulerKind::Huffman:
+                    return "huffman";
+                case SchedulerKind::Sequential:
+                    return "sequential";
+                case SchedulerKind::Random:
+                    return "random";
+                }
+                return "huffman";
+            });
+        add("prefetcher",
+            [](SpArchConfig &c, const char *n,
+               const std::string &v) {
+                c.rowPrefetcher = parseBool(v, n);
+            },
+            [](const SpArchConfig &c) {
+                return fmtBool(c.rowPrefetcher);
+            });
         return k;
     }();
     return keys;
@@ -303,6 +481,34 @@ applyConfigOption(SpArchConfig &config, const std::string &key,
     }
     fatal("unknown config key '", key, "'; valid keys: ",
           configKeyList());
+}
+
+std::string
+renderConfigValue(const SpArchConfig &config, const std::string &key)
+{
+    for (const ConfigKey &entry : configKeys())
+        if (entry.name == key)
+            return entry.render(config);
+    fatal("unknown config key '", key, "'; valid keys: ",
+          configKeyList());
+}
+
+std::string
+writeConfigOverrides(const SpArchConfig &config,
+                     const SpArchConfig &base)
+{
+    std::string out;
+    for (const ConfigKey &entry : configKeys()) {
+        const std::string value = entry.render(config);
+        if (value == entry.render(base))
+            continue;
+        if (!out.empty())
+            out += ',';
+        out += entry.name;
+        out += '=';
+        out += value;
+    }
+    return out;
 }
 
 SpArchConfig
@@ -420,6 +626,137 @@ parseShardPolicy(const std::string &text)
     fatal("shard policy '", text, "' is not row or nnz");
 }
 
+const char *
+shardPolicySpec(driver::ShardPolicy policy)
+{
+    return policy == driver::ShardPolicy::RowBalanced ? "row" : "nnz";
+}
+
+namespace
+{
+
+const char *kManifestMagic = "sparch-worker-tasks v1";
+
+} // namespace
+
+void
+writeWorkerManifest(
+    std::ostream &out,
+    const std::vector<const driver::BatchTask *> &tasks)
+{
+    out << kManifestMagic << '\n';
+    for (const driver::BatchTask *task : tasks) {
+        const driver::WorkloadSpec &spec = task->workload.spec();
+        out << "[task]\n"
+            << "id = " << task->id << '\n'
+            << "seed = " << task->seed << '\n'
+            << "shards = " << task->shards << '\n'
+            << "policy = " << shardPolicySpec(task->shardPolicy)
+            << '\n'
+            << "nnz = " << spec.nnz << '\n'
+            << "wseed = " << spec.seed << '\n'
+            << "config = " << writeConfigOverrides(task->config)
+            << '\n'
+            << "workload = " << spec.text << '\n';
+    }
+}
+
+std::vector<driver::BatchTask>
+parseWorkerManifest(std::istream &in, const std::string &what)
+{
+    std::string line;
+    if (!std::getline(in, line) || trimmed(line) != kManifestMagic)
+        fatal(what, ": not a worker task manifest (expected '",
+              kManifestMagic, "')");
+
+    // The raw key=value fields of one [task] section, materialized
+    // only once the section is complete.
+    struct RawTask
+    {
+        std::map<std::string, std::string> fields;
+        std::size_t line_no = 0;
+    };
+    std::vector<RawTask> raw;
+    std::size_t line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        line = trimmed(line);
+        if (line.empty())
+            continue;
+        if (line == "[task]") {
+            raw.push_back({{}, line_no});
+            continue;
+        }
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos || raw.empty()) {
+            fatal(what, ":", line_no, ": '", line,
+                  "' is not a [task] section or key = value line");
+        }
+        raw.back().fields[trimmed(line.substr(0, eq))] =
+            trimmed(line.substr(eq + 1));
+    }
+
+    std::vector<driver::BatchTask> tasks;
+    tasks.reserve(raw.size());
+    std::set<std::size_t> seen_ids;
+    for (const RawTask &r : raw) {
+        const auto where = [&] {
+            return what + ":" + std::to_string(r.line_no);
+        };
+        const auto field = [&](const char *key) -> const std::string & {
+            const auto it = r.fields.find(key);
+            if (it == r.fields.end())
+                fatal(where(), ": task is missing the '", key,
+                      "' field");
+            return it->second;
+        };
+
+        driver::BatchTask task;
+        task.id = static_cast<std::size_t>(
+            parseU64(field("id"), "task id"));
+        if (!seen_ids.insert(task.id).second)
+            fatal(where(), ": duplicate task id ", task.id);
+        task.seed = parseU64(field("seed"), "task seed");
+        task.shards = static_cast<unsigned>(
+            parseU64(field("shards"), "task shards"));
+        if (task.shards == 0)
+            fatal(where(), ": task shards must be >= 1");
+        task.shardPolicy = parseShardPolicy(field("policy"));
+
+        WorkloadDefaults defaults;
+        defaults.nnz = parseU64(field("nnz"), "task nnz");
+        defaults.seed = parseU64(field("wseed"), "task wseed");
+
+        const auto cfg = r.fields.find("config");
+        try {
+            task.config = parseConfigOverrides(
+                cfg == r.fields.end() ? "" : cfg->second);
+            std::vector<driver::Workload> parsed =
+                parseWorkloadSpec(field("workload"), defaults);
+            if (parsed.size() != 1) {
+                fatal("workload spec '", field("workload"),
+                      "' names ", parsed.size(),
+                      " workloads; manifest tasks must name exactly "
+                      "one");
+            }
+            task.workload = std::move(parsed.front());
+        } catch (const FatalError &e) {
+            fatal(where(), ": ", fatalDetail(e));
+        }
+        tasks.push_back(std::move(task));
+    }
+    return tasks;
+}
+
+std::vector<driver::BatchTask>
+parseWorkerManifestFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open worker task manifest '", path, "'");
+    return parseWorkerManifest(in, path);
+}
+
 GridSpec
 parseGridSpec(std::istream &in, const std::string &what)
 {
@@ -498,6 +835,18 @@ parseGridSpec(std::istream &in, const std::string &what)
         // Top-level sweep settings.
         if (key == "nnz") {
             grid.defaults.nnz = parseU64(value, key);
+        } else if (key == "nnz_scale") {
+            grid.nnzScales.clear();
+            for (const std::string &piece : splitTrimmed(value, ',')) {
+                if (piece.empty())
+                    continue;
+                const double factor = parseDouble(piece, "nnz_scale");
+                if (!(factor > 0.0))
+                    fatal(where(), ": nnz_scale factors must be > 0");
+                grid.nnzScales.push_back(factor);
+            }
+            if (grid.nnzScales.empty())
+                fatal(where(), ": nnz_scale needs at least one factor");
         } else if (key == "seeds") {
             grid.seeds = static_cast<unsigned>(parseU64(value, key));
             if (grid.seeds == 0)
@@ -526,35 +875,66 @@ parseGridSpec(std::istream &in, const std::string &what)
                 fatal(where(), ": shards needs at least one count");
         } else {
             fatal(where(), ": unknown setting '", key,
-                  "'; expected nnz, seed, seeds, wseed, threads, "
-                  "policy or shards");
+                  "'; expected nnz, nnz_scale, seed, seeds, wseed, "
+                  "threads, policy or shards");
         }
     }
 
-    // Materialize the workload axis, replicated across the seed axis:
-    // replicate r regenerates every spec with wseed + r, so the grid
-    // carries `seeds` independent samples of each workload. Matrix
-    // Market specs ignore generator seeds (the file *is* the matrix),
-    // so they materialize once — replicating them would emit N
-    // identical rows masquerading as variance data.
+    // Materialize the workload axis, replicated across the nnz-scale
+    // and seed axes (scale-major): replicate r regenerates every spec
+    // with wseed + r, so the grid carries `seeds` independent samples
+    // of each workload. Matrix Market specs ignore generator seeds
+    // (the file *is* the matrix), so they materialize once on the
+    // seed axis — replicating them would emit N identical rows
+    // masquerading as variance data. Likewise only suite: specs take
+    // their size from the grid's nnz target; every other family
+    // carries an explicit size in the spec text, so only suite:
+    // workloads replicate across nnz_scale (renamed <name>@nnz<target>
+    // to keep rows tellable apart).
     const auto spec_uses_seed = [](const std::string &spec) {
         return spec.rfind("mtx:", 0) != 0 &&
                !(spec.size() > 4 &&
                  spec.compare(spec.size() - 4, 4, ".mtx") == 0);
     };
+    const auto spec_uses_nnz = [](const std::string &spec) {
+        return spec.rfind("suite:", 0) == 0;
+    };
+    const bool scale_axis =
+        grid.nnzScales.size() > 1 || grid.nnzScales.front() != 1.0;
     for (const std::string &spec : workload_specs) {
+        const bool uses_nnz = spec_uses_nnz(trimmed(spec));
+        const std::size_t scale_count =
+            uses_nnz ? grid.nnzScales.size() : 1;
         const unsigned replicates =
             spec_uses_seed(trimmed(spec)) ? grid.seeds : 1;
-        for (unsigned r = 0; r < replicates; ++r) {
+        for (std::size_t s = 0; s < scale_count; ++s) {
             WorkloadDefaults defaults = grid.defaults;
-            defaults.seed += r;
-            try {
-                for (driver::Workload &w :
-                     parseWorkloadSpec(spec, defaults))
-                    grid.workloads.push_back(std::move(w));
-            } catch (const FatalError &e) {
-                fatal(what, ": workload '", spec, "': ",
-                      fatalDetail(e));
+            if (uses_nnz) {
+                const long long scaled = std::llround(
+                    static_cast<double>(grid.defaults.nnz) *
+                    grid.nnzScales[s]);
+                if (scaled < 1) {
+                    fatal(what, ": workload '", spec,
+                          "': nnz_scale ", grid.nnzScales[s],
+                          " scales the nnz target to zero");
+                }
+                defaults.nnz = static_cast<std::uint64_t>(scaled);
+            }
+            for (unsigned r = 0; r < replicates; ++r) {
+                defaults.seed = grid.defaults.seed + r;
+                try {
+                    for (driver::Workload &w :
+                         parseWorkloadSpec(spec, defaults)) {
+                        if (uses_nnz && scale_axis) {
+                            w.withName(w.name() + "@nnz" +
+                                       std::to_string(defaults.nnz));
+                        }
+                        grid.workloads.push_back(std::move(w));
+                    }
+                } catch (const FatalError &e) {
+                    fatal(what, ": workload '", spec, "': ",
+                          fatalDetail(e));
+                }
             }
         }
     }

@@ -21,13 +21,27 @@
  *
  * 3. Grid-spec files — a small INI-style format describing one sweep:
  *    top-level `key = value` settings (nnz, seed, seeds, wseed,
- *    shards, policy, threads), any number of `[config <label>]`
- *    sections whose bodies are config overrides, and a `[workloads]`
- *    section with one workload spec per line. The sweep runs the full
- *    configs x workloads x shards cross product, config-major, exactly
- *    like BatchRunner::addShardSweep; `seeds = N` replicates every
- *    workload N times at generator seeds wseed..wseed+N-1 so sweeps
- *    emit variance data.
+ *    nnz_scale, shards, policy, threads), any number of
+ *    `[config <label>]` sections whose bodies are config overrides,
+ *    and a `[workloads]` section with one workload spec per line. The
+ *    sweep runs the full configs x workloads x shards cross product,
+ *    config-major, exactly like BatchRunner::addShardSweep;
+ *    `seeds = N` replicates every workload N times at generator seeds
+ *    wseed..wseed+N-1 so sweeps emit variance data, and
+ *    `nnz_scale = a,b,c` materializes every nnz-targeted (suite:)
+ *    workload once per factor at target nnz*factor, scale-major.
+ *
+ * 4. Worker task manifests — the machine-generated format the
+ *    multi-process executor ships to `sparch worker` subprocesses.
+ *    Each task is the *serialized* form of a BatchTask: its config as
+ *    the same key=value override text format 1 parses, its workload
+ *    as the same spec text format 2 parses (plus the nnz/wseed
+ *    defaults it was built under), and the id/seed/shards/policy
+ *    fields verbatim. Formats 1 and 2 are therefore bidirectional:
+ *    writeConfigOverrides() and Workload::spec() must round-trip
+ *    through their parsers to the same simulation (same result-cache
+ *    key), which the worker protocol verifies per record and
+ *    tests/test_cli.cc pins per key.
  *
  * Everything throws FatalError with a file/line-qualified message on
  * malformed input: these formats are the user-facing surface of the
@@ -44,6 +58,7 @@
 #include <vector>
 
 #include "core/sparch_config.hh"
+#include "driver/batch_runner.hh"
 #include "driver/sharded_simulator.hh"
 #include "driver/workload.hh"
 
@@ -70,6 +85,25 @@ std::string configKeyList();
 /** Apply a comma-separated override list onto `base`. */
 SpArchConfig parseConfigOverrides(const std::string &text,
                                   const SpArchConfig &base = {});
+
+/**
+ * The inverse of parseConfigOverrides: render `config` as the
+ * comma-separated `key=value` list of everything that differs from
+ * `base` (empty string when nothing does). Values render through the
+ * same key table the parser dispatches on, with doubles at full
+ * round-trip precision, so
+ * `parseConfigOverrides(writeConfigOverrides(c), base)` reproduces
+ * `c` field for field.
+ */
+std::string writeConfigOverrides(const SpArchConfig &config,
+                                 const SpArchConfig &base = {});
+
+/**
+ * Render one key's current value from `config` as the text its
+ * parser accepts (exposed for the round-trip tests).
+ */
+std::string renderConfigValue(const SpArchConfig &config,
+                              const std::string &key);
 
 /** Seeds and scale that workload specs inherit when not overridden. */
 struct WorkloadDefaults
@@ -105,6 +139,16 @@ struct GridSpec
      * generator seed and materialize once regardless.
      */
     unsigned seeds = 1;
+    /**
+     * Per-workload nnz-scaling axis (`nnz_scale = a,b,c`): every
+     * nnz-targeted workload spec (the suite: family — the only one
+     * whose spec text carries no explicit size) is materialized once
+     * per factor, scale-major, at target nnz = round(nnz * factor).
+     * Scaled replicates are renamed `<name>@nnz<target>` so sweep
+     * rows stay tellable apart. Other families carry their size in
+     * the spec itself and materialize once regardless.
+     */
+    std::vector<double> nnzScales = {1.0};
     /** Worker threads; 0 = all hardware threads. */
     unsigned threads = 0;
     /** BatchRunner base seed. */
@@ -120,6 +164,34 @@ GridSpec parseGridSpecFile(const std::string &path);
 
 /** Parse "row" / "nnz" into a shard policy. */
 driver::ShardPolicy parseShardPolicy(const std::string &text);
+
+/**
+ * Render a shard policy as the text parseShardPolicy accepts ("row" /
+ * "nnz"; driver::shardPolicyName is the display form).
+ */
+const char *shardPolicySpec(driver::ShardPolicy policy);
+
+/**
+ * Serialize tasks into a worker manifest (format 4 above). Every
+ * task's workload must carry a CLI spec (Workload::hasSpec()).
+ */
+void writeWorkerManifest(
+    std::ostream &out,
+    const std::vector<const driver::BatchTask *> &tasks);
+
+/**
+ * Parse a worker manifest back into tasks (config labels are left
+ * empty — the parent restamps them). Workload validators run during
+ * the parse, so a manifest naming a vanished input file fails here,
+ * before any id is accepted. Throws FatalError on malformed input or
+ * duplicate task ids; `what` names the stream in errors.
+ */
+std::vector<driver::BatchTask>
+parseWorkerManifest(std::istream &in, const std::string &what);
+
+/** Parse a worker manifest file from disk. */
+std::vector<driver::BatchTask>
+parseWorkerManifestFile(const std::string &path);
 
 } // namespace cli
 } // namespace sparch

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Text formatting helpers shared across layers.
+ */
+
+#ifndef SPARCH_COMMON_FORMAT_HH
+#define SPARCH_COMMON_FORMAT_HH
+
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace sparch
+{
+
+/**
+ * Render a double so strtod parses it back to the identical bits.
+ * Load-bearing for every bidirectional spec format: workload specs
+ * (dnn density) and config overrides (clock_ghz) written with this
+ * must reparse — possibly in a worker subprocess — to the same
+ * simulation and therefore the same result-cache key.
+ */
+inline std::string
+fmtDouble(double v)
+{
+    std::ostringstream os;
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << v;
+    return os.str();
+}
+
+} // namespace sparch
+
+#endif // SPARCH_COMMON_FORMAT_HH

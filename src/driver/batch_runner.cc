@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <future>
 #include <limits>
 #include <ostream>
 #include <sstream>
@@ -10,7 +9,7 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "driver/result_cache.hh"
-#include "driver/thread_pool.hh"
+#include "exec/local_executors.hh"
 
 namespace sparch
 {
@@ -80,7 +79,7 @@ BatchRunner::addShardSweep(
 }
 
 BatchRecord
-BatchRunner::runTask(const BatchTask &task) const
+BatchRunner::simulateTask(const BatchTask &task, bool keep_products)
 {
     BatchRecord record;
     record.id = task.id;
@@ -91,7 +90,7 @@ BatchRunner::runTask(const BatchTask &task) const
 
     if (task.shards > 1) {
         // Shards run serially inside this task: the grid is already
-        // fanned across the pool, and the merged measurements are
+        // fanned across the executor, and the merged measurements are
         // identical either way.
         const ShardedSimulator sim(task.config, task.shardPolicy,
                                    task.shards, /*threads=*/1);
@@ -104,9 +103,15 @@ BatchRunner::runTask(const BatchTask &task) const
                                   task.workload.right());
     }
     record.resultNnz = record.sim.result.nnz();
-    if (!keep_products_)
+    if (!keep_products)
         record.sim.result = CsrMatrix();
     return record;
+}
+
+BatchRecord
+BatchRunner::runTask(const BatchTask &task) const
+{
+    return simulateTask(task, keep_products_);
 }
 
 std::vector<BatchRecord>
@@ -118,12 +123,32 @@ BatchRunner::run() const
 std::vector<BatchRecord>
 BatchRunner::run(ResultCache *cache, RunStats *stats) const
 {
-    // Satisfy what the cache can up front: lookups are hash probes,
-    // so a fully warm sweep never touches the pool at all. Cached
-    // records lack the product matrix, so a run that must keep
-    // products simulates everything.
+    if (threads_ <= 1) {
+        exec::InlineExecutor serial;
+        return run(serial, cache, stats);
+    }
+    exec::ThreadPoolExecutor pooled(threads_);
+    return run(pooled, cache, stats);
+}
+
+std::vector<BatchRecord>
+BatchRunner::run(exec::Executor &executor, ResultCache *cache,
+                 RunStats *stats) const
+{
+    // Cached records lack the product matrix, and out-of-process
+    // executors cannot ship one back over a pipe.
     const bool use_cache = cache != nullptr && !keep_products_;
+    if (keep_products_ && !executor.inProcess()) {
+        fatal("keepProducts(true) needs an in-process executor; '",
+              executor.name(),
+              "' streams records over pipes and drops the product "
+              "matrices");
+    }
+
+    // Satisfy what the cache can up front: lookups are hash probes,
+    // so a fully warm sweep never touches the executor at all.
     std::vector<BatchRecord> records(tasks_.size());
+    std::vector<char> have(tasks_.size(), 0);
     std::vector<const BatchTask *> misses;
     misses.reserve(tasks_.size());
     for (const BatchTask &task : tasks_) {
@@ -137,39 +162,71 @@ BatchRunner::run(ResultCache *cache, RunStats *stats) const
                 records[task.id].id = task.id;
                 records[task.id].configLabel = task.configLabel;
                 records[task.id].workloadName = task.workload.name();
+                have[task.id] = 1;
                 continue;
             }
         }
         misses.push_back(&task);
     }
 
-    if (threads_ <= 1 || misses.size() <= 1) {
-        for (const BatchTask *task : misses)
-            records[task->id] = runTask(*task);
-    } else {
-        ThreadPool pool(threads_);
-        std::vector<std::future<BatchRecord>> futures;
-        futures.reserve(misses.size());
-        for (const BatchTask *task : misses)
-            futures.push_back(
-                pool.submit([this, task] { return runTask(*task); }));
-        for (std::future<BatchRecord> &f : futures) {
-            BatchRecord record = f.get();
-            const std::size_t id = record.id;
-            records[id] = std::move(record);
+    // Stream completions into the cache, flushing to disk as records
+    // arrive: a sweep killed mid-run (or whose workers all died)
+    // resumes from everything that finished, not from zero. save()
+    // rewrites the whole file, so the flush interval doubles after
+    // every flush — total rewrite work stays linear in the sweep size
+    // (~2x the final file) instead of quadratic, at the price of a
+    // crash window that grows with what is already safely on disk.
+    std::size_t unsaved = 0;
+    std::size_t flush_interval = 8;
+    const auto on_record = [&](const BatchRecord &record) {
+        if (!use_cache)
+            return;
+        cache->insert(ResultCache::taskKey(tasks_[record.id]),
+                      record);
+        if (++unsaved >= flush_interval) {
+            cache->save();
+            unsaved = 0;
+            flush_interval *= 2;
+        }
+    };
+    const auto run_task = [this](const BatchTask &task) {
+        return runTask(task);
+    };
+
+    std::vector<exec::TaskFailure> failures;
+    std::vector<BatchRecord> done =
+        executor.run(misses, run_task, on_record, failures);
+    for (BatchRecord &record : done) {
+        SPARCH_ASSERT(record.id < tasks_.size(),
+                      "executor returned an unknown task id");
+        have[record.id] = 1;
+        records[record.id] = std::move(record);
+    }
+    if (stats != nullptr) {
+        stats->simulated = done.size();
+        stats->cacheHits =
+            tasks_.size() - misses.size();
+        stats->failed = failures.size();
+        stats->failures.clear();
+        stats->failures.reserve(failures.size());
+        for (const exec::TaskFailure &f : failures) {
+            SPARCH_ASSERT(f.id < tasks_.size(),
+                          "executor failed an unknown task id");
+            const BatchTask &task = tasks_[f.id];
+            stats->failures.push_back({f.id, task.configLabel,
+                                       task.workload.name(),
+                                       f.error});
         }
     }
 
-    if (use_cache) {
-        for (const BatchTask *task : misses)
-            cache->insert(ResultCache::taskKey(*task),
-                          records[task->id]);
-    }
-    if (stats != nullptr) {
-        stats->simulated = misses.size();
-        stats->cacheHits = tasks_.size() - misses.size();
-    }
-    return records;
+    // Failed ids simply have no row; ids and order of the surviving
+    // records are unchanged.
+    std::vector<BatchRecord> out;
+    out.reserve(tasks_.size());
+    for (std::size_t id = 0; id < tasks_.size(); ++id)
+        if (have[id])
+            out.push_back(std::move(records[id]));
+    return out;
 }
 
 TablePrinter

@@ -36,6 +36,11 @@
 
 namespace sparch
 {
+namespace exec
+{
+class Executor;
+} // namespace exec
+
 namespace driver
 {
 
@@ -76,15 +81,35 @@ struct BatchRecord
     SpArchResult sim;
 };
 
+/** One grid point that could not be completed. */
+struct FailedPoint
+{
+    std::size_t id = 0;
+    std::string configLabel;
+    std::string workloadName;
+    std::string error;
+};
+
 /** How a run's grid points were satisfied. */
 struct RunStats
 {
-    /** Points actually simulated this run. */
+    /** Points successfully simulated this run. */
     std::size_t simulated = 0;
     /** Points satisfied from a ResultCache. */
     std::size_t cacheHits = 0;
+    /**
+     * Points that produced no record: the simulation threw, or (on
+     * the process backend) the worker died permanently. Callers
+     * surface this instead of silently dropping grid points.
+     */
+    std::size_t failed = 0;
+    /** Per-point detail behind `failed`, sorted by task id. */
+    std::vector<FailedPoint> failures;
 
-    std::size_t total() const { return simulated + cacheHits; }
+    std::size_t total() const
+    {
+        return simulated + cacheHits + failed;
+    }
 };
 
 /** Runs a config x workload grid, serially or across a thread pool. */
@@ -151,15 +176,41 @@ class BatchRunner
      * cache already holds are returned without simulating (the cached
      * record is relabelled with this grid's id and config label), and
      * freshly simulated points are inserted into the cache. The caller
-     * owns persistence (ResultCache::save). Cached records carry the
-     * CSV scalars but neither the product matrix nor module stats, so
-     * a runner with keepProducts(true) bypasses the cache entirely.
+     * owns final persistence (ResultCache::save), but long runs also
+     * flush the cache incrementally as records complete, so a killed
+     * sweep resumes from everything it already measured. Cached
+     * records carry the CSV scalars but neither the product matrix
+     * nor module stats, so a runner with keepProducts(true) bypasses
+     * the cache entirely.
+     *
+     * Points that fail (simulation threw, worker died permanently)
+     * are omitted from the returned records and accounted in
+     * RunStats::failed/failures instead of aborting the run.
      *
      * @param cache nullptr behaves exactly like run().
-     * @param stats Optional hit/miss accounting.
+     * @param stats Optional hit/miss/failure accounting.
      */
     std::vector<BatchRecord> run(ResultCache *cache,
                                  RunStats *stats = nullptr) const;
+
+    /**
+     * Run the grid through an explicit execution backend (see
+     * exec/executor.hh for the three backends and the determinism
+     * contract). The two-argument run() is this with an
+     * InlineExecutor or ThreadPoolExecutor picked from the
+     * constructor's thread count. keepProducts(true) requires an
+     * in-process executor and throws FatalError otherwise.
+     */
+    std::vector<BatchRecord> run(exec::Executor &executor,
+                                 ResultCache *cache = nullptr,
+                                 RunStats *stats = nullptr) const;
+
+    /**
+     * Simulate one task in isolation (the worker-subprocess entry
+     * point; runTask() and the executors funnel through it).
+     */
+    static BatchRecord simulateTask(const BatchTask &task,
+                                    bool keep_products);
 
     /** The per-task seed derivation (exposed for tests). */
     static std::uint64_t taskSeed(std::uint64_t base_seed,

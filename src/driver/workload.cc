@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "baselines/benchmarks.hh"
+#include "common/format.hh"
 #include "common/logging.hh"
 #include "matrix/generators.hh"
 #include "matrix/matrix_market.hh"
@@ -39,6 +40,35 @@ Workload &
 Workload::withIdentity(std::string identity)
 {
     identity_ = std::move(identity);
+    return *this;
+}
+
+Workload &
+Workload::withSpec(std::string text, std::uint64_t nnz,
+                   std::uint64_t seed)
+{
+    SPARCH_ASSERT(!text.empty(), "withSpec() with empty spec text");
+    spec_.text = std::move(text);
+    spec_.nnz = nnz;
+    spec_.seed = seed;
+    return *this;
+}
+
+const WorkloadSpec &
+Workload::spec() const
+{
+    SPARCH_ASSERT(hasSpec(), "workload '", name_,
+                  "' carries no CLI spec");
+    return spec_;
+}
+
+Workload &
+Workload::withName(std::string name)
+{
+    SPARCH_ASSERT(!identity_.empty(),
+                  "renaming workload '", name_,
+                  "' without an explicit cache identity");
+    name_ = std::move(name);
     return *this;
 }
 
@@ -93,6 +123,7 @@ suiteWorkload(const std::string &benchmark_name,
     w.withIdentity("suite:" + benchmark_name +
                    "|nnz=" + std::to_string(target_nnz) +
                    "|seed=" + std::to_string(seed));
+    w.withSpec("suite:" + benchmark_name, target_nnz, seed);
     return w;
 }
 
@@ -105,6 +136,9 @@ rmatWorkload(Index vertices, Index edge_factor, std::uint64_t seed)
         return rmatGenerate(vertices, edge_factor, seed);
     });
     w.withIdentity(name + "|seed=" + std::to_string(seed));
+    w.withSpec("rmat:" + std::to_string(vertices) + "x" +
+                   std::to_string(edge_factor),
+               0, seed);
     return w;
 }
 
@@ -119,6 +153,9 @@ uniformWorkload(Index rows, Index cols, std::uint64_t nnz,
         return generateUniform(rows, cols, nnz, seed);
     });
     w.withIdentity(name + "|seed=" + std::to_string(seed));
+    w.withSpec("uniform:" + std::to_string(rows) + "x" +
+                   std::to_string(cols) + ":" + std::to_string(nnz),
+               0, seed);
     return w;
 }
 
@@ -159,6 +196,7 @@ matrixMarketWorkload(const std::string &path)
                  << mtime.time_since_epoch().count();
     }
     w.withIdentity(identity.str());
+    w.withSpec("mtx:" + path, 0, 0);
     return w;
 }
 
@@ -180,9 +218,14 @@ dnnLayerWorkload(Index hidden, Index batch, double density,
         [hidden, batch, act_nnz, seed] {
             return generateUniform(hidden, batch, act_nnz, seed + 1);
         });
-    std::ostringstream identity;
-    identity << name << "|density=" << density << "|seed=" << seed;
-    w.withIdentity(identity.str());
+    // Full-precision density: the default 6-significant-digit ostream
+    // rendering would collide identities (and thus cache keys) of
+    // densities that differ below it but still change the operands.
+    w.withIdentity(name + "|density=" + fmtDouble(density) +
+                   "|seed=" + std::to_string(seed));
+    w.withSpec("dnn:" + std::to_string(hidden) + "x" +
+                   std::to_string(batch) + ":" + fmtDouble(density),
+               0, seed);
     return w;
 }
 

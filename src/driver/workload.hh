@@ -37,6 +37,25 @@ namespace sparch
 namespace driver
 {
 
+/**
+ * CLI-spec provenance of a workload: the `cli::parseWorkloadSpec`
+ * text plus the nnz/seed defaults it was parsed (or would parse)
+ * under. Factories attach this so a workload can be rebuilt in
+ * another process — the multi-process batch executor serializes it
+ * into worker task manifests, and `parseWorkloadSpec(text, {nnz,
+ * seed})` must reproduce a workload with the same name and cache
+ * identity (round-trip tested).
+ */
+struct WorkloadSpec
+{
+    /** Spec text in the CLI workload grammar (e.g. "rmat:512x8"). */
+    std::string text;
+    /** The defaults.nnz the spec was built with (suite specs only). */
+    std::uint64_t nnz = 0;
+    /** The defaults.seed (generator seed) the spec was built with. */
+    std::uint64_t seed = 0;
+};
+
 /** A named, lazily materialized SpGEMM operand pair. */
 class Workload
 {
@@ -69,6 +88,28 @@ class Workload
 
     /** Attach a cache identity; returns *this so factories can chain. */
     Workload &withIdentity(std::string identity);
+
+    /**
+     * Attach the CLI spec this workload round-trips through (see
+     * WorkloadSpec). Returns *this so factories can chain.
+     */
+    Workload &withSpec(std::string text, std::uint64_t nnz,
+                       std::uint64_t seed);
+
+    /** True when the workload can be rebuilt from a CLI spec. */
+    bool hasSpec() const { return !spec_.text.empty(); }
+
+    /** The attached CLI spec; asserts hasSpec(). */
+    const WorkloadSpec &spec() const;
+
+    /**
+     * Relabel the workload (grid axes that materialize one spec at
+     * several scales use this to keep replicate rows tellable apart).
+     * Requires an explicit cache identity: identity() falls back to
+     * the name, and renaming must never change what a cached result
+     * keys on.
+     */
+    Workload &withName(std::string name);
 
     /** True once constructed with a generator. */
     bool valid() const { return data_ != nullptr; }
@@ -110,6 +151,7 @@ class Workload
 
     std::string name_;
     std::string identity_;
+    WorkloadSpec spec_;
     std::shared_ptr<Data> data_;
 };
 

@@ -1,0 +1,452 @@
+#include "exec/process_pool_executor.hh"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "cli/spec.hh"
+#include "common/logging.hh"
+#include "driver/result_cache.hh"
+#include "driver/thread_pool.hh"
+
+namespace sparch
+{
+namespace exec
+{
+
+namespace
+{
+
+/** One spawned `sparch worker` subprocess. */
+struct WorkerProc
+{
+    pid_t pid = -1;
+    int in = -1;  //!< worker stdin: parent writes task ids
+    int out = -1; //!< worker stdout: parent reads record lines
+    std::string buf;
+    const driver::BatchTask *inflight = nullptr;
+    bool alive = false;
+    bool stdinOpen = false;
+};
+
+/** Deletes the manifest temp file on scope exit. */
+struct TempFile
+{
+    std::string path;
+    ~TempFile()
+    {
+        if (!path.empty())
+            std::remove(path.c_str());
+    }
+};
+
+/**
+ * Kills and reaps every worker still alive on scope exit, so a
+ * protocol error thrown mid-run cannot leak subprocesses or pipe fds.
+ */
+struct WorkerGuard
+{
+    std::vector<WorkerProc> workers;
+
+    void
+    closeFd(int &fd)
+    {
+        if (fd >= 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+
+    void
+    retire(WorkerProc &w)
+    {
+        closeFd(w.in);
+        w.stdinOpen = false;
+        closeFd(w.out);
+        if (w.alive) {
+            int status = 0;
+            ::waitpid(w.pid, &status, 0);
+            w.alive = false;
+        }
+    }
+
+    ~WorkerGuard()
+    {
+        for (WorkerProc &w : workers) {
+            if (w.alive)
+                ::kill(w.pid, SIGKILL);
+            retire(w);
+        }
+    }
+};
+
+/** Ignores SIGPIPE for the run: a dead worker's stdin must surface as
+ * a write error to handle, not kill the whole sweep. */
+struct SigpipeGuard
+{
+    struct sigaction old {};
+    SigpipeGuard()
+    {
+        struct sigaction ign {};
+        ign.sa_handler = SIG_IGN;
+        ::sigaction(SIGPIPE, &ign, &old);
+    }
+    ~SigpipeGuard() { ::sigaction(SIGPIPE, &old, nullptr); }
+};
+
+void
+setCloexec(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFD);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+std::string
+resolveWorkerBinary(const std::string &configured)
+{
+    if (!configured.empty())
+        return configured;
+    std::error_code ec;
+    const auto self =
+        std::filesystem::read_symlink("/proc/self/exe", ec);
+    if (ec) {
+        fatal("process executor: cannot resolve /proc/self/exe (",
+              ec.message(),
+              "); set ProcessPoolOptions::workerBinary explicitly");
+    }
+    return self.string();
+}
+
+/** Writes the whole buffer; false on any error (e.g. EPIPE). */
+bool
+writeAll(int fd, const std::string &text)
+{
+    std::size_t off = 0;
+    while (off < text.size()) {
+        const ssize_t n =
+            ::write(fd, text.data() + off, text.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+ProcessPoolExecutor::ProcessPoolExecutor(ProcessPoolOptions options)
+    : options_(std::move(options))
+{
+    if (options_.procs == 0)
+        options_.procs = driver::ThreadPool::hardwareThreads();
+    if (options_.maxAttempts == 0)
+        options_.maxAttempts = 1;
+}
+
+std::vector<driver::BatchRecord>
+ProcessPoolExecutor::run(
+    const std::vector<const driver::BatchTask *> &tasks,
+    const TaskFn &run_task, const RecordFn &on_record,
+    std::vector<TaskFailure> &failures)
+{
+    (void)run_task; // simulations happen inside worker processes
+    std::vector<driver::BatchRecord> records;
+    if (tasks.empty())
+        return records;
+
+    for (const driver::BatchTask *task : tasks) {
+        if (!task->workload.hasSpec()) {
+            fatal("process executor: task ", task->id, " (workload '",
+                  task->workload.name(),
+                  "') was not built from a CLI workload spec and "
+                  "cannot be shipped to a worker subprocess; run it "
+                  "with --exec=threads instead");
+        }
+    }
+
+    // Serialize the full task set once; every worker parses the same
+    // manifest and simulates whichever ids it is dealt.
+    static std::atomic<unsigned> manifest_counter{0};
+    TempFile manifest;
+    {
+        const auto name = "sparch-worker-" +
+                          std::to_string(::getpid()) + "-" +
+                          std::to_string(manifest_counter++) +
+                          ".tasks";
+        manifest.path =
+            (std::filesystem::temp_directory_path() / name).string();
+        std::ofstream out(manifest.path);
+        if (!out)
+            fatal("process executor: cannot write worker manifest '",
+                  manifest.path, "'");
+        cli::writeWorkerManifest(out, tasks);
+        if (!out.good())
+            fatal("process executor: short write on worker manifest '",
+                  manifest.path, "'");
+    }
+
+    const std::string binary =
+        resolveWorkerBinary(options_.workerBinary);
+    const unsigned procs = static_cast<unsigned>(std::min<std::size_t>(
+        options_.procs, tasks.size()));
+
+    // Deterministic crash injection: worker 0 hard-exits after N
+    // records (see the class comment).
+    const char *kill_after =
+        std::getenv("SPARCH_TEST_KILL_WORKER_AFTER");
+
+    SigpipeGuard sigpipe;
+    WorkerGuard guard;
+    guard.workers.resize(procs);
+    for (unsigned i = 0; i < procs; ++i) {
+        int in_pipe[2], out_pipe[2];
+        if (::pipe(in_pipe) != 0 || ::pipe(out_pipe) != 0)
+            fatal("process executor: pipe(): ",
+                  std::strerror(errno));
+        for (int fd : {in_pipe[0], in_pipe[1], out_pipe[0],
+                       out_pipe[1]})
+            setCloexec(fd);
+
+        std::vector<std::string> argv_strings = {
+            binary, "worker", "--tasks", manifest.path};
+        if (i == 0 && kill_after != nullptr) {
+            argv_strings.push_back("--exit-after");
+            argv_strings.push_back(kill_after);
+        }
+
+        const pid_t pid = ::fork();
+        if (pid < 0)
+            fatal("process executor: fork(): ",
+                  std::strerror(errno));
+        if (pid == 0) {
+            // dup2 clears FD_CLOEXEC on the new fds, so exactly
+            // stdin/stdout/stderr survive the exec.
+            ::dup2(in_pipe[0], STDIN_FILENO);
+            ::dup2(out_pipe[1], STDOUT_FILENO);
+            std::vector<char *> argv;
+            argv.reserve(argv_strings.size() + 1);
+            for (std::string &s : argv_strings)
+                argv.push_back(s.data());
+            argv.push_back(nullptr);
+            ::execv(binary.c_str(), argv.data());
+            // Visible in the parent's stderr; the empty stdout EOF is
+            // what the scheduler reacts to.
+            std::fprintf(stderr,
+                         "sparch worker: cannot exec '%s': %s\n",
+                         binary.c_str(), std::strerror(errno));
+            ::_exit(127);
+        }
+        ::close(in_pipe[0]);
+        ::close(out_pipe[1]);
+        WorkerProc &w = guard.workers[i];
+        w.pid = pid;
+        w.in = in_pipe[1];
+        w.out = out_pipe[0];
+        w.alive = true;
+        w.stdinOpen = true;
+    }
+
+    std::deque<const driver::BatchTask *> queue(tasks.begin(),
+                                                tasks.end());
+    std::map<std::size_t, unsigned> attempts;
+    const std::size_t total = tasks.size();
+    auto done = [&] { return records.size() + failures.size(); };
+
+    const auto fail = [&](const driver::BatchTask *task,
+                          std::string error) {
+        failures.push_back({task->id, std::move(error)});
+    };
+
+    // A dying worker's in-flight task goes back to the queue for the
+    // survivors — unless it already took maxAttempts workers down
+    // with it, or nobody is left to retry it.
+    const auto requeueOrFail = [&](const driver::BatchTask *task) {
+        const unsigned tries = ++attempts[task->id];
+        bool survivor = false;
+        for (const WorkerProc &w : guard.workers)
+            survivor = survivor || w.alive;
+        if (tries >= options_.maxAttempts) {
+            fail(task, "worker died while simulating this point (" +
+                           std::to_string(tries) + " attempt(s))");
+        } else if (!survivor) {
+            fail(task,
+                 "worker died while simulating this point and no "
+                 "workers survive to retry it");
+        } else {
+            queue.push_front(task);
+        }
+    };
+
+    const auto handleLine = [&](WorkerProc &w,
+                                const std::string &line) {
+        if (line.empty())
+            return;
+        const driver::BatchTask *task = w.inflight;
+        if (task == nullptr) {
+            fatal("process executor: worker ", w.pid,
+                  " sent an unrequested line: ", line);
+        }
+        if (line.rfind("err ", 0) == 0) {
+            const std::size_t sp = line.find(' ', 4);
+            const std::string id_text =
+                line.substr(4, sp == std::string::npos
+                                   ? std::string::npos
+                                   : sp - 4);
+            const std::string message =
+                sp == std::string::npos ? "(no detail)"
+                                        : line.substr(sp + 1);
+            if (id_text != std::to_string(task->id)) {
+                fatal("process executor: worker ", w.pid,
+                      " reported an error for task ", id_text,
+                      " while simulating task ", task->id);
+            }
+            w.inflight = nullptr;
+            fail(task, message);
+            return;
+        }
+
+        const std::size_t comma = line.find(',');
+        char *end = nullptr;
+        const std::uint64_t key =
+            comma == std::string::npos
+                ? 0
+                : std::strtoull(line.c_str(), &end, 16);
+        driver::BatchRecord record;
+        const bool parsed =
+            comma != std::string::npos && end == line.c_str() + comma &&
+            driver::BatchRunner::parseCsvRow(line.substr(comma + 1),
+                                             record);
+        if (!parsed) {
+            fatal("process executor: worker ", w.pid,
+                  " sent a malformed record line: ", line);
+        }
+        // The key hashes the full config and workload identity the
+        // worker actually simulated; a mismatch means the spec
+        // round-trip rebuilt a different simulation — never accept
+        // that record.
+        if (record.id != task->id || record.seed != task->seed ||
+            key != driver::ResultCache::taskKey(*task)) {
+            fatal("process executor: worker ", w.pid,
+                  " returned task ", record.id, " with cache key ",
+                  key, ", but task ", task->id, " expects key ",
+                  driver::ResultCache::taskKey(*task),
+                  " — spec round-trip mismatch");
+        }
+        // Restamp display labels from the parent's grid (the worker
+        // never sees them), exactly like result-cache hits.
+        record.configLabel = task->configLabel;
+        record.workloadName = task->workload.name();
+        w.inflight = nullptr;
+        if (on_record)
+            on_record(record);
+        records.push_back(std::move(record));
+    };
+
+    while (done() < total) {
+        // Deal queued ids to idle live workers, one in flight each.
+        for (WorkerProc &w : guard.workers) {
+            if (queue.empty())
+                break;
+            if (!w.alive || !w.stdinOpen || w.inflight != nullptr)
+                continue;
+            const driver::BatchTask *task = queue.front();
+            if (writeAll(w.in, std::to_string(task->id) + "\n")) {
+                queue.pop_front();
+                w.inflight = task;
+            } else {
+                // Its stdin pipe is gone; the stdout EOF below will
+                // reap it. Stop dealing to it.
+                w.stdinOpen = false;
+            }
+        }
+
+        std::vector<struct pollfd> fds;
+        std::vector<WorkerProc *> polled;
+        for (WorkerProc &w : guard.workers) {
+            if (!w.alive)
+                continue;
+            fds.push_back({w.out, POLLIN, 0});
+            polled.push_back(&w);
+        }
+        if (fds.empty())
+            break; // every worker is dead; leftovers fail below
+
+        if (::poll(fds.data(), fds.size(), -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("process executor: poll(): ",
+                  std::strerror(errno));
+        }
+
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+            if (fds[i].revents == 0)
+                continue;
+            WorkerProc &w = *polled[i];
+            char chunk[4096];
+            const ssize_t n = ::read(w.out, chunk, sizeof chunk);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+            }
+            if (n > 0) {
+                w.buf.append(chunk, static_cast<std::size_t>(n));
+                std::size_t nl;
+                while ((nl = w.buf.find('\n')) !=
+                       std::string::npos) {
+                    const std::string line = w.buf.substr(0, nl);
+                    w.buf.erase(0, nl + 1);
+                    handleLine(w, line);
+                }
+                continue;
+            }
+            // EOF (or read error): the worker is gone. A partial
+            // line in its buffer is discarded — the in-flight task
+            // it belongs to is requeued or failed wholesale.
+            const driver::BatchTask *orphan = w.inflight;
+            w.inflight = nullptr;
+            guard.retire(w);
+            if (orphan != nullptr) {
+                warn("sparch worker ", w.pid,
+                     " died while simulating task ", orphan->id,
+                     "; rescheduling");
+                requeueOrFail(orphan);
+            }
+        }
+    }
+
+    // Tasks never dealt out because the whole pool died.
+    while (!queue.empty()) {
+        fail(queue.front(), "no live workers left to run this point");
+        queue.pop_front();
+    }
+
+    // Graceful shutdown: closing stdin is the workers' exit signal.
+    for (WorkerProc &w : guard.workers)
+        if (w.alive)
+            guard.retire(w);
+
+    sortById(records, failures);
+    return records;
+}
+
+} // namespace exec
+} // namespace sparch

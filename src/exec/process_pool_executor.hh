@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Multi-process execution backend: fork/exec `sparch worker`
+ * subprocesses and stream records back over pipes.
+ *
+ * The parent serializes the task set into a worker manifest (the
+ * bidirectional CLI spec formats: config overrides + workload specs,
+ * see cli/spec.hh), spawns N workers that all parse the same
+ * manifest, and then self-schedules: each worker is sent one task id
+ * at a time on its stdin and answers with one line on its stdout —
+ * either a finished record in the result-cache CSV schema
+ * (`<16-hex key>,<writeCsv row>`) or `err <id> <message>` when the
+ * simulation threw.
+ *
+ * Crash resilience: a worker that dies (crash, OOM kill, operator
+ * `kill`) takes only its in-flight task with it; the parent requeues
+ * that id to the surviving workers. A task whose worker dies
+ * `maxAttempts` times — or for which no live worker remains — is
+ * reported as a TaskFailure rather than hanging or aborting the
+ * sweep. Combined with BatchRunner's streaming result-cache flushes,
+ * a restarted sweep re-simulates only the points that never
+ * completed.
+ *
+ * Determinism: the parent verifies each returned record against the
+ * task's ResultCache key (which hashes the full config and workload
+ * identity), so a spec round-trip bug can never silently produce a
+ * record for the wrong simulation; labels are restamped from the
+ * parent's grid, and records are returned sorted by id. The resulting
+ * sweep CSV is byte-identical to the inline and thread-pool backends.
+ */
+
+#ifndef SPARCH_EXEC_PROCESS_POOL_EXECUTOR_HH
+#define SPARCH_EXEC_PROCESS_POOL_EXECUTOR_HH
+
+#include <string>
+
+#include "exec/executor.hh"
+
+namespace sparch
+{
+namespace exec
+{
+
+/** Knobs of the multi-process backend. */
+struct ProcessPoolOptions
+{
+    /** Worker subprocesses; 0 means one per hardware thread. */
+    unsigned procs = 0;
+
+    /**
+     * Binary to exec as `<binary> worker --tasks <manifest>`. Empty
+     * resolves /proc/self/exe — correct when the parent *is* the
+     * sparch CLI; tests point this at the built sparch binary.
+     */
+    std::string workerBinary;
+
+    /**
+     * Times a task may be in flight on a dying worker before it is
+     * declared failed. The second attempt runs on a different worker,
+     * so a poison task cannot take the whole pool down one worker at
+     * a time.
+     */
+    unsigned maxAttempts = 2;
+};
+
+/**
+ * Fan tasks across `sparch worker` subprocesses.
+ *
+ * Test hook: when the environment variable
+ * SPARCH_TEST_KILL_WORKER_AFTER=N is set, worker 0 is spawned with
+ * `--exit-after N` and hard-exits after streaming N records —
+ * deterministic crash injection for the requeue/resume paths (used by
+ * tests/test_exec.cc and the CI exec-smoke job).
+ */
+class ProcessPoolExecutor : public Executor
+{
+  public:
+    explicit ProcessPoolExecutor(ProcessPoolOptions options = {});
+
+    const char *name() const override { return "procs"; }
+    bool inProcess() const override { return false; }
+    unsigned procs() const { return options_.procs; }
+
+    std::vector<driver::BatchRecord>
+    run(const std::vector<const driver::BatchTask *> &tasks,
+        const TaskFn &run_task, const RecordFn &on_record,
+        std::vector<TaskFailure> &failures) override;
+
+  private:
+    ProcessPoolOptions options_;
+};
+
+} // namespace exec
+} // namespace sparch
+
+#endif // SPARCH_EXEC_PROCESS_POOL_EXECUTOR_HH

@@ -560,5 +560,181 @@ TEST(Cli, SweepShardAxisMatchesAddShardSweep)
     std::remove(csv_path.c_str());
 }
 
+// --------------------------------------- bidirectional spec round trip
+
+TEST(CliConfigSpec, WriteConfigOverridesRoundTrips)
+{
+    // Nothing differs from the base -> nothing to say.
+    EXPECT_EQ(cli::writeConfigOverrides(SpArchConfig{}), "");
+
+    // A config touching every value category: doubles, bools, enums,
+    // plain integers, and a non-default memory backend.
+    const std::string overrides =
+        "clock_ghz=1.5,merge_layers=4,combine_duplicates=false,"
+        "multipliers=8,replacement=lru,scheduler=sequential,"
+        "condensing=off,prefetcher=off,memory=ddr4,ddr4_channels=4,"
+        "ddr4_miss_penalty=30,writer_burst=128";
+    const SpArchConfig config = cli::parseConfigOverrides(overrides);
+
+    const std::string written = cli::writeConfigOverrides(config);
+    const SpArchConfig reparsed = cli::parseConfigOverrides(written);
+
+    // Field-for-field equality, via the same table the parser uses.
+    std::istringstream keys(cli::configKeyList());
+    std::string key;
+    while (keys >> key) {
+        EXPECT_EQ(cli::renderConfigValue(config, key),
+                  cli::renderConfigValue(reparsed, key))
+            << "key '" << key << "' did not round-trip";
+    }
+    // And the serialized form is canonical: writing again changes
+    // nothing.
+    EXPECT_EQ(written, cli::writeConfigOverrides(reparsed));
+    // Values the parser canonicalized survive verbatim.
+    EXPECT_NE(written.find("replacement=lru"), std::string::npos);
+    EXPECT_NE(written.find("memory=ddr4"), std::string::npos);
+    EXPECT_NE(written.find("condensing=false"), std::string::npos);
+}
+
+TEST(CliWorkloadSpec, FactorySpecsRoundTripEveryFamily)
+{
+    const std::string mtx = writeFile(
+        "sparch_roundtrip.mtx",
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n1 1 1.0\n2 2 2.0\n");
+    const std::vector<driver::Workload> originals = {
+        driver::suiteWorkload("scircuit", 2500, 7),
+        driver::rmatWorkload(512, 8, 9),
+        driver::uniformWorkload(64, 32, 100, 11),
+        driver::dnnLayerWorkload(64, 16, 0.1, 13),
+        driver::matrixMarketWorkload(mtx),
+    };
+    for (const driver::Workload &w : originals) {
+        ASSERT_TRUE(w.hasSpec()) << w.name();
+        const driver::WorkloadSpec &spec = w.spec();
+        cli::WorkloadDefaults defaults;
+        defaults.nnz = spec.nnz;
+        defaults.seed = spec.seed;
+        const std::vector<driver::Workload> rebuilt =
+            cli::parseWorkloadSpec(spec.text, defaults);
+        ASSERT_EQ(rebuilt.size(), 1u) << spec.text;
+        EXPECT_EQ(rebuilt[0].name(), w.name());
+        // Identity equality is what makes the round trip safe: the
+        // result cache keys on it, so a rebuilt workload can never
+        // alias a different simulation.
+        EXPECT_EQ(rebuilt[0].identity(), w.identity());
+    }
+    std::remove(mtx.c_str());
+}
+
+// ------------------------------------------------------ nnz_scale axis
+
+TEST(CliGridSpec, NnzScaleAxisScalesSuiteWorkloads)
+{
+    std::istringstream in(
+        "nnz = 1000\n"
+        "nnz_scale = 0.5, 2\n"
+        "[workloads]\n"
+        "suite:scircuit\n"
+        "uniform:32x32:100\n");
+    const cli::GridSpec grid = cli::parseGridSpec(in, "test");
+    ASSERT_EQ(grid.nnzScales, (std::vector<double>{0.5, 2.0}));
+    // suite: materializes once per factor (renamed so sweep rows are
+    // tellable apart); uniform carries its own size and stays single.
+    ASSERT_EQ(grid.workloads.size(), 3u);
+    EXPECT_EQ(grid.workloads[0].name(), "scircuit@nnz500");
+    EXPECT_EQ(grid.workloads[1].name(), "scircuit@nnz2000");
+    EXPECT_EQ(grid.workloads[2].name(), "uniform-32x32-100");
+    // Different scales really are different matrices.
+    EXPECT_NE(grid.workloads[0].identity(),
+              grid.workloads[1].identity());
+}
+
+TEST(CliGridSpec, NnzScaleComposesWithSeedsScaleMajor)
+{
+    std::istringstream in(
+        "nnz = 1000\n"
+        "nnz_scale = 1, 2\n"
+        "seeds = 2\n"
+        "wseed = 50\n"
+        "[workloads]\n"
+        "suite:scircuit\n");
+    const cli::GridSpec grid = cli::parseGridSpec(in, "test");
+    // scale-major: (x1, seed 50), (x1, seed 51), (x2, 50), (x2, 51).
+    ASSERT_EQ(grid.workloads.size(), 4u);
+    EXPECT_EQ(grid.workloads[0].name(), "scircuit@nnz1000");
+    EXPECT_EQ(grid.workloads[1].name(), "scircuit@nnz1000");
+    EXPECT_EQ(grid.workloads[2].name(), "scircuit@nnz2000");
+    EXPECT_EQ(grid.workloads[3].name(), "scircuit@nnz2000");
+    EXPECT_NE(grid.workloads[0].identity(),
+              grid.workloads[1].identity());
+}
+
+TEST(CliGridSpec, NnzScaleWithoutTheAxisKeepsPlainNames)
+{
+    std::istringstream in(
+        "nnz = 1000\nnnz_scale = 1\n[workloads]\nsuite:scircuit\n");
+    const cli::GridSpec grid = cli::parseGridSpec(in, "test");
+    ASSERT_EQ(grid.workloads.size(), 1u);
+    EXPECT_EQ(grid.workloads[0].name(), "scircuit");
+}
+
+TEST(CliGridSpec, NnzScaleRejectsNonPositiveFactors)
+{
+    {
+        std::istringstream in(
+            "nnz_scale = 0\n[workloads]\nsuite:scircuit\n");
+        EXPECT_THROW(cli::parseGridSpec(in, "test"), FatalError);
+    }
+    {
+        std::istringstream in(
+            "nnz_scale = -1\n[workloads]\nsuite:scircuit\n");
+        EXPECT_THROW(cli::parseGridSpec(in, "test"), FatalError);
+    }
+    {
+        std::istringstream in(
+            "nnz_scale =\n[workloads]\nsuite:scircuit\n");
+        EXPECT_THROW(cli::parseGridSpec(in, "test"), FatalError);
+    }
+}
+
+// ------------------------------------------------- execution backends
+
+TEST(Cli, SweepExecBackendsEmitIdenticalCsv)
+{
+    const std::string grid_path = writeFile(
+        "sparch_exec.grid",
+        "nnz = 1500\nshards = 1 2\n[workloads]\nuniform:96x96:600\n"
+        "suite:wiki-Vote\n");
+    const std::string inline_csv = tempPath("sparch_exec_inline.csv");
+    const std::string threads_csv =
+        tempPath("sparch_exec_threads.csv");
+    std::string err;
+    ASSERT_EQ(runCli({"sweep", "--grid", grid_path, "--csv",
+                      inline_csv, "--exec", "inline"},
+                     nullptr, &err),
+              0);
+    EXPECT_NE(err.find("failed=0"), std::string::npos);
+    ASSERT_EQ(runCli({"sweep", "--grid", grid_path, "--csv",
+                      threads_csv, "--exec", "threads", "--threads",
+                      "3"},
+                     nullptr, &err),
+              0);
+    EXPECT_EQ(fileContents(inline_csv), fileContents(threads_csv));
+    EXPECT_NE(fileContents(inline_csv).find("wiki-Vote"),
+              std::string::npos);
+
+    // Unknown backends are rejected with the valid set named.
+    ASSERT_EQ(runCli({"sweep", "--grid", grid_path, "--exec",
+                      "quantum"},
+                     nullptr, &err),
+              1);
+    EXPECT_NE(err.find("inline, threads or procs"),
+              std::string::npos);
+    std::remove(grid_path.c_str());
+    std::remove(inline_csv.c_str());
+    std::remove(threads_csv.c_str());
+}
+
 } // namespace
 } // namespace sparch

@@ -6,8 +6,8 @@
 #include <gtest/gtest.h>
 
 #include "common/logging.hh"
-#include "dram/hbm.hh"
 #include "hw/fifo.hh"
+#include "mem/hbm_backend.hh"
 
 namespace sparch
 {
@@ -60,7 +60,7 @@ TEST(Fifo, BackIsMutable)
 
 TEST(Hbm, AccountsBytesPerStream)
 {
-    HbmModel hbm;
+    mem::HbmBackend hbm;
     hbm.read(DramStream::MatA, 0, 120, 0);
     hbm.write(DramStream::PartialWrite, 4096, 240, 0);
     EXPECT_EQ(hbm.streamBytes(DramStream::MatA), 120u);
@@ -73,9 +73,9 @@ TEST(Hbm, AccountsBytesPerStream)
 
 TEST(Hbm, ReadsPayAccessLatency)
 {
-    HbmConfig cfg;
+    mem::HbmConfig cfg;
     cfg.accessLatency = 50;
-    HbmModel hbm(cfg);
+    mem::HbmBackend hbm(cfg);
     const Cycle done = hbm.read(DramStream::MatB, 0, 8, 0);
     // One 8-byte beat takes 1 cycle plus the latency.
     EXPECT_EQ(done, 51u);
@@ -83,12 +83,12 @@ TEST(Hbm, ReadsPayAccessLatency)
 
 TEST(Hbm, BandwidthLimitsBackToBackRequests)
 {
-    HbmConfig cfg;
+    mem::HbmConfig cfg;
     cfg.channels = 1;
     cfg.accessLatency = 0;
     cfg.bytesPerCyclePerChannel = 8;
     cfg.interleaveBytes = 64;
-    HbmModel hbm(cfg);
+    mem::HbmBackend hbm(cfg);
     // 64 bytes on one channel at 8 B/cycle = 8 cycles.
     EXPECT_EQ(hbm.read(DramStream::MatA, 0, 64, 0), 8u);
     // The channel is busy; the next read queues behind it.
@@ -97,10 +97,10 @@ TEST(Hbm, BandwidthLimitsBackToBackRequests)
 
 TEST(Hbm, StripingUsesAllChannels)
 {
-    HbmConfig cfg;
+    mem::HbmConfig cfg;
     cfg.channels = 16;
     cfg.accessLatency = 0;
-    HbmModel hbm(cfg);
+    mem::HbmBackend hbm(cfg);
     // A 1024-byte transfer striped over 16 channels of 64B chunks:
     // each channel moves 64 bytes = 8 cycles, all in parallel.
     EXPECT_EQ(hbm.read(DramStream::MatA, 0, 1024, 0), 8u);
@@ -108,10 +108,10 @@ TEST(Hbm, StripingUsesAllChannels)
 
 TEST(Hbm, UnalignedRequestsSplitAtInterleaveBoundary)
 {
-    HbmConfig cfg;
+    mem::HbmConfig cfg;
     cfg.channels = 2;
     cfg.accessLatency = 0;
-    HbmModel hbm(cfg);
+    mem::HbmBackend hbm(cfg);
     // 8 bytes starting at offset 60 spans two 64B chunks -> two
     // channels, 1 cycle each in parallel.
     EXPECT_EQ(hbm.read(DramStream::MatA, 60, 8, 0), 1u);
@@ -120,7 +120,7 @@ TEST(Hbm, UnalignedRequestsSplitAtInterleaveBoundary)
 
 TEST(Hbm, UtilizationIsBytesOverPeak)
 {
-    HbmModel hbm;
+    mem::HbmBackend hbm;
     // Peak is 16 channels x 8 B/cycle = 128 B/cycle.
     hbm.write(DramStream::FinalWrite, 0, 1280, 0);
     EXPECT_DOUBLE_EQ(hbm.utilization(100), 0.1);
@@ -129,7 +129,7 @@ TEST(Hbm, UtilizationIsBytesOverPeak)
 
 TEST(Hbm, ResetClearsState)
 {
-    HbmModel hbm;
+    mem::HbmBackend hbm;
     hbm.read(DramStream::MatA, 0, 512, 0);
     hbm.reset();
     EXPECT_EQ(hbm.totalBytes(), 0u);
@@ -139,14 +139,14 @@ TEST(Hbm, ResetClearsState)
 
 TEST(Hbm, ZeroByteAccessIsFree)
 {
-    HbmModel hbm;
+    mem::HbmBackend hbm;
     EXPECT_EQ(hbm.read(DramStream::MatA, 0, 0, 7), 7u);
     EXPECT_EQ(hbm.totalBytes(), 0u);
 }
 
 TEST(Hbm, RecordsStats)
 {
-    HbmModel hbm;
+    mem::HbmBackend hbm;
     hbm.read(DramStream::MatB, 0, 96, 0);
     StatSet stats;
     hbm.recordStats(stats);
@@ -156,9 +156,9 @@ TEST(Hbm, RecordsStats)
 
 TEST(Hbm, InvalidConfigPanics)
 {
-    HbmConfig cfg;
+    mem::HbmConfig cfg;
     cfg.channels = 0;
-    EXPECT_THROW(HbmModel{cfg}, PanicError);
+    EXPECT_THROW(mem::HbmBackend{cfg}, PanicError);
 }
 
 } // namespace

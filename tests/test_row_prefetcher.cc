@@ -9,8 +9,8 @@
 #include <gtest/gtest.h>
 
 #include "core/row_prefetcher.hh"
-#include "dram/hbm.hh"
 #include "matrix/generators.hh"
+#include "mem/hbm_backend.hh"
 
 namespace sparch
 {
@@ -56,7 +56,7 @@ std::pair<std::uint64_t, std::uint64_t>
 runTrace(const SpArchConfig &cfg, const CsrMatrix &b,
          const std::vector<MultTask> &tasks)
 {
-    HbmModel hbm(cfg.memory.hbm);
+    mem::HbmBackend hbm(cfg.memory.hbm);
     RowPrefetcher p(cfg, hbm, "p");
     p.startRound(&tasks, &b, 0);
     std::uint64_t consumed = 0;
@@ -163,7 +163,7 @@ TEST(RowPrefetcher, BypassModeStreamsEveryUse)
     SpArchConfig cfg = smallConfig(1024, ReplacementPolicy::Belady);
     cfg.rowPrefetcher = false;
 
-    HbmModel hbm(cfg.memory.hbm);
+    mem::HbmBackend hbm(cfg.memory.hbm);
     RowPrefetcher p(cfg, hbm, "p");
     p.startRound(&tasks, &b, 0);
     std::uint64_t consumed = 0;
@@ -188,7 +188,7 @@ TEST(RowPrefetcher, HitRateReportedOverLifetime)
     const CsrMatrix b = rowsMatrix(2, 8);
     const auto tasks = trace({0, 1, 0, 1});
     SpArchConfig cfg = smallConfig(1024, ReplacementPolicy::Belady);
-    HbmModel hbm(cfg.memory.hbm);
+    mem::HbmBackend hbm(cfg.memory.hbm);
     RowPrefetcher p(cfg, hbm, "p");
     p.startRound(&tasks, &b, 0);
     std::uint64_t consumed = 0;

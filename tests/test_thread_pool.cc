@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Focused tests for the work-stealing ThreadPool itself (the batch
+ * driver's substrate): exception propagation through futures,
+ * destruction with work still queued, and stealing under skewed task
+ * sizes. test_batch_runner.cc covers the pool only incidentally;
+ * these pin the contracts the executors lean on.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "driver/thread_pool.hh"
+
+namespace sparch
+{
+namespace
+{
+
+using driver::ThreadPool;
+
+TEST(ThreadPoolContract, ExceptionKeepsTypeAndMessage)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit(
+        []() -> int { throw std::runtime_error("kaboom-42"); });
+    try {
+        future.get();
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "kaboom-42");
+    }
+
+    // A throwing task must not poison its worker: the pool still
+    // executes later submissions.
+    std::vector<std::future<int>> after;
+    for (int i = 0; i < 8; ++i)
+        after.push_back(pool.submit([i] { return i; }));
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(after[i].get(), i);
+}
+
+TEST(ThreadPoolContract, DestructorDrainsQueuedWork)
+{
+    // The documented contract: the destructor runs every queued task
+    // before joining, so no submitted work is lost. Queue far more
+    // tasks than workers and destroy immediately.
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i) {
+            pool.submit([&ran] {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+                ran.fetch_add(1);
+            });
+        }
+    }
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolContract, StealingDrainsABlockedWorkersQueue)
+{
+    // One task blocks whichever worker picks it up; every other task
+    // is distributed round-robin across both workers' deques. The
+    // tasks parked in the blocked worker's deque can only finish if
+    // the free worker steals them — which must happen well before the
+    // blocker is released.
+    ThreadPool pool(2);
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    std::atomic<bool> started{false};
+
+    auto blocker = pool.submit([open, &started] {
+        started.store(true);
+        open.wait();
+    });
+    while (!started.load())
+        std::this_thread::yield();
+
+    // Skewed sizes: a few of these spin noticeably longer than the
+    // rest, so stealing has to rebalance, not just trickle.
+    std::vector<std::future<int>> small;
+    for (int i = 0; i < 12; ++i) {
+        small.push_back(pool.submit([i] {
+            volatile int sink = 0;
+            const int spin = (i % 3 == 0) ? 20000 : 100;
+            for (int s = 0; s < spin; ++s)
+                sink = sink + s;
+            return i;
+        }));
+    }
+    for (int i = 0; i < 12; ++i) {
+        ASSERT_EQ(small[i].wait_for(std::chrono::seconds(30)),
+                  std::future_status::ready)
+            << "task " << i
+            << " starved behind the blocked worker: stealing broken";
+        EXPECT_EQ(small[i].get(), i);
+    }
+
+    gate.set_value();
+    blocker.get();
+}
+
+TEST(ThreadPoolContract, WaitIdleOnEmptyPoolReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.waitIdle(); // nothing queued: must not deadlock
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.waitIdle();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+} // namespace
+} // namespace sparch
