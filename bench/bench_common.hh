@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "baselines/benchmarks.hh"
+#include "check/invariants.hh"
 #include "common/logging.hh"
 #include "common/table_printer.hh"
 #include "core/sparch_simulator.hh"
@@ -78,6 +79,12 @@ makeRunner()
 inline std::vector<driver::BatchRecord>
 runBatch(const driver::BatchRunner &runner)
 {
+    // SPARCH_BENCH_CHECK=1 is the bench-side `--check`: every grid
+    // point's product is validated against the reference SpGEMM and
+    // its statistics cross-checked (check/invariants.hh).
+    if (const char *deep = std::getenv("SPARCH_BENCH_CHECK"))
+        check::setDeepChecks(deep[0] != '\0' && deep[0] != '0');
+
     const char *env = std::getenv("SPARCH_BENCH_EXEC");
     const std::string kind = env == nullptr ? "threads" : env;
 

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# clang-format gate: every tracked C++ file must match .clang-format.
+#
+# Usage: scripts/check-format.sh [file...]
+#
+# With no arguments, checks every tracked .cc/.hh in the repo. Exits
+# 0 when everything is formatted, 1 with a unified diff per offending
+# file otherwise, and 0 with a notice when clang-format is not
+# installed (CI installs it and enforces the gate).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$FORMAT" >/dev/null 2>&1; then
+    echo "check-format.sh: $FORMAT not installed; skipping (CI enforces this gate)"
+    exit 0
+fi
+
+if [ $# -gt 0 ]; then
+    files=("$@")
+else
+    mapfile -t files < <(git ls-files '*.cc' '*.hh')
+fi
+
+status=0
+for file in "${files[@]}"; do
+    if ! diff -u --label "$file (tracked)" --label "$file (formatted)" \
+            "$file" <("$FORMAT" --style=file "$file") >/dev/null; then
+        echo "check-format.sh: $file is not clang-format clean:"
+        diff -u --label "$file (tracked)" --label "$file (formatted)" \
+            "$file" <("$FORMAT" --style=file "$file") || true
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "check-format.sh: run '$FORMAT -i <file>' on the files above" >&2
+fi
+exit "$status"

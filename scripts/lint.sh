@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# clang-tidy gate over src/ (the list CI holds warning-clean).
+#
+# Usage: scripts/lint.sh [build-dir] [file...]
+#
+#   build-dir  a configured build tree with compile_commands.json
+#              (default: build). Configure one with
+#              cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+#   file...    restrict linting to these sources (default: every
+#              tracked .cc under src/).
+#
+# Exits 0 when clean, 1 on findings (WarningsAsErrors: '*' in
+# .clang-tidy makes every finding an error), and 0 with a notice when
+# clang-tidy is not installed — local toolchains without clang are
+# fine; CI installs it and enforces the gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+    echo "lint.sh: $TIDY not installed; skipping (CI enforces this gate)"
+    exit 0
+fi
+
+BUILD_DIR="${1:-build}"
+[ $# -gt 0 ] && shift
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "lint.sh: $BUILD_DIR/compile_commands.json not found." >&2
+    echo "  cmake -B $BUILD_DIR -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+    exit 2
+fi
+
+if [ $# -gt 0 ]; then
+    files=("$@")
+else
+    mapfile -t files < <(git ls-files 'src/*.cc')
+fi
+
+echo "lint.sh: $TIDY over ${#files[@]} file(s) with $BUILD_DIR/compile_commands.json"
+status=0
+for file in "${files[@]}"; do
+    # -p gives clang-tidy the real compile flags; --quiet keeps the
+    # output to findings only.
+    "$TIDY" --quiet -p "$BUILD_DIR" "$file" || status=1
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "lint.sh: clang-tidy findings above must be fixed (see .clang-tidy)" >&2
+fi
+exit "$status"

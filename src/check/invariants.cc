@@ -1,0 +1,122 @@
+#include "check/invariants.hh"
+
+#include <atomic>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "matrix/reference_spgemm.hh"
+
+namespace sparch
+{
+namespace check
+{
+
+namespace
+{
+std::atomic<bool> g_deep_checks{false};
+} // namespace
+
+void
+setDeepChecks(bool enabled) noexcept
+{
+    g_deep_checks.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+deepChecksEnabled() noexcept
+{
+    return g_deep_checks.load(std::memory_order_relaxed);
+}
+
+void
+validateCsr(const CsrMatrix &m, const std::string &what)
+{
+    const auto &row_ptr = m.rowPtr();
+    const auto &col_idx = m.colIdx();
+    const auto &values = m.values();
+    SPARCH_ASSERT(row_ptr.size() ==
+                      static_cast<std::size_t>(m.rows()) + 1,
+                  what, ": row_ptr has ", row_ptr.size(),
+                  " entries for ", m.rows(), " rows");
+    SPARCH_ASSERT(row_ptr.front() == 0, what,
+                  ": row_ptr does not start at 0");
+    SPARCH_ASSERT(static_cast<std::size_t>(row_ptr.back()) ==
+                      col_idx.size(),
+                  what, ": row_ptr end ", row_ptr.back(),
+                  " != nnz ", col_idx.size());
+    SPARCH_ASSERT(values.size() == col_idx.size(), what,
+                  ": value/column count mismatch");
+    for (Index r = 0; r < m.rows(); ++r) {
+        SPARCH_ASSERT(row_ptr[r] <= row_ptr[r + 1], what,
+                      ": row_ptr not monotone at row ", r);
+        for (Index i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+            SPARCH_ASSERT(col_idx[i] < m.cols(), what,
+                          ": column index out of range in row ", r);
+            SPARCH_ASSERT(i == row_ptr[r] ||
+                              col_idx[i - 1] < col_idx[i],
+                          what,
+                          ": columns not strictly increasing in row ",
+                          r);
+            SPARCH_ASSERT(std::isfinite(values[i]), what,
+                          ": non-finite value in row ", r);
+        }
+    }
+}
+
+void
+validateResultStats(const SpArchResult &r, const std::string &what)
+{
+    SPARCH_ASSERT(r.flops == 2 * r.multiplies, what, ": flops ",
+                  r.flops, " != 2 * multiplies ", r.multiplies);
+    SPARCH_ASSERT(r.bytesTotal == r.bytesMatA + r.bytesMatB +
+                                      r.bytesPartialRead +
+                                      r.bytesPartialWrite +
+                                      r.bytesFinalWrite,
+                  what,
+                  ": bytesTotal is not the sum of the five streams");
+    SPARCH_ASSERT(r.bandwidthUtilization >= 0.0 &&
+                      r.bandwidthUtilization <= 1.0,
+                  what, ": bandwidth utilization ",
+                  r.bandwidthUtilization, " outside [0, 1]");
+    SPARCH_ASSERT(r.prefetchHitRate >= 0.0 &&
+                      r.prefetchHitRate <= 1.0,
+                  what, ": prefetch hit rate ", r.prefetchHitRate,
+                  " outside [0, 1]");
+    SPARCH_ASSERT(std::isfinite(r.gflops) && r.gflops >= 0.0, what,
+                  ": gflops ", r.gflops, " not a finite non-negative");
+    SPARCH_ASSERT(std::isfinite(r.seconds) && r.seconds >= 0.0, what,
+                  ": seconds not a finite non-negative");
+}
+
+void
+validateProduct(const CsrMatrix &a, const CsrMatrix &b,
+                const SpArchResult &r, std::size_t result_nnz,
+                const std::string &what)
+{
+    validateResultStats(r, what);
+    SPARCH_ASSERT(result_nnz == r.result.nnz(), what,
+                  ": recorded nnz ", result_nnz,
+                  " != product nnz ", r.result.nnz());
+    validateCsr(r.result, what + " (product)");
+
+    SpgemmCounts counts;
+    const CsrMatrix ref = spgemmDenseAccumulator(a, b, &counts);
+    SPARCH_ASSERT(r.result.rows() == ref.rows() &&
+                      r.result.cols() == ref.cols(),
+                  what, ": product shape ", r.result.rows(), "x",
+                  r.result.cols(), " != reference ", ref.rows(), "x",
+                  ref.cols());
+    SPARCH_ASSERT(r.result.rowPtr() == ref.rowPtr() &&
+                      r.result.colIdx() == ref.colIdx(),
+                  what,
+                  ": product structure differs from the reference "
+                  "SpGEMM");
+    SPARCH_ASSERT(r.result.almostEqual(ref), what,
+                  ": product values differ from the reference SpGEMM");
+    SPARCH_ASSERT(counts.outputNnz == r.result.nnz(), what,
+                  ": reference nnz ", counts.outputNnz,
+                  " != product nnz ", r.result.nnz());
+}
+
+} // namespace check
+} // namespace sparch

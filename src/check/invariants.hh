@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deep end-to-end validation behind the `--check` CLI/bench mode.
+ *
+ * Two invariant tiers live in this repo:
+ *
+ *  - SPARCH_DCHECK (common/logging.hh): micro-invariants on the hot
+ *    paths of the hw pipeline (FIFO discipline, merger output order,
+ *    condensed-column monotonicity). Compiled out in release builds.
+ *
+ *  - Deep checks (this file): whole-result validation that re-derives
+ *    the product with the reference SpGEMM and cross-checks every
+ *    simulator statistic. Always compiled, enabled at runtime by
+ *    `--check` (CLI) or SPARCH_BENCH_CHECK=1 (benches), and expensive
+ *    by design — roughly one extra SpGEMM per task.
+ *
+ * All validators throw PanicError on the first violated invariant,
+ * naming the task label so a sweep failure pinpoints its grid point.
+ */
+
+#ifndef SPARCH_CHECK_INVARIANTS_HH
+#define SPARCH_CHECK_INVARIANTS_HH
+
+#include <string>
+
+#include "core/sparch_simulator.hh"
+#include "matrix/csr.hh"
+
+namespace sparch
+{
+namespace check
+{
+
+/** Turn deep checks on or off process-wide (the `--check` flag). */
+void setDeepChecks(bool enabled) noexcept;
+
+/** Whether `--check` / SPARCH_BENCH_CHECK deep validation is on. */
+bool deepChecksEnabled() noexcept;
+
+/**
+ * Structural CSR well-formedness: row-pointer shape and monotonicity,
+ * column indices in range and strictly increasing within each row,
+ * and all values finite. `what` names the matrix in the panic.
+ */
+void validateCsr(const CsrMatrix &m, const std::string &what);
+
+/**
+ * Simulator-statistic self-consistency, mirroring the paper's
+ * accounting: flops == 2 * multiplies, bytesTotal is exactly the sum
+ * of the five DRAM streams, utilization and prefetch hit rate lie in
+ * [0, 1], and the final-write stream covers the product payload.
+ */
+void validateResultStats(const SpArchResult &r,
+                         const std::string &what);
+
+/**
+ * Full product validation for C = a x b: runs validateCsr and
+ * validateResultStats, then recomputes the product with the reference
+ * dense-accumulator SpGEMM and requires identical structure and
+ * almostEqual values. `result_nnz` is the nnz the caller recorded
+ * (BatchRecord::resultNnz) so cached/stripped records stay honest.
+ */
+void validateProduct(const CsrMatrix &a, const CsrMatrix &b,
+                     const SpArchResult &r, std::size_t result_nnz,
+                     const std::string &what);
+
+} // namespace check
+} // namespace sparch
+
+#endif // SPARCH_CHECK_INVARIANTS_HH

@@ -1,0 +1,141 @@
+#include "check/schedule.hh"
+
+#include <sstream>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace sparch
+{
+namespace check
+{
+
+namespace detail
+{
+std::atomic<Schedule *> g_active_schedule{nullptr};
+} // namespace detail
+
+namespace
+{
+
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+/** FNV-1a over the point name: stable across runs and platforms. */
+std::uint64_t
+hashName(const char *name) noexcept
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char *c = name; *c != '\0'; ++c)
+        h = (h ^ static_cast<unsigned char>(*c)) * 0x100000001b3ULL;
+    return h;
+}
+
+} // namespace
+
+Schedule::Schedule(std::uint64_t seed)
+    : seed_(seed), point_state_(splitMix64(seed ^ kGolden))
+{}
+
+std::uint64_t
+Schedule::draw(unsigned slot)
+{
+    SPARCH_ASSERT(slot < kMaxSlots, "schedule slot ", slot,
+                  " out of range");
+    std::lock_guard<std::mutex> lock(mutex_);
+    Slot &s = slots_[slot];
+    // Pure function of (seed, slot, draw index): replaying a seed
+    // replays every stream bit-exactly no matter how threads raced.
+    const std::uint64_t value =
+        splitMix64(seed_ ^ (static_cast<std::uint64_t>(slot) + 1) *
+                               kGolden ^
+                   (s.draws + 1));
+    ++s.draws;
+    s.values.push_back(value);
+    return value;
+}
+
+std::uint64_t
+Schedule::pick(unsigned slot, std::uint64_t bound)
+{
+    SPARCH_ASSERT(bound > 0, "schedule pick with empty range");
+    return draw(slot) % bound;
+}
+
+std::vector<std::string>
+Schedule::trace() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> lines;
+    for (unsigned slot = 0; slot < kMaxSlots; ++slot) {
+        const Slot &s = slots_[slot];
+        for (std::size_t i = 0; i < s.values.size(); ++i) {
+            std::ostringstream os;
+            os << "slot " << slot << " draw " << i << " = 0x"
+               << std::hex << s.values[i];
+            lines.push_back(os.str());
+        }
+    }
+    return lines;
+}
+
+void
+Schedule::onPoint(const char *name) noexcept
+{
+    points_hit_.fetch_add(1, std::memory_order_relaxed);
+    // Evolving jitter state: seeded, but racy by design — points
+    // perturb timing, they do not participate in the replayed trace.
+    const std::uint64_t prev =
+        point_state_.fetch_add(kGolden, std::memory_order_relaxed);
+    const std::uint64_t r = splitMix64(prev ^ hashName(name));
+    switch (r & 7) {
+    case 0:
+    case 1:
+    case 2:
+        std::this_thread::yield();
+        break;
+    case 3: {
+        // Short seeded spin: long enough to reorder a mutex handoff,
+        // short enough for hundreds of runs per test.
+        volatile std::uint32_t spin = r % 256;
+        while (spin > 0)
+            spin = spin - 1;
+        break;
+    }
+    default:
+        break; // pass through
+    }
+}
+
+namespace detail
+{
+
+void
+onPointSlow(const char *name) noexcept
+{
+    // Re-load under the schedule's lifetime contract: the guard that
+    // installed it outlives every point fired through it.
+    if (Schedule *schedule = activeSchedule())
+        schedule->onPoint(name);
+}
+
+} // namespace detail
+
+ScheduleGuard::ScheduleGuard(Schedule &schedule)
+{
+    Schedule *expected = nullptr;
+    const bool installed =
+        detail::g_active_schedule.compare_exchange_strong(
+            expected, &schedule, std::memory_order_acq_rel);
+    SPARCH_ASSERT(installed,
+                  "nested ScheduleGuard: one stress run at a time");
+}
+
+ScheduleGuard::~ScheduleGuard()
+{
+    detail::g_active_schedule.store(nullptr,
+                                    std::memory_order_release);
+}
+
+} // namespace check
+} // namespace sparch

@@ -1,0 +1,77 @@
+#include "check/stress_runner.hh"
+
+#include <ostream>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace sparch
+{
+namespace check
+{
+
+StressRunner::StressRunner(std::string name, Scenario scenario)
+    : name_(std::move(name)), scenario_(std::move(scenario))
+{
+    SPARCH_ASSERT(static_cast<bool>(scenario_),
+                  "stress runner '", name_, "' has no scenario");
+}
+
+std::uint64_t
+StressRunner::derivedSeed(std::uint64_t base_seed, std::size_t i)
+{
+    return splitMix64(base_seed + i);
+}
+
+StressOutcome
+StressRunner::runSeed(std::uint64_t seed) const
+{
+    StressOutcome outcome;
+    outcome.seed = seed;
+    Schedule schedule(seed);
+    {
+        ScheduleGuard guard(schedule);
+        try {
+            scenario_(schedule);
+        } catch (const std::exception &e) {
+            outcome.failed = true;
+            outcome.message = e.what();
+        } catch (...) {
+            outcome.failed = true;
+            outcome.message = "unknown exception";
+        }
+    }
+    outcome.trace = schedule.trace();
+    outcome.pointsHit = schedule.pointsHit();
+    return outcome;
+}
+
+StressSummary
+StressRunner::explore(std::uint64_t base_seed, std::size_t runs,
+                      std::ostream *log) const
+{
+    StressSummary summary;
+    for (std::size_t i = 0; i < runs; ++i) {
+        const std::uint64_t seed = derivedSeed(base_seed, i);
+        const StressOutcome outcome = runSeed(seed);
+        ++summary.runs;
+        if (!outcome.failed)
+            continue;
+        ++summary.failures;
+        if (!summary.hasFailingSeed) {
+            summary.hasFailingSeed = true;
+            summary.firstFailingSeed = seed;
+            summary.firstFailureMessage = outcome.message;
+        }
+        if (log != nullptr) {
+            *log << "stress " << name_ << ": seed 0x" << std::hex
+                 << seed << std::dec << " failed: " << outcome.message
+                 << "\n";
+        }
+    }
+    return summary;
+}
+
+} // namespace check
+} // namespace sparch

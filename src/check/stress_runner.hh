@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Seeded interleaving explorer with bit-exact failure replay.
+ *
+ * StressRunner is the exploration half of the lincheck shape in
+ * check/schedule.hh: it runs one scenario under N derived seeds, each
+ * seed activating a fresh Schedule whose decision streams drive every
+ * nondeterministic choice the scenario makes. A scenario signals an
+ * invariant violation by throwing (PanicError from SPARCH_ASSERT /
+ * SPARCH_DCHECK, or any std::exception); the runner then prints the
+ * failing seed, and `runSeed(seed)` reproduces the identical run —
+ * same decisions, same trace, same failure — because the trace is a
+ * pure function of the seed.
+ *
+ * Typical use (tests/test_check.cc):
+ *
+ *   StressRunner runner("kill-during-requeue", scenario);
+ *   const StressSummary s = runner.explore(0xc0ffee, 100, &std::cerr);
+ *   EXPECT_EQ(s.failures, 0u);
+ *   // and on failure: runner.runSeed(s.firstFailingSeed) twice,
+ *   // asserting both outcomes are byte-identical.
+ */
+
+#ifndef SPARCH_CHECK_STRESS_RUNNER_HH
+#define SPARCH_CHECK_STRESS_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "check/schedule.hh"
+
+namespace sparch
+{
+namespace check
+{
+
+/** One scenario run under one seed. */
+struct StressOutcome
+{
+    std::uint64_t seed = 0;
+    bool failed = false;
+    /** what() of the exception that signalled the violation. */
+    std::string message;
+    /** The schedule's full decision trace (see Schedule::trace). */
+    std::vector<std::string> trace;
+    /** Schedule points hit during the run. */
+    std::uint64_t pointsHit = 0;
+};
+
+/** Aggregate of an explore() sweep. */
+struct StressSummary
+{
+    std::size_t runs = 0;
+    std::size_t failures = 0;
+    bool hasFailingSeed = false;
+    /** First failing derived seed; feed to runSeed() to replay. */
+    std::uint64_t firstFailingSeed = 0;
+    std::string firstFailureMessage;
+};
+
+/** Runs a scenario across seeded interleavings. */
+class StressRunner
+{
+  public:
+    /**
+     * A scenario performs one complete concurrent episode, drawing
+     * every choice from the schedule and throwing on any violated
+     * invariant.
+     */
+    using Scenario = std::function<void(Schedule &)>;
+
+    StressRunner(std::string name, Scenario scenario);
+
+    const std::string &name() const { return name_; }
+
+    /**
+     * Run the scenario once under `seed` with its Schedule installed
+     * for SPARCH_SCHEDULE_POINT. Never throws scenario exceptions:
+     * they become the outcome's failure message.
+     */
+    StressOutcome runSeed(std::uint64_t seed) const;
+
+    /**
+     * Explore `runs` interleavings under seeds derived from
+     * `base_seed` (SplitMix64(base + i), decorrelated but
+     * reconstructible). Each failure is reported to `log` as
+     *
+     *   stress <name>: seed 0x<hex> failed: <message>
+     *
+     * — the seed is the whole reproducer.
+     */
+    StressSummary explore(std::uint64_t base_seed, std::size_t runs,
+                          std::ostream *log = nullptr) const;
+
+    /** The seed explore() uses for run `i` of `base_seed`. */
+    static std::uint64_t derivedSeed(std::uint64_t base_seed,
+                                     std::size_t i);
+
+  private:
+    std::string name_;
+    Scenario scenario_;
+};
+
+} // namespace check
+} // namespace sparch
+
+#endif // SPARCH_CHECK_STRESS_RUNNER_HH

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "baselines/benchmarks.hh"
+#include "check/invariants.hh"
 #include "cli/flags.hh"
 #include "cli/spec.hh"
 #include "common/logging.hh"
@@ -63,6 +64,12 @@ const char *kUsage =
     "  --csv PATH             also write records as CSV ('-' = "
     "stdout)\n"
     "  --cache PATH           persistent result cache to use\n"
+    "  --check                validate every simulated product "
+    "against the\n"
+    "                         reference SpGEMM and cross-check all "
+    "statistics\n"
+    "                         (expensive; also accepted by sweep and "
+    "worker)\n"
     "\n"
     "sweep flags: --grid FILE plus --csv/--cache/--threads/--table as "
     "above, and\n"
@@ -159,9 +166,10 @@ cmdRun(const std::vector<std::string> &args, std::ostream &out,
                         {"config", "label", "nnz", "wseed", "seed",
                          "shards", "policy", "threads", "csv",
                          "cache"},
-                        {});
+                        {"check"});
     if (flags.positional().empty())
         fatal("run: no workload specs (try 'sparch workloads')");
+    check::setDeepChecks(flags.has("check"));
 
     WorkloadDefaults defaults;
     defaults.nnz = flags.getU64("nnz", defaults.nnz);
@@ -208,10 +216,11 @@ cmdSweep(const std::vector<std::string> &args, std::ostream &out,
 {
     const FlagSet flags(
         args, {"grid", "csv", "cache", "threads", "exec", "procs"},
-        {"table"});
+        {"table", "check"});
     if (!flags.positional().empty())
         fatal("sweep: unexpected argument '", flags.positional()[0],
               "' (workloads belong in the grid file)");
+    check::setDeepChecks(flags.has("check"));
     const std::string grid_path = flags.get("grid");
     if (grid_path.empty())
         fatal("sweep: --grid FILE is required");
@@ -330,10 +339,12 @@ cmdCache(const std::vector<std::string> &args, std::ostream &out)
 int
 cmdWorker(const std::vector<std::string> &args, std::ostream &out)
 {
-    const FlagSet flags(args, {"tasks", "ids", "exit-after"}, {});
+    const FlagSet flags(args, {"tasks", "ids", "exit-after"},
+                        {"check"});
     const std::string manifest_path = flags.get("tasks");
     if (manifest_path.empty())
         fatal("worker: --tasks FILE is required");
+    check::setDeepChecks(flags.has("check"));
     const std::uint64_t exit_after = flags.getU64("exit-after", 0);
 
     std::map<std::size_t, const driver::BatchTask *> by_id;

@@ -121,6 +121,36 @@ inform(const Args &...args)
         }                                                                 \
     } while (0)
 
+/**
+ * Debug-only invariant check (the hot-path tier of SPARCH_ASSERT).
+ *
+ * SPARCH_DCHECK guards micro-architectural invariants that sit inside
+ * per-element simulation loops — FIFO over-pop/over-push, merger
+ * output ordering, condensed-column monotonicity. It panics exactly
+ * like SPARCH_ASSERT when SPARCH_DCHECK_IS_ON (debug builds, any
+ * -DSPARCH_SANITIZE build, or an explicit -DSPARCH_DCHECK=ON) and
+ * compiles to nothing in plain release builds: the condition and
+ * message operands stay inside an `if (false)` so they are still
+ * type-checked and odr-used (no -Wunused warnings, no #ifdef rot),
+ * then dead-code eliminated.
+ *
+ * Use SPARCH_ASSERT for cold validation (constructor parameters, file
+ * parsing, cross-module contracts); use SPARCH_DCHECK when the check
+ * itself would show up in a sweep profile.
+ */
+#if !defined(NDEBUG) || defined(SPARCH_ENABLE_DCHECK)
+#define SPARCH_DCHECK_IS_ON 1
+#define SPARCH_DCHECK(cond, ...) SPARCH_ASSERT(cond, __VA_ARGS__)
+#else
+#define SPARCH_DCHECK_IS_ON 0
+#define SPARCH_DCHECK(cond, ...)                                          \
+    do {                                                                  \
+        if (false && !(cond)) {                                           \
+            ::sparch::panic("assertion failed: " #cond " ", __VA_ARGS__); \
+        }                                                                 \
+    } while (0)
+#endif
+
 } // namespace sparch
 
 #endif // SPARCH_COMMON_LOGGING_HH

@@ -13,14 +13,22 @@ CondensedMatrix::CondensedMatrix(const CsrMatrix &csr) : csr_(&csr)
         for (Index j = 0; j < len; ++j)
             column_rows_[j].push_back(r);
     }
+    // Condensed invariants (Fig. 7): column j holds exactly the rows
+    // with more than j nonzeros, so lengths are monotone non-increasing
+    // and each column's rows ascend (the row loop above runs in order).
+    for (std::size_t j = 1; j < column_rows_.size(); ++j) {
+        SPARCH_DCHECK(column_rows_[j].size() <=
+                          column_rows_[j - 1].size(),
+                      "condensed column lengths not monotone at ", j);
+    }
 }
 
 CondensedElement
 CondensedMatrix::element(Index j, Index k) const
 {
-    SPARCH_ASSERT(j < numColumns(), "condensed column ", j,
+    SPARCH_DCHECK(j < numColumns(), "condensed column ", j,
                   " out of range");
-    SPARCH_ASSERT(k < columnLength(j), "element ", k,
+    SPARCH_DCHECK(k < columnLength(j), "element ", k,
                   " out of range in condensed column ", j);
     const Index row = column_rows_[j][k];
     return {row, csr_->rowCols(row)[j], csr_->rowVals(row)[j]};

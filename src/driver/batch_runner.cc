@@ -6,6 +6,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "check/invariants.hh"
+#include "check/schedule.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "driver/result_cache.hh"
@@ -103,6 +105,15 @@ BatchRunner::simulateTask(const BatchTask &task, bool keep_products)
                                   task.workload.right());
     }
     record.resultNnz = record.sim.result.nnz();
+    if (check::deepChecksEnabled()) {
+        // --check: validate while the product is still in hand — it
+        // is dropped below and never crosses an executor pipe.
+        check::validateProduct(task.workload.left(),
+                               task.workload.right(), record.sim,
+                               record.resultNnz,
+                               task.configLabel + " / " +
+                                   task.workload.name());
+    }
     if (!keep_products)
         record.sim.result = CsrMatrix();
     return record;
@@ -181,6 +192,7 @@ BatchRunner::run(exec::Executor &executor, ResultCache *cache,
     const auto on_record = [&](const BatchRecord &record) {
         if (!use_cache)
             return;
+        SPARCH_SCHEDULE_POINT("batch_runner.flush.record");
         cache->insert(ResultCache::taskKey(tasks_[record.id]),
                       record);
         if (++unsaved >= flush_interval) {

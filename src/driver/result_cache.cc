@@ -7,6 +7,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "check/schedule.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 
@@ -140,6 +141,7 @@ ResultCache::find(std::uint64_t key) const
 void
 ResultCache::insert(std::uint64_t key, const BatchRecord &record)
 {
+    SPARCH_SCHEDULE_POINT("result_cache.insert");
     entries_[key] = record;
     // Cached entries must stay CSV-serializable: drop any product
     // matrix a keepProducts runner left behind.
@@ -201,6 +203,7 @@ ResultCache::save()
     if (path_.empty() || !dirty_)
         return;
 
+    SPARCH_SCHEDULE_POINT("result_cache.save.begin");
     const std::string tmp = path_ + ".tmp";
     {
         std::ofstream out(tmp);

@@ -1,5 +1,6 @@
 #include "driver/thread_pool.hh"
 
+#include "check/schedule.hh"
 #include "common/logging.hh"
 
 namespace sparch
@@ -54,6 +55,10 @@ ThreadPool::enqueue(Task task)
         std::lock_guard<std::mutex> lock(sleep_mutex_);
         queued_.fetch_add(1);
     }
+    // Widen the counted-but-not-yet-stealable window the comment
+    // above describes: a worker waking here must retry, not wrap the
+    // counters.
+    SPARCH_SCHEDULE_POINT("thread_pool.enqueue.counted");
     {
         std::lock_guard<std::mutex> lock(workers_[slot]->mutex);
         workers_[slot]->tasks.push_front(std::move(task));
@@ -77,6 +82,7 @@ ThreadPool::runOne(unsigned self)
         }
     }
     for (std::size_t i = 1; !found && i < workers_.size(); ++i) {
+        SPARCH_SCHEDULE_POINT("thread_pool.steal.next_victim");
         Worker &victim = *workers_[(self + i) % workers_.size()];
         std::lock_guard<std::mutex> lock(victim.mutex);
         if (!victim.tasks.empty()) {
@@ -89,6 +95,7 @@ ThreadPool::runOne(unsigned self)
         return false;
 
     queued_.fetch_sub(1);
+    SPARCH_SCHEDULE_POINT("thread_pool.task.start");
     task(); // exceptions land in the task's future
     if (pending_.fetch_sub(1) == 1) {
         std::lock_guard<std::mutex> lock(sleep_mutex_);
@@ -103,6 +110,7 @@ ThreadPool::workerLoop(unsigned self)
     for (;;) {
         if (runOne(self))
             continue;
+        SPARCH_SCHEDULE_POINT("thread_pool.worker.idle");
         std::unique_lock<std::mutex> lock(sleep_mutex_);
         // queued_ > 0 with every deque empty only happens in the
         // short window while a submitter is mid-enqueue; the wait

@@ -19,6 +19,8 @@
 #include <string>
 #include <utility>
 
+#include "check/invariants.hh"
+#include "check/schedule.hh"
 #include "cli/spec.hh"
 #include "common/logging.hh"
 #include "driver/result_cache.hh"
@@ -228,6 +230,8 @@ ProcessPoolExecutor::run(
 
         std::vector<std::string> argv_strings = {
             binary, "worker", "--tasks", manifest.path};
+        if (check::deepChecksEnabled())
+            argv_strings.push_back("--check");
         if (i == 0 && kill_after != nullptr) {
             argv_strings.push_back("--exit-after");
             argv_strings.push_back(kill_after);
@@ -280,6 +284,7 @@ ProcessPoolExecutor::run(
     // survivors — unless it already took maxAttempts workers down
     // with it, or nobody is left to retry it.
     const auto requeueOrFail = [&](const driver::BatchTask *task) {
+        SPARCH_SCHEDULE_POINT("process_pool.requeue");
         const unsigned tries = ++attempts[task->id];
         bool survivor = false;
         for (const WorkerProc &w : guard.workers)
@@ -369,6 +374,7 @@ ProcessPoolExecutor::run(
             if (!w.alive || !w.stdinOpen || w.inflight != nullptr)
                 continue;
             const driver::BatchTask *task = queue.front();
+            SPARCH_SCHEDULE_POINT("process_pool.deal");
             if (writeAll(w.in, std::to_string(task->id) + "\n")) {
                 queue.pop_front();
                 w.inflight = task;
@@ -423,6 +429,7 @@ ProcessPoolExecutor::run(
             // it belongs to is requeued or failed wholesale.
             const driver::BatchTask *orphan = w.inflight;
             w.inflight = nullptr;
+            SPARCH_SCHEDULE_POINT("process_pool.worker_dead");
             guard.retire(w);
             if (orphan != nullptr) {
                 warn("sparch worker ", w.pid,

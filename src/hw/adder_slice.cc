@@ -32,7 +32,7 @@ AdderSlice::process(const std::vector<StreamElement> &window)
     }
     std::size_t base = lanes.size();
     for (const auto &e : window) {
-        SPARCH_ASSERT(lanes.size() == base ||
+        SPARCH_DCHECK(lanes.size() == base ||
                           lanes.back().element.coord <= e.coord,
                       "adder slice input not sorted");
         lanes.push_back({e, true});

@@ -18,7 +18,7 @@ MergeStepResult
 ComparatorArray::mergeStep(std::span<const StreamElement> window_a,
                            std::span<const StreamElement> window_b) const
 {
-    SPARCH_ASSERT(window_a.size() <= size_ && window_b.size() <= size_,
+    SPARCH_DCHECK(window_a.size() <= size_ && window_b.size() <= size_,
                   "window larger than comparator array");
     MergeStepResult result;
     const std::size_t emit =
@@ -50,7 +50,7 @@ ComparatorArray::mergeStepBoundary(
     std::span<const StreamElement> window_a,
     std::span<const StreamElement> window_b) const
 {
-    SPARCH_ASSERT(window_a.size() <= size_ && window_b.size() <= size_,
+    SPARCH_DCHECK(window_a.size() <= size_ && window_b.size() <= size_,
                   "window larger than comparator array");
     // An empty side bypasses the array entirely (input gating).
     if (window_a.empty() || window_b.empty()) {
@@ -66,11 +66,11 @@ ComparatorArray::mergeStepBoundary(
     }
     // The boundary rules require strict within-window ordering.
     for (std::size_t i = 1; i < window_a.size(); ++i) {
-        SPARCH_ASSERT(window_a[i - 1].coord < window_a[i].coord,
+        SPARCH_DCHECK(window_a[i - 1].coord < window_a[i].coord,
                       "window A not strictly increasing");
     }
     for (std::size_t j = 1; j < window_b.size(); ++j) {
-        SPARCH_ASSERT(window_b[j - 1].coord < window_b[j].coord,
+        SPARCH_DCHECK(window_b[j - 1].coord < window_b[j].coord,
                       "window B not strictly increasing");
     }
     const std::size_t len_a = window_a.size(); // left array (rows)
@@ -116,7 +116,7 @@ ComparatorArray::mergeStepBoundary(
             const std::size_t k = i + j;
             if (k >= total)
                 continue; // boundary formed purely by dummies
-            SPARCH_ASSERT(!produced[k],
+            SPARCH_DCHECK(!produced[k],
                           "group ", k, " produced twice");
             // '>=' boundary outputs the top element b_j; '<' boundary
             // outputs the left element a_i (the smaller input).
@@ -125,13 +125,20 @@ ComparatorArray::mergeStepBoundary(
         }
     }
     for (std::size_t k = 0; k < total; ++k)
-        SPARCH_ASSERT(produced[k], "group ", k, " produced no output");
+        SPARCH_DCHECK(produced[k], "group ", k, " produced no output");
 
     MergeStepResult result;
     const std::size_t emit = std::min(size_, total);
     result.outputs.assign(merged.begin(),
                           merged.begin() +
                               static_cast<std::ptrdiff_t>(emit));
+    // Merger output invariant: the emitted window is sorted (ties from
+    // the two inputs sit adjacent for the adder slice to combine).
+    for (std::size_t k = 1; k < emit; ++k) {
+        SPARCH_DCHECK(result.outputs[k - 1].coord <=
+                          result.outputs[k].coord,
+                      "boundary merge output not sorted at ", k);
+    }
     // Count consumption from each window over the emitted prefix, with
     // the same B-first tie rule the comparators implement.
     std::size_t i = 0, j = 0;

@@ -42,7 +42,7 @@ class Fifo
     void
     push(const T &item)
     {
-        SPARCH_ASSERT(!full(), "push to full FIFO");
+        SPARCH_DCHECK(!full(), "push to full FIFO");
         items_.push_back(item);
         ++pushes_;
         if (items_.size() > high_water_)
@@ -53,7 +53,7 @@ class Fifo
     const T &
     front() const
     {
-        SPARCH_ASSERT(!empty(), "front of empty FIFO");
+        SPARCH_DCHECK(!empty(), "front of empty FIFO");
         return items_.front();
     }
 
@@ -61,7 +61,7 @@ class Fifo
     T &
     back()
     {
-        SPARCH_ASSERT(!empty(), "back of empty FIFO");
+        SPARCH_DCHECK(!empty(), "back of empty FIFO");
         return items_.back();
     }
 
@@ -69,7 +69,7 @@ class Fifo
     T
     pop()
     {
-        SPARCH_ASSERT(!empty(), "pop of empty FIFO");
+        SPARCH_DCHECK(!empty(), "pop of empty FIFO");
         T item = items_.front();
         items_.pop_front();
         ++pops_;

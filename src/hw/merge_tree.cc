@@ -52,23 +52,29 @@ MergeTree::startRound(unsigned active_leaves)
 std::size_t
 MergeTree::leafFreeSpace(unsigned leaf) const
 {
-    SPARCH_ASSERT(leaf < leafCount(), "leaf index out of range");
+    SPARCH_DCHECK(leaf < leafCount(), "leaf index out of range");
     return nodes_[leafCount() + leaf].fifo.freeSpace();
 }
 
 void
 MergeTree::pushLeaf(unsigned leaf, const StreamElement &element)
 {
-    SPARCH_ASSERT(leaf < leafCount(), "leaf index out of range");
+    SPARCH_DCHECK(leaf < leafCount(), "leaf index out of range");
     Node &node = nodes_[leafCount() + leaf];
-    SPARCH_ASSERT(!node.inputDone, "push to finished leaf ", leaf);
+    SPARCH_DCHECK(!node.inputDone, "push to finished leaf ", leaf);
+    // Leaf streams are sorted partial-product columns; a disordered
+    // push here would silently corrupt every merge above it.
+    SPARCH_DCHECK(node.fifo.empty() ||
+                      node.fifo.back().coord <= element.coord,
+                  "leaf ", leaf, " fed out of order: ",
+                  node.fifo.back().coord, " then ", element.coord);
     node.fifo.push(element);
 }
 
 void
 MergeTree::finishLeaf(unsigned leaf)
 {
-    SPARCH_ASSERT(leaf < leafCount(), "leaf index out of range");
+    SPARCH_DCHECK(leaf < leafCount(), "leaf index out of range");
     nodes_[leafCount() + leaf].inputDone = true;
 }
 
@@ -113,6 +119,13 @@ MergeTree::pushCombining(Node &node, const StreamElement &element)
 {
     ++elements_merged_;
     moved_this_cycle_ = true;
+    // Merger output invariant: within a round, every internal FIFO
+    // receives a non-decreasing coordinate stream (a 2-way merge of
+    // sorted children cannot emit out of order).
+    SPARCH_DCHECK(node.fifo.empty() ||
+                      node.fifo.back().coord <= element.coord,
+                  "merger emitted out of order: ",
+                  node.fifo.back().coord, " then ", element.coord);
     if (config_.combineDuplicates && !node.fifo.empty() &&
         node.fifo.back().coord == element.coord) {
         // Adder slice: adjacent same-coordinate elements are summed;

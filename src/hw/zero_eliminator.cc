@@ -51,11 +51,11 @@ ZeroEliminator::eliminate(const std::vector<ZeLane> &lanes)
                 continue;
             std::size_t target = i;
             if (current[i].count & stride) {
-                SPARCH_ASSERT(i >= stride,
+                SPARCH_DCHECK(i >= stride,
                               "zero-eliminator shift underflow");
                 target = i - stride;
             }
-            SPARCH_ASSERT(!next[target].valid,
+            SPARCH_DCHECK(!next[target].valid,
                           "zero-eliminator lane collision at ", target);
             next[target] = current[i];
         }
@@ -66,7 +66,7 @@ ZeroEliminator::eliminate(const std::vector<ZeLane> &lanes)
     compacted.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
         if (current[i].valid) {
-            SPARCH_ASSERT(i == compacted.size(),
+            SPARCH_DCHECK(i == compacted.size(),
                           "zero-eliminator output not dense at ", i);
             compacted.push_back(current[i].element);
         }

@@ -35,6 +35,12 @@ TEST(CondensedMatrix, ColumnLengthsAreMonotoneNonIncreasing)
     const CondensedMatrix c(m);
     for (Index j = 1; j < c.numColumns(); ++j)
         EXPECT_LE(c.columnLength(j), c.columnLength(j - 1));
+    // And every column's contributing rows ascend.
+    for (Index j = 0; j < c.numColumns(); ++j) {
+        const auto &rows = c.columnRows(j);
+        for (std::size_t k = 1; k < rows.size(); ++k)
+            EXPECT_LT(rows[k - 1], rows[k]);
+    }
 }
 
 TEST(CondensedMatrix, TotalElementsEqualNnz)
@@ -102,10 +108,15 @@ TEST(CondensedMatrix, OutOfRangeAccessPanics)
 {
     const CsrMatrix m = generateUniform(10, 10, 40, 8);
     const CondensedMatrix c(m);
+#if SPARCH_DCHECK_IS_ON
+    // element() range checking is SPARCH_DCHECK (hot path): enforced
+    // only in debug/sanitizer/-DSPARCH_DCHECK=ON builds.
     EXPECT_THROW(c.element(c.numColumns(), 0), PanicError);
     EXPECT_THROW(c.columnRows(0).size() > 0 &&
                      c.element(0, c.columnLength(0)).row,
                  PanicError);
+#endif
+    // productWeight() is cold scheduler setup: hard-checked always.
     EXPECT_THROW(c.productWeight(c.numColumns(), m), PanicError);
 }
 

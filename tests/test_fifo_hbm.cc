@@ -39,6 +39,17 @@ TEST(Fifo, TracksStatistics)
     EXPECT_EQ(f.freeSpace(), 2u);
 }
 
+// Capacity validation is configuration checking: a hard SPARCH_ASSERT
+// in every build type, not part of the SPARCH_DCHECK tier.
+TEST(Fifo, ZeroCapacityPanicsInEveryBuild)
+{
+    EXPECT_THROW(hw::Fifo<int>(0), PanicError);
+}
+
+#if SPARCH_DCHECK_IS_ON
+
+// Misuse of the FIFO protocol (over-push, over-pop, peeking empty) is
+// guarded by SPARCH_DCHECK: enforced in debug/sanitizer builds...
 TEST(Fifo, OverflowAndUnderflowPanic)
 {
     hw::Fifo<int> f(1);
@@ -47,8 +58,55 @@ TEST(Fifo, OverflowAndUnderflowPanic)
     EXPECT_THROW(f.push(2), PanicError);
     f.pop();
     EXPECT_THROW(f.pop(), PanicError);
-    EXPECT_THROW(hw::Fifo<int>(0), PanicError);
 }
+
+TEST(Fifo, CapacityOneEdgeCases)
+{
+    hw::Fifo<int> f(1);
+    EXPECT_TRUE(f.empty());
+    EXPECT_THROW(f.front(), PanicError);
+    EXPECT_THROW(f.back(), PanicError);
+    f.push(7);
+    EXPECT_TRUE(f.full());
+    EXPECT_EQ(f.freeSpace(), 0u);
+    EXPECT_THROW(f.push(8), PanicError);
+    EXPECT_EQ(f.pop(), 7);
+    EXPECT_THROW(f.pop(), PanicError);
+    // The failed operations must not have corrupted the statistics.
+    EXPECT_EQ(f.pushes(), 1u);
+    EXPECT_EQ(f.pops(), 1u);
+    EXPECT_EQ(f.highWater(), 1u);
+}
+
+TEST(Fifo, PushFullLeavesContentsIntact)
+{
+    hw::Fifo<int> f(2);
+    f.push(1);
+    f.push(2);
+    EXPECT_THROW(f.push(3), PanicError);
+    EXPECT_EQ(f.size(), 2u);
+    EXPECT_EQ(f.pop(), 1);
+    EXPECT_EQ(f.pop(), 2);
+}
+
+#else // !SPARCH_DCHECK_IS_ON
+
+// ...and compiled out entirely in plain release builds: an over-push
+// is simply unchecked (the backing deque grows past the modelled
+// capacity). Pop/front/back of an empty FIFO are undefined in release
+// and deliberately not exercised here.
+TEST(Fifo, MisuseChecksCompileOutInRelease)
+{
+    hw::Fifo<int> f(1);
+    f.push(1);
+    EXPECT_TRUE(f.full());
+    EXPECT_NO_THROW(f.push(2));
+    EXPECT_EQ(f.size(), 2u);
+    EXPECT_EQ(f.pop(), 1);
+    EXPECT_EQ(f.pop(), 2);
+}
+
+#endif // SPARCH_DCHECK_IS_ON
 
 TEST(Fifo, BackIsMutable)
 {

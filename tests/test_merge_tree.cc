@@ -173,6 +173,7 @@ TEST(MergeTree, DoneRequiresAllLeavesFinished)
     EXPECT_TRUE(tree.done());
 }
 
+#if SPARCH_DCHECK_IS_ON
 TEST(MergeTree, PushToFinishedLeafPanics)
 {
     MergeTreeConfig cfg;
@@ -182,6 +183,17 @@ TEST(MergeTree, PushToFinishedLeafPanics)
     tree.finishLeaf(0);
     EXPECT_THROW(tree.pushLeaf(0, {1, 1.0}), PanicError);
 }
+
+TEST(MergeTree, OutOfOrderLeafPushPanics)
+{
+    MergeTreeConfig cfg;
+    cfg.layers = 1;
+    MergeTree tree(cfg, "tree");
+    tree.startRound(2);
+    tree.pushLeaf(0, {5, 1.0});
+    EXPECT_THROW(tree.pushLeaf(0, {3, 1.0}), PanicError);
+}
+#endif // SPARCH_DCHECK_IS_ON
 
 TEST(MergeTree, TracksFifoTraffic)
 {
