@@ -14,12 +14,14 @@
 #ifndef SPARCH_BENCH_BENCH_COMMON_HH
 #define SPARCH_BENCH_BENCH_COMMON_HH
 
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "baselines/benchmarks.hh"
+#include "bench/json_writer.hh"
 #include "check/invariants.hh"
 #include "common/logging.hh"
 #include "common/table_printer.hh"
@@ -34,30 +36,46 @@ namespace sparch
 namespace bench
 {
 
+/**
+ * Parse an unsigned-integer environment knob. A set-but-malformed
+ * value ("abc", "12x", "", out of range) aborts loudly: a bench run
+ * that silently fell back to the default scale would produce numbers
+ * that look valid but measure the wrong workload.
+ */
+inline std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr)
+        return fallback;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0' || errno == ERANGE)
+        fatal(name, "='", env, "' is not an unsigned integer");
+    return v;
+}
+
 /** Target nonzeros per proxy matrix (SPARCH_BENCH_NNZ). */
 inline std::uint64_t
 targetNnz(std::uint64_t fallback = 60000)
 {
-    if (const char *env = std::getenv("SPARCH_BENCH_NNZ"))
-        return std::strtoull(env, nullptr, 10);
-    return fallback;
+    const std::uint64_t nnz = envU64("SPARCH_BENCH_NNZ", fallback);
+    if (nnz == 0)
+        fatal("SPARCH_BENCH_NNZ=0: benches need a positive nnz scale");
+    return nnz;
 }
 
 /**
  * Batch-driver worker threads (SPARCH_BENCH_THREADS, default: all
- * hardware threads). 0 or an unparsable value also means all, matching
- * the ThreadPool convention; pass 1 for an explicitly serial run.
+ * hardware threads). 0 also means all, matching the ThreadPool
+ * convention; pass 1 for an explicitly serial run.
  */
 inline unsigned
 benchThreads()
 {
-    if (const char *env = std::getenv("SPARCH_BENCH_THREADS")) {
-        const unsigned n =
-            static_cast<unsigned>(std::strtoul(env, nullptr, 10));
-        if (n > 0)
-            return n;
-    }
-    return driver::ThreadPool::hardwareThreads();
+    const auto n = static_cast<unsigned>(envU64("SPARCH_BENCH_THREADS", 0));
+    return n > 0 ? n : driver::ThreadPool::hardwareThreads();
 }
 
 /** A batch runner sized by benchThreads(). */
@@ -138,6 +156,51 @@ maybeWriteCsv(const std::vector<driver::BatchRecord> &records)
         return;
     }
     driver::BatchRunner::writeCsv(records, out);
+}
+
+/**
+ * Dump a batch's records as JSON when SPARCH_BENCH_JSON names a path.
+ * The shared JsonWriter (json_writer.hh) also backs bench_hotpath's
+ * BENCH_simulator.json entries, so scripts/bench_trajectory.sh can
+ * parse every bench's output with one schema. Unlike the best-effort
+ * CSV dump, an unwritable path aborts: a perf-trajectory run whose
+ * output silently vanished would be mistaken for a missing data point.
+ */
+inline void
+maybeWriteJson(const std::vector<driver::BatchRecord> &records)
+{
+    const char *path = std::getenv("SPARCH_BENCH_JSON");
+    if (path == nullptr)
+        return;
+    if (path[0] == '\0')
+        fatal("SPARCH_BENCH_JSON is set but empty; give it a path");
+    JsonWriter json;
+    json.beginObject();
+    json.field("schema", "sparch-bench-records-v1");
+    json.key("records");
+    json.beginArray();
+    for (const driver::BatchRecord &r : records) {
+        json.beginObject();
+        json.field("id", static_cast<std::uint64_t>(r.id));
+        json.field("config", r.configLabel);
+        json.field("workload", r.workloadName);
+        json.field("seed", r.seed);
+        json.field("shards", r.shards);
+        json.field("cycles", r.sim.cycles);
+        json.field("seconds", r.sim.seconds);
+        json.field("flops", r.sim.flops);
+        json.field("bytes_total", r.sim.bytesTotal);
+        json.field("multiplies", r.sim.multiplies);
+        json.field("additions", r.sim.additions);
+        json.field("result_nnz", static_cast<std::uint64_t>(r.resultNnz));
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    std::ofstream out(path);
+    if (!out)
+        fatal("SPARCH_BENCH_JSON: cannot write '", path, "'");
+    out << json.str() << "\n";
 }
 
 /** Generate the proxy for one suite entry at the bench scale. */

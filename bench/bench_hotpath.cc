@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Hot-path microbenchmark: single-simulation wall clock on the default
+ * Fig. 12 workload (the 20-matrix suite, C = A^2, Table I config).
+ *
+ * Unlike the figure benches this measures the *simulator*, not the
+ * simulated design: each repetition multiplies every suite matrix
+ * serially on one thread through SpArchSimulator::multiply (the exact
+ * path every grid point of every sweep takes) and times simulation
+ * only — workload generation happens up front, outside the clock.
+ *
+ * Knobs: SPARCH_BENCH_NNZ (proxy scale, default 60000),
+ * SPARCH_BENCH_REPS (repetitions, default 5; the median is reported),
+ * SPARCH_VIRTUAL_KERNEL=1 (tick through the polymorphic SimKernel
+ * conformance path instead of the static kernel).
+ *
+ * With SPARCH_BENCH_JSON=<path> the result is written as one
+ * BENCH_simulator.json trajectory entry (schema
+ * sparch-bench-hotpath-v1). `normalized_cost` divides the median by a
+ * fixed-work calibration loop timed in the same process, so two
+ * machines of different speed can still be compared ratio-to-ratio —
+ * that is what lets CI regression-gate against a trajectory recorded
+ * elsewhere (scripts/bench_trajectory.sh, .github/workflows/ci.yml
+ * perf-smoke).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench/bench_common.hh"
+#include "bench/json_writer.hh"
+#include "core/tick_kernel.hh"
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * Fixed-work calibration: a SplitMix64 stream reduction whose cost
+ * depends only on the machine, never on the workload scale. Both the
+ * trajectory entry and the CI gate divide by this.
+ */
+double
+calibrationSeconds()
+{
+    const auto start = Clock::now();
+    std::uint64_t x = 0x9e3779b97f4a7c15ULL, acc = 0;
+    for (std::uint64_t i = 0; i < (1ULL << 25); ++i) {
+        x += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        acc ^= z ^ (z >> 31);
+    }
+    // Fold the accumulator into the timing read so the loop cannot be
+    // dead-code eliminated.
+    volatile std::uint64_t sink = acc;
+    (void)sink;
+    return secondsSince(start);
+}
+
+/** First "model name" line of /proc/cpuinfo, or "unknown". */
+std::string
+cpuModel()
+{
+    std::ifstream cpuinfo("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(cpuinfo, line)) {
+        const auto colon = line.find(':');
+        if (line.rfind("model name", 0) == 0 && colon != std::string::npos) {
+            const auto begin = line.find_first_not_of(" \t", colon + 1);
+            return begin == std::string::npos ? "unknown"
+                                              : line.substr(begin);
+        }
+    }
+    return "unknown";
+}
+
+std::string
+hostName()
+{
+    char buf[256] = {};
+    if (gethostname(buf, sizeof(buf) - 1) != 0)
+        return "unknown";
+    return buf;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace sparch;
+    using namespace sparch::bench;
+
+    const std::uint64_t target = targetNnz();
+    const auto reps =
+        static_cast<unsigned>(envU64("SPARCH_BENCH_REPS", 5));
+    if (reps == 0)
+        fatal("SPARCH_BENCH_REPS=0: need at least one repetition");
+
+    // Generate the whole suite up front; the clock only ever sees
+    // SpArchSimulator::multiply.
+    std::vector<std::string> names;
+    std::vector<CsrMatrix> matrices;
+    for (const BenchmarkSpec &spec : benchmarkSuite()) {
+        names.push_back(spec.name);
+        matrices.push_back(suiteMatrix(spec, target));
+    }
+
+    const SpArchConfig config{};
+    const SpArchSimulator sim(config);
+    const char *kernel =
+        tickKernel() == TickKernel::Virtual ? "virtual" : "static";
+
+    // One untimed warmup pass: first-touch allocations (arena growth,
+    // buffer pools) belong to setup, not to the steady state this
+    // bench exists to track.
+    Cycle total_cycles = 0;
+    std::uint64_t total_nnz_out = 0;
+    for (const CsrMatrix &m : matrices) {
+        const SpArchResult r = sim.multiply(m, m);
+        total_cycles += r.cycles;
+        total_nnz_out += r.result.nnz();
+    }
+
+    std::vector<double> rep_seconds;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        const auto start = Clock::now();
+        Cycle cycles = 0;
+        for (const CsrMatrix &m : matrices)
+            cycles += sim.multiply(m, m).cycles;
+        rep_seconds.push_back(secondsSince(start));
+        if (cycles != total_cycles) {
+            fatal("hot-path bench is nondeterministic: rep ", rep,
+                  " simulated ", cycles, " cycles, warmup ",
+                  total_cycles);
+        }
+    }
+
+    std::vector<double> sorted = rep_seconds;
+    std::sort(sorted.begin(), sorted.end());
+    const double median = sorted[sorted.size() / 2];
+    const double calib = calibrationSeconds();
+    const double cycles_per_sec =
+        static_cast<double>(total_cycles) / median;
+
+    TablePrinter table("hot path: single-simulation wall clock, "
+                       "fig12 suite (serial, 1 thread)");
+    table.header({"metric", "value"});
+    table.row({"kernel", kernel});
+    table.row({"matrices", std::to_string(matrices.size())});
+    table.row({"nnz target", std::to_string(target)});
+    table.row({"repetitions", std::to_string(reps)});
+    table.row({"median seconds", TablePrinter::num(median)});
+    table.row({"simulated cycles", std::to_string(total_cycles)});
+    table.row({"sim Mcycles/s", TablePrinter::num(cycles_per_sec / 1e6)});
+    table.row({"calibration seconds", TablePrinter::num(calib)});
+    table.row({"normalized cost", TablePrinter::num(median / calib)});
+    table.print(std::cout);
+
+    if (const char *path = std::getenv("SPARCH_BENCH_JSON")) {
+        if (path[0] == '\0')
+            fatal("SPARCH_BENCH_JSON is set but empty; give it a path");
+        JsonWriter json;
+        json.beginObject();
+        json.field("schema", "sparch-bench-hotpath-v1");
+        json.field("workload", "fig12-suite");
+        json.field("kernel", kernel);
+        json.field("nnz_target", target);
+        json.field("reps", reps);
+        json.field("median_seconds", median);
+        json.key("rep_seconds");
+        json.beginArray();
+        for (const double s : rep_seconds)
+            json.value(s);
+        json.endArray();
+        json.field("simulated_cycles",
+                   static_cast<std::uint64_t>(total_cycles));
+        json.field("sim_cycles_per_second", cycles_per_sec);
+        json.field("result_nnz", total_nnz_out);
+        json.field("calibration_seconds", calib);
+        json.field("normalized_cost", median / calib);
+        json.key("machine");
+        json.beginObject();
+        json.field("host", hostName());
+        json.field("cpu", cpuModel());
+        json.field("hardware_threads",
+                   driver::ThreadPool::hardwareThreads());
+        json.field("compiler", __VERSION__);
+        json.endObject();
+        json.endObject();
+        std::ofstream out(path);
+        if (!out)
+            fatal("SPARCH_BENCH_JSON: cannot write '", path, "'");
+        out << json.str() << "\n";
+    }
+    return 0;
+}

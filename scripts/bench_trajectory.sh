@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Append one bench_hotpath measurement to the checked-in benchmark
+# trajectory (BENCH_simulator.json at the repository root).
+#
+# The trajectory records how long one serial simulation of the fig12
+# suite takes, PR over PR, on whatever machine ran it: every entry
+# carries a machine fingerprint and a `normalized_cost` (median wall
+# clock divided by a fixed-work calibration loop timed in the same
+# process), so entries from different machines compare ratio-to-ratio.
+# CI's perf-smoke job gates on the latest entry at its scale.
+#
+# usage: scripts/bench_trajectory.sh <label> [build-dir]
+#   label      trajectory entry label, e.g. "PR7-post"
+#   build-dir  CMake build dir containing bench/bench_hotpath
+#              (default: build)
+# env: SPARCH_BENCH_NNZ (default 60000), SPARCH_BENCH_REPS (default 3)
+
+set -euo pipefail
+
+label="${1:?usage: bench_trajectory.sh <label> [build-dir]}"
+build="${2:-build}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+traj="$root/BENCH_simulator.json"
+bench="$root/$build/bench/bench_hotpath"
+
+if [ ! -x "$bench" ]; then
+    echo "bench_trajectory: $bench is not built" \
+         "(cmake --build $build --target bench_hotpath)" >&2
+    exit 1
+fi
+
+entry="$(mktemp)"
+trap 'rm -f "$entry"' EXIT
+
+SPARCH_BENCH_NNZ="${SPARCH_BENCH_NNZ:-60000}" \
+SPARCH_BENCH_REPS="${SPARCH_BENCH_REPS:-3}" \
+SPARCH_BENCH_JSON="$entry" "$bench"
+
+rev="$(git -C "$root" describe --always --dirty 2>/dev/null || echo unknown)"
+stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+python3 - "$traj" "$entry" "$label" "$rev" "$stamp" <<'EOF'
+import json
+import sys
+
+traj_path, entry_path, label, rev, stamp = sys.argv[1:6]
+with open(entry_path) as f:
+    entry = json.load(f)
+entry = {"label": label, "git": rev, "date": stamp, **entry}
+
+try:
+    with open(traj_path) as f:
+        traj = json.load(f)
+except FileNotFoundError:
+    traj = {
+        "schema": "sparch-bench-trajectory-v1",
+        "benchmark": "bench_hotpath",
+        "entries": [],
+    }
+
+traj["entries"].append(entry)
+with open(traj_path, "w") as f:
+    json.dump(traj, f, indent=2)
+    f.write("\n")
+print(f"bench_trajectory: appended '{label}' "
+      f"(normalized_cost {entry['normalized_cost']:.2f}) to {traj_path}")
+EOF

@@ -14,6 +14,7 @@
 #include "cli/flags.hh"
 #include "cli/spec.hh"
 #include "common/logging.hh"
+#include "common/profile.hh"
 #include "common/table_printer.hh"
 #include "driver/batch_runner.hh"
 #include "driver/result_cache.hh"
@@ -64,6 +65,10 @@ const char *kUsage =
     "  --csv PATH             also write records as CSV ('-' = "
     "stdout)\n"
     "  --cache PATH           persistent result cache to use\n"
+    "  --profile              print a wall-clock phase breakdown per "
+    "record\n"
+    "                         (leaf build / plan / cycle loop / CSR "
+    "convert)\n"
     "  --check                validate every simulated product "
     "against the\n"
     "                         reference SpGEMM and cross-check all "
@@ -166,10 +171,11 @@ cmdRun(const std::vector<std::string> &args, std::ostream &out,
                         {"config", "label", "nnz", "wseed", "seed",
                          "shards", "policy", "threads", "csv",
                          "cache"},
-                        {"check"});
+                        {"check", "profile"});
     if (flags.positional().empty())
         fatal("run: no workload specs (try 'sparch workloads')");
     check::setDeepChecks(flags.has("check"));
+    profile::setEnabled(flags.has("profile"));
 
     WorkloadDefaults defaults;
     defaults.nnz = flags.getU64("nnz", defaults.nnz);
@@ -206,6 +212,21 @@ cmdRun(const std::vector<std::string> &args, std::ostream &out,
         emitCsv(records, csv, out);
     if (csv != "-")
         BatchRunner::toTable(records, "sparch run").print(out);
+    if (flags.has("profile")) {
+        // Wall-clock phase breakdown (summed across shards). The
+        // per-module cycle/occupancy counters are in the stats set.
+        for (const BatchRecord &r : records) {
+            const StatSet &s = r.sim.stats;
+            out << "profile " << r.configLabel << " x "
+                << r.workloadName << ": total "
+                << s.get("profile.total_seconds") << "s = leaves "
+                << s.get("profile.leaves_seconds") << "s + plan "
+                << s.get("profile.plan_seconds") << "s + rounds "
+                << s.get("profile.rounds_seconds") << "s + convert "
+                << s.get("profile.convert_seconds") << "s ("
+                << r.sim.cycles << " cycles)\n";
+        }
+    }
     reportStats(stats, cache_ptr, err);
     return stats.failed == 0 ? 0 : 3;
 }

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Allocation-counting hook for the steady-state zero-allocation
+ * contract of the cycle loop.
+ *
+ * The library never overrides global operator new. Instead, a test
+ * binary that wants to enforce the contract overrides operator
+ * new/delete itself and bumps counter() on every allocation; the
+ * simulator (debug/SPARCH_DCHECK builds only) snapshots the counter
+ * around each merge round's tick loop and panics when strict() is
+ * enabled and the counter moved. In binaries without the override the
+ * counter never changes and the check is vacuous.
+ */
+
+#ifndef SPARCH_COMMON_ALLOC_HOOK_HH
+#define SPARCH_COMMON_ALLOC_HOOK_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace sparch
+{
+namespace allochook
+{
+
+/** Heap allocations observed by an overriding test binary. */
+inline std::atomic<std::uint64_t> &
+counter()
+{
+    static std::atomic<std::uint64_t> c{0};
+    return c;
+}
+
+/** When true (and SPARCH_DCHECK is on), allocations inside the cycle
+ *  loop are a panic. Enabled by tests after a warmup multiply. */
+inline std::atomic<bool> &
+strict()
+{
+    static std::atomic<bool> s{false};
+    return s;
+}
+
+inline void
+setStrict(bool on)
+{
+    strict().store(on, std::memory_order_relaxed);
+}
+
+} // namespace allochook
+} // namespace sparch
+
+#endif // SPARCH_COMMON_ALLOC_HOOK_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Process-wide switch for the lightweight profiling layer.
+ *
+ * When enabled (CLI `sparch run --profile`), RunContext records
+ * wall-clock phase timers (`profile.*` statistics) alongside the
+ * always-on per-module cycle/occupancy counters. Off by default so
+ * the hot path pays nothing beyond one relaxed atomic load per
+ * multiply.
+ */
+
+#ifndef SPARCH_COMMON_PROFILE_HH
+#define SPARCH_COMMON_PROFILE_HH
+
+#include <atomic>
+
+namespace sparch
+{
+namespace profile
+{
+
+inline std::atomic<bool> &
+flag()
+{
+    static std::atomic<bool> f{false};
+    return f;
+}
+
+inline bool
+enabled()
+{
+    return flag().load(std::memory_order_relaxed);
+}
+
+inline void
+setEnabled(bool on)
+{
+    flag().store(on, std::memory_order_relaxed);
+}
+
+} // namespace profile
+} // namespace sparch
+
+#endif // SPARCH_COMMON_PROFILE_HH

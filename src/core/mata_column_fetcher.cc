@@ -1,5 +1,7 @@
 #include "core/mata_column_fetcher.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace sparch
@@ -9,7 +11,10 @@ MataColumnFetcher::MataColumnFetcher(const SpArchConfig &config,
                                      mem::MemoryModel &mem,
                                      std::string name)
     : Clocked(std::move(name)), config_(&config), mem_(&mem)
-{}
+{
+    key_elements_fetched_ = this->name() + ".elements_fetched";
+    key_issue_cycles_ = this->name() + ".issue_cycles";
+}
 
 void
 MataColumnFetcher::startRound(
@@ -23,8 +28,18 @@ MataColumnFetcher::startRound(
     issued_.assign(port_queues ? port_queues->size() : 0, 0);
     retired_.assign(port_queues ? port_queues->size() : 0, 0);
     rr_port_ = 0;
-    while (!inflight_.empty())
-        inflight_.pop();
+    queued_total_ = 0;
+    issued_total_ = 0;
+    if (port_queues != nullptr) {
+        std::size_t window = 0;
+        for (const auto &queue : *port_queues) {
+            queued_total_ += queue.size();
+            window += std::min<std::size_t>(queue.size(),
+                                            config_->aElementWindow);
+        }
+        inflight_.reserve(window);
+    }
+    inflight_.clear();
 
     // Row-pointer metadata for the selected columns streams in at the
     // start of the round.
@@ -39,9 +54,11 @@ MataColumnFetcher::clockUpdate()
         return;
 
     // Land completed reads.
-    while (!inflight_.empty() && now_ >= inflight_.top().first) {
-        arrived_[inflight_.top().second] = true;
-        inflight_.pop();
+    while (!inflight_.empty() && now_ >= inflight_.front().first) {
+        arrived_[inflight_.front().second] = true;
+        std::pop_heap(inflight_.begin(), inflight_.end(),
+                      std::greater<Flight>{});
+        inflight_.pop_back();
     }
 
     // Issue new element reads, round-robin across the column
@@ -49,24 +66,33 @@ MataColumnFetcher::clockUpdate()
     const auto n_ports = static_cast<unsigned>(port_queues_->size());
     if (n_ports == 0)
         return;
-    unsigned budget = config_->mataFetchWidth;
-    unsigned scanned = 0;
-    while (budget > 0 && scanned < n_ports) {
-        const unsigned p = (rr_port_ + scanned) % n_ports;
-        const auto &queue = (*port_queues_)[p];
-        if (issued_[p] >= queue.size() ||
-            issued_[p] - retired_[p] >= config_->aElementWindow) {
-            ++scanned;
-            continue;
+    if (issued_total_ < queued_total_) {
+        unsigned budget = config_->mataFetchWidth;
+        unsigned scanned = 0;
+        bool issued_any = false;
+        while (budget > 0 && scanned < n_ports) {
+            const unsigned p = (rr_port_ + scanned) % n_ports;
+            const auto &queue = (*port_queues_)[p];
+            if (issued_[p] >= queue.size() ||
+                issued_[p] - retired_[p] >= config_->aElementWindow) {
+                ++scanned;
+                continue;
+            }
+            const std::uint64_t pos = queue[issued_[p]];
+            const Cycle ready = mem_->read(
+                DramStream::MatA, (*tasks_)[pos].addr, bytesPerElement,
+                now_);
+            inflight_.emplace_back(ready, pos);
+            std::push_heap(inflight_.begin(), inflight_.end(),
+                           std::greater<Flight>{});
+            ++issued_[p];
+            ++issued_total_;
+            ++elements_fetched_;
+            --budget;
+            issued_any = true;
         }
-        const std::uint64_t pos = queue[issued_[p]];
-        const Cycle ready = mem_->read(
-            DramStream::MatA, (*tasks_)[pos].addr, bytesPerElement,
-            now_);
-        inflight_.emplace(ready, pos);
-        ++issued_[p];
-        ++elements_fetched_;
-        --budget;
+        if (issued_any)
+            ++issue_cycles_;
     }
     rr_port_ = (rr_port_ + 1) % n_ports;
 }
@@ -80,8 +106,9 @@ MataColumnFetcher::clockApply()
 void
 MataColumnFetcher::recordStats(StatSet &stats) const
 {
-    stats.set(name() + ".elements_fetched",
+    stats.set(key_elements_fetched_,
               static_cast<double>(elements_fetched_));
+    stats.set(key_issue_cycles_, static_cast<double>(issue_cycles_));
 }
 
 } // namespace sparch

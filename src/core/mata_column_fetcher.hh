@@ -17,7 +17,7 @@
 #define SPARCH_CORE_MATA_COLUMN_FETCHER_HH
 
 #include <cstdint>
-#include <queue>
+#include <string>
 #include <vector>
 
 #include "core/round_stream.hh"
@@ -29,7 +29,7 @@ namespace sparch
 {
 
 /** The per-column left-matrix element fetchers. */
-class MataColumnFetcher : public hw::Clocked
+class MataColumnFetcher final : public hw::Clocked
 {
   public:
     MataColumnFetcher(const SpArchConfig &config,
@@ -65,6 +65,9 @@ class MataColumnFetcher : public hw::Clocked
     void clockApply() override;
     void recordStats(StatSet &stats) const override;
 
+    /** Cycles in which at least one element read was issued. */
+    std::uint64_t issueCycles() const { return issue_cycles_; }
+
   private:
     const SpArchConfig *config_;
     mem::MemoryModel *mem_;
@@ -79,12 +82,22 @@ class MataColumnFetcher : public hw::Clocked
     std::vector<std::size_t> retired_; //!< per-port retire count
     unsigned rr_port_ = 0;
 
-    /** In-flight reads ordered by completion time. */
+    /** Stream positions left to issue across all ports. Once zero the
+     *  per-cycle port scan is pure overhead and skipped (the
+     *  round-robin pointer still rotates, matching hardware). */
+    std::uint64_t queued_total_ = 0;
+    std::uint64_t issued_total_ = 0;
+
+    /** In-flight reads, a min-heap ordered by completion time. The
+     *  heap lives in a member vector so its storage is reused across
+     *  rounds instead of reallocated. */
     using Flight = std::pair<Cycle, std::uint64_t>;
-    std::priority_queue<Flight, std::vector<Flight>,
-                        std::greater<Flight>> inflight_;
+    std::vector<Flight> inflight_;
 
     std::uint64_t elements_fetched_ = 0;
+    std::uint64_t issue_cycles_ = 0;
+
+    std::string key_elements_fetched_, key_issue_cycles_;
 };
 
 } // namespace sparch

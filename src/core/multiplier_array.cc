@@ -10,7 +10,13 @@ namespace sparch
 MultiplierArray::MultiplierArray(const SpArchConfig &config,
                                  std::string name)
     : Clocked(std::move(name)), config_(&config)
-{}
+{
+    const std::string p = this->name() + ".";
+    key_multiplies_ = p + "multiplies";
+    key_row_wait_stalls_ = p + "row_wait_stalls";
+    key_port_full_stalls_ = p + "port_full_stalls";
+    key_active_cycles_ = p + "active_cycles";
+}
 
 void
 MultiplierArray::connect(MataColumnFetcher *fetcher,
@@ -122,6 +128,8 @@ MultiplierArray::clockUpdate()
         }
         ++scanned;
     }
+    if (budget < config_->multipliers)
+        ++active_cycles_;
     rr_port_ = n_ports == 0 ? 0 : (rr_port_ + 1) % n_ports;
 }
 
@@ -132,12 +140,13 @@ MultiplierArray::clockApply()
 void
 MultiplierArray::recordStats(StatSet &stats) const
 {
-    const std::string p = name() + ".";
-    stats.set(p + "multiplies", static_cast<double>(multiplies_));
-    stats.set(p + "row_wait_stalls",
+    stats.set(key_multiplies_, static_cast<double>(multiplies_));
+    stats.set(key_row_wait_stalls_,
               static_cast<double>(row_wait_stalls_));
-    stats.set(p + "port_full_stalls",
+    stats.set(key_port_full_stalls_,
               static_cast<double>(port_full_stalls_));
+    stats.set(key_active_cycles_,
+              static_cast<double>(active_cycles_));
 }
 
 } // namespace sparch

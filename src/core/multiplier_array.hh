@@ -14,6 +14,7 @@
 #define SPARCH_CORE_MULTIPLIER_ARRAY_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/round_stream.hh"
@@ -29,7 +30,7 @@ class MataColumnFetcher;
 class RowPrefetcher;
 
 /** The outer-product multiplier array. */
-class MultiplierArray : public hw::Clocked
+class MultiplierArray final : public hw::Clocked
 {
   public:
     MultiplierArray(const SpArchConfig &config, std::string name);
@@ -61,6 +62,9 @@ class MultiplierArray : public hw::Clocked
     /** Scalar multiplications performed. */
     std::uint64_t multiplies() const { return multiplies_; }
 
+    /** Cycles in which at least one multiplier fired (occupancy). */
+    std::uint64_t activeCycles() const { return active_cycles_; }
+
   private:
     const SpArchConfig *config_;
     MataColumnFetcher *fetcher_ = nullptr;
@@ -79,6 +83,10 @@ class MultiplierArray : public hw::Clocked
     std::uint64_t multiplies_ = 0;
     std::uint64_t row_wait_stalls_ = 0;
     std::uint64_t port_full_stalls_ = 0;
+    std::uint64_t active_cycles_ = 0;
+
+    std::string key_multiplies_, key_row_wait_stalls_,
+        key_port_full_stalls_, key_active_cycles_;
 };
 
 } // namespace sparch

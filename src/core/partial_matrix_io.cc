@@ -11,7 +11,9 @@ PartialMatrixFetcher::PartialMatrixFetcher(const SpArchConfig &config,
                                            mem::MemoryModel &mem,
                                            std::string name)
     : Clocked(std::move(name)), config_(&config), mem_(&mem)
-{}
+{
+    key_elements_streamed_ = this->name() + ".elements_streamed";
+}
 
 void
 PartialMatrixFetcher::startRound(std::vector<StoredInput> inputs)
@@ -87,7 +89,7 @@ PartialMatrixFetcher::clockApply()
 void
 PartialMatrixFetcher::recordStats(StatSet &stats) const
 {
-    stats.set(name() + ".elements_streamed",
+    stats.set(key_elements_streamed_,
               static_cast<double>(elements_streamed_));
 }
 
@@ -95,18 +97,28 @@ PartialMatrixWriter::PartialMatrixWriter(const SpArchConfig &config,
                                          mem::MemoryModel &mem,
                                          std::string name)
     : Clocked(std::move(name)), config_(&config), mem_(&mem)
-{}
+{
+    const std::string p = this->name() + ".";
+    key_additions_ = p + "additions";
+    key_bursts_ = p + "bursts";
+    key_busy_cycles_ = p + "busy_cycles";
+}
 
 void
 PartialMatrixWriter::startRound(bool final_round, Bytes base_addr,
-                                Bytes rowptr_bytes)
+                                Bytes rowptr_bytes,
+                                std::size_t reserve_hint,
+                                std::vector<StreamElement> recycle)
 {
     final_round_ = final_round;
     base_addr_ = base_addr;
     rowptr_bytes_ = rowptr_bytes;
     pending_ = 0;
     last_write_done_ = 0;
+    captured_ = std::move(recycle);
     captured_.clear();
+    if (reserve_hint > 0)
+        captured_.reserve(reserve_hint);
 }
 
 bool
@@ -157,6 +169,8 @@ PartialMatrixWriter::clockUpdate()
         }
         --width;
     }
+    if (width < config_->mergeTree.mergerWidth)
+        ++busy_cycles_;
 
     // Write a full burst, or flush the tail once the tree is done.
     // The burst can never exceed the FIFO, or draining would stop
@@ -187,9 +201,9 @@ PartialMatrixWriter::clockApply()
 void
 PartialMatrixWriter::recordStats(StatSet &stats) const
 {
-    const std::string p = name() + ".";
-    stats.set(p + "additions", static_cast<double>(additions_));
-    stats.set(p + "bursts", static_cast<double>(bursts_));
+    stats.set(key_additions_, static_cast<double>(additions_));
+    stats.set(key_bursts_, static_cast<double>(bursts_));
+    stats.set(key_busy_cycles_, static_cast<double>(busy_cycles_));
 }
 
 } // namespace sparch

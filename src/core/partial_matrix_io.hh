@@ -13,6 +13,7 @@
 #define SPARCH_CORE_PARTIAL_MATRIX_IO_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/round_stream.hh"
@@ -25,7 +26,7 @@ namespace sparch
 {
 
 /** Streams stored partial results into merge-tree leaves. */
-class PartialMatrixFetcher : public hw::Clocked
+class PartialMatrixFetcher final : public hw::Clocked
 {
   public:
     PartialMatrixFetcher(const SpArchConfig &config,
@@ -61,10 +62,12 @@ class PartialMatrixFetcher : public hw::Clocked
 
     std::vector<InputState> inputs_;
     std::uint64_t elements_streamed_ = 0;
+
+    std::string key_elements_streamed_;
 };
 
 /** Drains the merge-tree root and writes results to DRAM. */
-class PartialMatrixWriter : public hw::Clocked
+class PartialMatrixWriter final : public hw::Clocked
 {
   public:
     PartialMatrixWriter(const SpArchConfig &config,
@@ -74,12 +77,19 @@ class PartialMatrixWriter : public hw::Clocked
 
     /**
      * Begin a round.
-     * @param final_round Final results are written in CSR, which also
+     * @param final_round  Final results are written in CSR, which also
      *        costs the row-pointer bytes (`rowptr_bytes`).
-     * @param base_addr   DRAM base address of the output region.
+     * @param base_addr    DRAM base address of the output region.
+     * @param reserve_hint Expected output size in elements; used to
+     *        pre-size the capture vector so it does not reallocate
+     *        inside the cycle loop.
+     * @param recycle      A spent output buffer whose capacity is
+     *        reused for this round's capture (avoids reallocating a
+     *        fresh vector every round).
      */
     void startRound(bool final_round, Bytes base_addr,
-                    Bytes rowptr_bytes);
+                    Bytes rowptr_bytes, std::size_t reserve_hint = 0,
+                    std::vector<StreamElement> recycle = {});
 
     /** True once the tree is done and all output has drained. */
     bool drained() const;
@@ -100,6 +110,9 @@ class PartialMatrixWriter : public hw::Clocked
     /** Same-coordinate additions performed while draining. */
     std::uint64_t additions() const { return additions_; }
 
+    /** Cycles in which the writer drained at least one element. */
+    std::uint64_t busyCycles() const { return busy_cycles_; }
+
   private:
     void writeBurst(std::size_t elems);
 
@@ -117,6 +130,9 @@ class PartialMatrixWriter : public hw::Clocked
 
     std::uint64_t additions_ = 0;
     std::uint64_t bursts_ = 0;
+    std::uint64_t busy_cycles_ = 0;
+
+    std::string key_additions_, key_bursts_, key_busy_cycles_;
 };
 
 } // namespace sparch

@@ -9,9 +9,23 @@ namespace sparch
 {
 
 RowPrefetcher::RowPrefetcher(const SpArchConfig &config,
-                             mem::MemoryModel &mem, std::string name)
-    : Clocked(std::move(name)), config_(&config), mem_(&mem)
-{}
+                             mem::MemoryModel &mem, std::string name,
+                             Arena *arena)
+    : Clocked(std::move(name)), config_(&config), mem_(&mem),
+      own_arena_(arena == nullptr ? std::make_unique<Arena>() : nullptr),
+      arena_(arena == nullptr ? own_arena_.get() : arena),
+      distances_(arena_),
+      rank_(std::less<RankEntry>{}, ArenaAllocator<RankEntry>(*arena_))
+{
+    const std::string p = this->name() + ".";
+    key_hits_ = p + "hits";
+    key_misses_ = p + "misses";
+    key_hit_rate_ = p + "hit_rate";
+    key_evictions_ = p + "evictions";
+    key_stall_cycles_ = p + "stall_cycles";
+    key_buffer_reads_ = p + "buffer_reads";
+    key_buffer_writes_ = p + "buffer_writes";
+}
 
 void
 RowPrefetcher::startRound(const std::vector<MultTask> *tasks,
@@ -20,24 +34,37 @@ RowPrefetcher::startRound(const std::vector<MultTask> *tasks,
     tasks_ = tasks;
     b_ = b;
     b_base_ = b_base;
-    distances_.clear();
+    const std::size_t rows = b == nullptr ? 0 : b->rows();
+    distances_.reset(static_cast<Index>(rows));
     window_end_ = cursor_ = 0;
     retired_.assign(tasks ? tasks->size() : 0, false);
     watermark_ = 0;
     retired_count_ = 0;
     demand_budget_ = 0;
-    resident_.clear();
     resident_count_ = 0;
     rank_.clear();
-    row_rank_key_.clear();
-    ahead_rows_.clear();
+    if (++epoch_ == 0) {
+        // Epoch wrap (2^32 rounds): lazily-stamped row states could
+        // alias; wipe the table once and restart the epoch sequence.
+        for (std::size_t i = 0; i < rows_n_; ++i)
+            rows_[i] = RowState{};
+        epoch_ = 1;
+    }
+    if (rows > rows_n_) {
+        const std::size_t new_size = std::max(rows, rows_n_ * 2);
+        RowState *fresh = arena_->allocArray<RowState>(new_size);
+        // Carry the old states over so line_ready/demanded capacity is
+        // reused across rounds (they are stale-epoch, hence inert).
+        std::copy(rows_, rows_ + rows_n_, fresh);
+        rows_ = fresh;
+        rows_n_ = new_size;
+    }
+    ahead_rows_count_ = 0;
     streaming_ready_.clear();
     bypass_ready_.clear();
-    demanded_.clear();
     touch_counter_ = 0;
-    last_touch_.clear();
-    insert_tick_.clear();
     cursor_miss_lines_ = 0;
+    pinned_row_ = -1;
 }
 
 Index
@@ -59,6 +86,46 @@ RowPrefetcher::lineBytes(Index row, Index line) const
 }
 
 void
+RowPrefetcher::demandInsert(RowState &rs, std::uint64_t pos)
+{
+    std::uint64_t *end = rs.demanded + rs.dem_len;
+    std::uint64_t *at = std::lower_bound(rs.demanded, end, pos);
+    if (at != end && *at == pos)
+        return;
+    if (rs.dem_len == rs.dem_cap) {
+        const std::uint32_t cap = rs.dem_cap == 0 ? 4 : rs.dem_cap * 2;
+        auto *fresh = static_cast<std::uint64_t *>(
+            arena_->poolAlloc(cap * sizeof(std::uint64_t)));
+        const std::size_t prefix =
+            static_cast<std::size_t>(at - rs.demanded);
+        std::copy(rs.demanded, at, fresh);
+        std::copy(at, end, fresh + prefix + 1);
+        if (rs.demanded != nullptr) {
+            arena_->poolFree(rs.demanded,
+                             rs.dem_cap * sizeof(std::uint64_t));
+        }
+        rs.demanded = fresh;
+        rs.dem_cap = cap;
+        at = fresh + prefix;
+    } else {
+        std::copy_backward(at, end, end + 1);
+    }
+    *at = pos;
+    ++rs.dem_len;
+}
+
+void
+RowPrefetcher::demandErase(RowState &rs, std::uint64_t pos)
+{
+    std::uint64_t *end = rs.demanded + rs.dem_len;
+    std::uint64_t *at = std::lower_bound(rs.demanded, end, pos);
+    if (at == end || *at != pos)
+        return;
+    std::copy(at + 1, end, at);
+    --rs.dem_len;
+}
+
+void
 RowPrefetcher::noteConsumed(std::uint64_t pos)
 {
     SPARCH_ASSERT(pos < retired_.size() && !retired_[pos],
@@ -76,16 +143,11 @@ RowPrefetcher::noteConsumed(std::uint64_t pos)
 
     if (config_->rowPrefetcher) {
         buffer_reads_ += b_->rowNnz(row);
-        last_touch_[row] = ++touch_counter_;
-        auto it = ahead_rows_.find(row);
-        if (it != ahead_rows_.end() && --it->second == 0)
-            ahead_rows_.erase(it);
-        auto dit = demanded_.find(row);
-        if (dit != demanded_.end()) {
-            dit->second.erase(pos);
-            if (dit->second.empty())
-                demanded_.erase(dit);
-        }
+        RowState &rs = state(row);
+        rs.last_touch = ++touch_counter_;
+        if (rs.ahead > 0 && --rs.ahead == 0)
+            --ahead_rows_count_;
+        demandErase(rs, pos);
         reRankRow(row);
         streaming_ready_.erase(pos);
     } else {
@@ -94,33 +156,24 @@ RowPrefetcher::noteConsumed(std::uint64_t pos)
 }
 
 std::uint64_t
-RowPrefetcher::effectiveNextUse(Index row) const
+RowPrefetcher::effectiveNextUse(Index row, const RowState &rs) const
 {
     std::uint64_t key = distances_.nextUse(row);
-    auto it = demanded_.find(row);
-    if (it != demanded_.end() && !it->second.empty())
-        key = std::min(key, *it->second.begin());
+    if (rs.dem_len > 0)
+        key = std::min(key, rs.demanded[0]);
     return key;
 }
 
 std::uint64_t
-RowPrefetcher::rankKey(Index row) const
+RowPrefetcher::rankKey(Index row, const RowState &rs) const
 {
     switch (config_->replacement) {
       case ReplacementPolicy::Belady:
-        return effectiveNextUse(row);
-      case ReplacementPolicy::Lru: {
-        auto it = last_touch_.find(row);
-        const std::uint64_t touch =
-            it == last_touch_.end() ? 0 : it->second;
-        return DistanceList::kInfinite - touch;
-      }
-      case ReplacementPolicy::Fifo: {
-        auto it = insert_tick_.find(row);
-        const std::uint64_t tick =
-            it == insert_tick_.end() ? 0 : it->second;
-        return DistanceList::kInfinite - tick;
-      }
+        return effectiveNextUse(row, rs);
+      case ReplacementPolicy::Lru:
+        return DistanceList::kInfinite - rs.last_touch;
+      case ReplacementPolicy::Fifo:
+        return DistanceList::kInfinite - rs.insert_tick;
       default:
         panic("unknown replacement policy");
     }
@@ -129,16 +182,16 @@ RowPrefetcher::rankKey(Index row) const
 void
 RowPrefetcher::reRankRow(Index row)
 {
-    auto key_it = row_rank_key_.find(row);
-    if (key_it != row_rank_key_.end()) {
-        rank_.erase({key_it->second, row});
-        row_rank_key_.erase(key_it);
+    RowState &rs = state(row);
+    if (rs.ranked) {
+        rank_.erase({rs.rank_key, row});
+        rs.ranked = false;
     }
-    auto res_it = resident_.find(row);
-    if (res_it != resident_.end() && !res_it->second.empty()) {
-        const std::uint64_t key = rankKey(row);
+    if (rs.prefix_len > 0) {
+        const std::uint64_t key = rankKey(row, rs);
         rank_.insert({key, row});
-        row_rank_key_[row] = key;
+        rs.rank_key = key;
+        rs.ranked = true;
     }
 }
 
@@ -153,7 +206,7 @@ RowPrefetcher::evictOne(std::uint64_t protect_pos)
     auto it = rank_.rbegin();
     while (it != rank_.rend() &&
            (static_cast<SIndex>(it->second) == pinned_row_ ||
-            demanded_.count(it->second))) {
+            state(it->second).dem_len > 0)) {
         ++it;
     }
     const bool belady =
@@ -176,16 +229,16 @@ RowPrefetcher::evictOne(std::uint64_t protect_pos)
     if (belady && victim.first <= protect_pos)
         return false;
     const Index row = victim.second;
-    auto &lines = resident_[row];
-    SPARCH_ASSERT(!lines.empty(), "ranked row has no resident lines");
+    RowState &rs = state(row);
+    SPARCH_ASSERT(rs.prefix_len > 0, "ranked row has no resident lines");
     // Spill line by line from the tail (Fig. 9 spills partial rows so
     // re-fetch only touches missing lines).
-    lines.erase(std::prev(lines.end()));
+    --rs.prefix_len;
+    rs.ready_valid = false;
     --resident_count_;
     ++evictions_;
-    if (lines.empty()) {
-        resident_.erase(row);
-        insert_tick_.erase(row);
+    if (rs.prefix_len == 0) {
+        rs.insert_tick = 0;
         reRankRow(row);
     }
     return true;
@@ -197,27 +250,30 @@ RowPrefetcher::prefetchRow(Index row, unsigned &budget,
 {
     pinned_row_ = static_cast<SIndex>(row);
     const Index n_lines = rowLines(row);
-    auto &lines = resident_[row];
-    bool ranked_dirty = lines.empty();
-    if (lines.empty())
-        insert_tick_[row] = ++touch_counter_;
-    last_touch_[row] = ++touch_counter_;
-    for (Index l = 0; l < n_lines; ++l) {
-        if (lines.count(l))
-            continue;
+    RowState &rs = state(row);
+    if (rs.line_cap < n_lines) {
+        Cycle *fresh = arena_->alloc<Cycle>(n_lines);
+        std::copy(rs.line_ready, rs.line_ready + rs.prefix_len, fresh);
+        rs.line_ready = fresh;
+        rs.line_cap = n_lines;
+    }
+    bool ranked_dirty = rs.prefix_len == 0;
+    if (rs.prefix_len == 0)
+        rs.insert_tick = ++touch_counter_;
+    rs.last_touch = ++touch_counter_;
+    // Resident lines form the prefix {0..prefix_len-1} (evictions
+    // spill from the tail), so only the tail lines are missing.
+    while (rs.prefix_len < n_lines) {
+        const Index l = rs.prefix_len;
         if (budget == 0) {
-            if (lines.empty())
-                resident_.erase(row);
-            else if (ranked_dirty)
+            if (ranked_dirty && rs.prefix_len > 0)
                 reRankRow(row);
             pinned_row_ = -1;
             return false;
         }
         while (resident_count_ >= config_->prefetchLines) {
             if (!evictOne(watermark_)) {
-                if (lines.empty())
-                    resident_.erase(row);
-                else if (ranked_dirty)
+                if (ranked_dirty && rs.prefix_len > 0)
                     reRankRow(row);
                 pinned_row_ = -1;
                 return false;
@@ -234,7 +290,9 @@ RowPrefetcher::prefetchRow(Index row, unsigned &budget,
         const Cycle ready = mem_->read(DramStream::MatB, addr,
                                        lineBytes(row, l), now_) +
                             decision;
-        lines[l] = ready;
+        rs.line_ready[l] = ready;
+        ++rs.prefix_len;
+        rs.ready_valid = false;
         ++resident_count_;
         ++buffer_writes_;
         --budget;
@@ -276,34 +334,36 @@ RowPrefetcher::rowReady(std::uint64_t pos)
         return now_ >= it->second;
     }
 
-    if (rowLines(row) > config_->prefetchLines) {
+    const Index n_lines = rowLines(row);
+    if (n_lines > config_->prefetchLines) {
         // Row larger than the whole buffer: streamed, not cached.
         auto it = streaming_ready_.find(pos);
         return it != streaming_ready_.end() && now_ >= it->second;
     }
 
-    auto res_it = resident_.find(row);
-    const bool complete = res_it != resident_.end() &&
-                          res_it->second.size() == rowLines(row);
-    if (!complete) {
+    RowState &rs = state(row);
+    if (rs.prefix_len != n_lines) {
         // Demand fetch: a port head must never starve behind a stalled
         // prefetch cursor (each column fetcher fetches its own rows in
         // hardware). Issued lines count as misses here; if the cursor
         // later visits this position it sees resident lines, a small
         // hit-rate optimism accepted for pipeline liveness.
         if (demand_budget_ > 0) {
-            demanded_[row].insert(pos);
+            demandInsert(rs, pos);
             const std::uint64_t before = buffer_writes_;
             prefetchRow(row, demand_budget_, /*count_misses=*/false);
             misses_ += buffer_writes_ - before;
         }
         return false;
     }
-    for (const auto &[line, ready] : res_it->second) {
-        if (now_ < ready)
-            return false;
+    if (!rs.ready_valid) {
+        Cycle latest = 0;
+        for (Index l = 0; l < rs.prefix_len; ++l)
+            latest = std::max(latest, rs.line_ready[l]);
+        rs.ready_at = latest;
+        rs.ready_valid = true;
     }
-    return true;
+    return now_ >= rs.ready_at;
 }
 
 void
@@ -346,9 +406,11 @@ RowPrefetcher::clockUpdate()
         }
         const MultTask &task = (*tasks_)[cursor_];
         const Index row = task.bRow;
+        RowState &rs = state(row);
 
         if (b_->rowNnz(row) == 0) {
-            ++ahead_rows_[row];
+            if (rs.ahead++ == 0)
+                ++ahead_rows_count_;
             ++cursor_;
             continue;
         }
@@ -356,10 +418,10 @@ RowPrefetcher::clockUpdate()
         // Limit how many distinct rows run ahead of consumption
         // (Table I: 16 fetchers, "each can prefetch up to 48 rows
         // before used" -> aggregate window of fetchers x 48 rows).
-        if (!ahead_rows_.count(row) &&
-            ahead_rows_.size() >= static_cast<std::size_t>(
-                                      config_->prefetchRowsAhead) *
-                                      config_->rowFetchers) {
+        if (rs.ahead == 0 &&
+            ahead_rows_count_ >= static_cast<std::size_t>(
+                                     config_->prefetchRowsAhead) *
+                                     config_->rowFetchers) {
             stalled = true;
             break;
         }
@@ -390,7 +452,8 @@ RowPrefetcher::clockUpdate()
                 hits_ += rowLines(row) - cursor_miss_lines_;
             cursor_miss_lines_ = 0;
         }
-        ++ahead_rows_[row];
+        if (rs.ahead++ == 0)
+            ++ahead_rows_count_;
         ++cursor_;
     }
     if (stalled)
@@ -415,14 +478,13 @@ RowPrefetcher::hitRate() const
 void
 RowPrefetcher::recordStats(StatSet &stats) const
 {
-    const std::string p = name() + ".";
-    stats.set(p + "hits", static_cast<double>(hits_));
-    stats.set(p + "misses", static_cast<double>(misses_));
-    stats.set(p + "hit_rate", hitRate());
-    stats.set(p + "evictions", static_cast<double>(evictions_));
-    stats.set(p + "stall_cycles", static_cast<double>(stall_cycles_));
-    stats.set(p + "buffer_reads", static_cast<double>(buffer_reads_));
-    stats.set(p + "buffer_writes", static_cast<double>(buffer_writes_));
+    stats.set(key_hits_, static_cast<double>(hits_));
+    stats.set(key_misses_, static_cast<double>(misses_));
+    stats.set(key_hit_rate_, hitRate());
+    stats.set(key_evictions_, static_cast<double>(evictions_));
+    stats.set(key_stall_cycles_, static_cast<double>(stall_cycles_));
+    stats.set(key_buffer_reads_, static_cast<double>(buffer_reads_));
+    stats.set(key_buffer_writes_, static_cast<double>(buffer_writes_));
 }
 
 } // namespace sparch

@@ -10,17 +10,28 @@
  * evicted row refetches only its missing lines. Replacement evicts the
  * line whose owning row has the farthest next use according to the
  * distance list — Belady's policy restricted to the look-ahead horizon.
+ *
+ * Per-row bookkeeping lives in one flat, epoch-stamped RowState table
+ * indexed by row id (residency, readiness, recency, demand-fetch
+ * positions), not in hash maps: rowReady() sits in the innermost
+ * multiplier scan and is O(1) here. Residency exploits an invariant of
+ * the line machinery — the resident lines of a row always form the
+ * prefix {0..k-1}, because prefetchRow() fills missing lines in
+ * ascending order and evictOne() spills from the tail — so a single
+ * prefix length replaces the per-row line map, and the row's
+ * data-ready cycle is memoized until the prefix changes.
  */
 
 #ifndef SPARCH_CORE_ROW_PREFETCHER_HH
 #define SPARCH_CORE_ROW_PREFETCHER_HH
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <set>
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.hh"
 #include "core/distance_list.hh"
 #include "core/round_stream.hh"
 #include "core/sparch_config.hh"
@@ -32,11 +43,17 @@ namespace sparch
 {
 
 /** The MatB row prefetcher module. */
-class RowPrefetcher : public hw::Clocked
+class RowPrefetcher final : public hw::Clocked
 {
   public:
+    /**
+     * @param arena Backing store for the row-state table, line-ready
+     *        arrays, distance-list nodes and eviction-rank nodes.
+     *        Null (standalone/unit-test use) makes the prefetcher own
+     *        a private arena.
+     */
     RowPrefetcher(const SpArchConfig &config, mem::MemoryModel &mem,
-                  std::string name);
+                  std::string name, Arena *arena = nullptr);
 
     /**
      * Begin a merge round.
@@ -96,9 +113,60 @@ class RowPrefetcher : public hw::Clocked
     /** Lines written into the buffer (SRAM accesses). */
     std::uint64_t bufferWrites() const { return buffer_writes_; }
 
+    /** Cycles the prefetch cursor stalled (occupancy counter). */
+    std::uint64_t stallCycles() const { return stall_cycles_; }
+
   private:
-    /** A cached line: (row, line index within the row). */
-    using LineKey = std::pair<Index, Index>;
+    /**
+     * All per-row state, epoch-stamped per merge round. The
+     * `line_ready` array and the `demanded` buffer survive epoch
+     * resets (capacity is reused); everything else resets to zero.
+     */
+    struct RowState
+    {
+        std::uint32_t epoch = 0;
+        /** Resident lines are exactly {0 .. prefix_len-1}. */
+        Index prefix_len = 0;
+        /** Un-retired uses in (consumed, cursor]. */
+        std::uint32_t ahead = 0;
+        /** LRU tick of the last touch; 0 = never. */
+        std::uint64_t last_touch = 0;
+        /** FIFO tick the row became resident; 0 = never. */
+        std::uint64_t insert_tick = 0;
+        /** Key under which the row currently sits in rank_. */
+        std::uint64_t rank_key = 0;
+        bool ranked = false;
+        /** Memoized max data-ready cycle over the full prefix. */
+        bool ready_valid = false;
+        Cycle ready_at = 0;
+        /** Data-ready cycle per line; capacity line_cap. */
+        Cycle *line_ready = nullptr;
+        Index line_cap = 0;
+        /** Pending demand-fetch positions, sorted ascending. */
+        std::uint64_t *demanded = nullptr;
+        std::uint32_t dem_len = 0;
+        std::uint32_t dem_cap = 0;
+    };
+
+    /** Row state with lazy epoch refresh. */
+    RowState &
+    state(Index row)
+    {
+        RowState &rs = rows_[row];
+        if (rs.epoch != epoch_) {
+            Cycle *lr = rs.line_ready;
+            const Index lc = rs.line_cap;
+            std::uint64_t *dem = rs.demanded;
+            const std::uint32_t dc = rs.dem_cap;
+            rs = RowState{};
+            rs.epoch = epoch_;
+            rs.line_ready = lr;
+            rs.line_cap = lc;
+            rs.demanded = dem;
+            rs.dem_cap = dc;
+        }
+        return rs;
+    }
 
     /** Number of buffer lines the given row occupies. */
     Index rowLines(Index row) const;
@@ -122,20 +190,27 @@ class RowPrefetcher : public hw::Clocked
      * entry and any pending demand-fetch positions (port heads beyond
      * the look-ahead window that must not be evicted meanwhile).
      */
-    std::uint64_t effectiveNextUse(Index row) const;
+    std::uint64_t effectiveNextUse(Index row, const RowState &rs) const;
 
     /**
      * Eviction-ranking key under the configured replacement policy;
      * larger keys are evicted first.
      */
-    std::uint64_t rankKey(Index row) const;
+    std::uint64_t rankKey(Index row, const RowState &rs) const;
 
     /** Evict one victim line; false if nothing is evictable. */
     bool evictOne(std::uint64_t protect_pos);
 
+    /** Record/forget a pending demand-fetch position of a row. */
+    void demandInsert(RowState &rs, std::uint64_t pos);
+    void demandErase(RowState &rs, std::uint64_t pos);
+
     const SpArchConfig *config_;
     mem::MemoryModel *mem_;
     Cycle now_ = 0;
+
+    std::unique_ptr<Arena> own_arena_; //!< standalone mode only
+    Arena *arena_;
 
     const std::vector<MultTask> *tasks_ = nullptr;
     const CsrMatrix *b_ = nullptr;
@@ -156,26 +231,24 @@ class RowPrefetcher : public hw::Clocked
     /** Row currently being filled, excluded from eviction. */
     SIndex pinned_row_ = -1;
 
-    /** Resident/in-flight lines and their data-ready cycle. */
-    std::unordered_map<Index, std::map<Index, Cycle>> resident_;
+    /** Flat per-row state table (size rows_n_, epoch epoch_). */
+    RowState *rows_ = nullptr;
+    std::size_t rows_n_ = 0;
+    std::uint32_t epoch_ = 0;
+
     std::size_t resident_count_ = 0;
 
-    /** Eviction ranking: (next use, row). One entry per cached row. */
-    std::set<std::pair<std::uint64_t, Index>> rank_;
-    std::unordered_map<Index, std::uint64_t> row_rank_key_;
+    /** Eviction ranking: (next use, row). One entry per cached row.
+     *  Nodes on the arena pool — no heap traffic in the cycle loop. */
+    using RankEntry = std::pair<std::uint64_t, Index>;
+    std::set<RankEntry, std::less<RankEntry>, ArenaAllocator<RankEntry>>
+        rank_;
 
-    /** Rows with un-retired uses in (consumed, cursor]. */
-    std::unordered_map<Index, std::uint32_t> ahead_rows_;
-
-    /** Pending demand-fetch positions per row (beyond the window). */
-    std::unordered_map<Index, std::set<std::uint64_t>> demanded_;
+    /** Rows with un-retired uses, counted via RowState::ahead. */
+    std::size_t ahead_rows_count_ = 0;
 
     /** Monotonic event counter for recency ordering (sub-cycle). */
     std::uint64_t touch_counter_ = 0;
-    /** LRU: last touch tick per resident row. */
-    std::unordered_map<Index, std::uint64_t> last_touch_;
-    /** FIFO: tick a row first became resident. */
-    std::unordered_map<Index, std::uint64_t> insert_tick_;
 
     /** Rows too long for the buffer, streamed instead of cached. */
     std::unordered_map<std::uint64_t, Cycle> streaming_ready_;
@@ -192,6 +265,10 @@ class RowPrefetcher : public hw::Clocked
     std::uint64_t buffer_writes_ = 0;
     std::uint64_t evictions_ = 0;
     std::uint64_t stall_cycles_ = 0;
+
+    /** Pre-composed stat keys (built once at construction). */
+    std::string key_hits_, key_misses_, key_hit_rate_, key_evictions_,
+        key_stall_cycles_, key_buffer_reads_, key_buffer_writes_;
 };
 
 } // namespace sparch

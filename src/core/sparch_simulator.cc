@@ -1,17 +1,23 @@
 #include "core/sparch_simulator.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "common/alloc_hook.hh"
+#include "common/arena.hh"
 #include "common/logging.hh"
+#include "common/profile.hh"
 #include "core/condensed_matrix.hh"
 #include "core/mata_column_fetcher.hh"
 #include "core/multiplier_array.hh"
 #include "core/partial_matrix_io.hh"
 #include "core/row_prefetcher.hh"
+#include "core/tick_kernel.hh"
 #include "hw/merge_tree.hh"
+#include "hw/static_kernel.hh"
 
 namespace sparch
 {
@@ -56,23 +62,34 @@ streamToCsr(const std::vector<StreamElement> &stream, Index rows,
  * partial results. Each call owns its own context, so concurrent
  * multiplies — e.g. the row-block shards of one SpGEMM fanned across a
  * thread pool — never share state. The operands are borrowed const
- * references and must outlive the context.
+ * references and must outlive the context, as must the arena (the
+ * per-thread run arena, reset between multiplies).
+ *
+ * Two tick kernels drive the same module instances: the statically
+ * typed StaticKernel (default; direct, inlineable calls) and the
+ * polymorphic SimKernel (debug/conformance; two virtual calls per
+ * module per cycle). They are bit-identical by contract — the
+ * conformance tests pin that — and the choice never affects results,
+ * so it lives outside SpArchConfig (see core/tick_kernel.hh).
  */
 class RunContext
 {
   public:
     RunContext(const SpArchConfig &config, const CsrMatrix &a,
-               const CsrMatrix &b)
+               const CsrMatrix &b, Arena &arena)
         : config_(config), a_(a), b_(b), condensed_(a),
           a_base_(0), b_base_(a.storageBytes()),
           partial_bump_(b_base_ + b.storageBytes()),
           mem_(mem::createMemoryModel(config.memory)),
           fetcher_(config, *mem_, "mata_fetcher"),
-          prefetcher_(config, *mem_, "row_prefetcher"),
+          prefetcher_(config, *mem_, "row_prefetcher", &arena),
           multiplier_(config, "multiplier"),
           partial_fetcher_(config, *mem_, "partial_fetcher"),
-          tree_(config.mergeTree, "merge_tree"),
-          writer_(config, *mem_, "writer")
+          tree_(config.mergeTree, "merge_tree", &arena),
+          writer_(config, *mem_, "writer"),
+          static_kernel_(fetcher_, prefetcher_, multiplier_,
+                         partial_fetcher_, tree_, writer_),
+          virtual_kernel_(tickKernel() == TickKernel::Virtual)
     {
         multiplier_.connect(&fetcher_, &prefetcher_, &tree_);
         partial_fetcher_.connectTree(&tree_);
@@ -90,6 +107,12 @@ class RunContext
     SpArchResult
     run()
     {
+        using ProfClock = std::chrono::steady_clock;
+        const bool prof = profile::enabled();
+        ProfClock::time_point t0, t1, t2, t3, t4;
+        if (prof)
+            t0 = ProfClock::now();
+
         SpArchResult res;
         res.result = CsrMatrix(a_.rows(), b_.cols());
 
@@ -97,17 +120,37 @@ class RunContext
         res.partialMatrices = leaf_columns_.size();
         if (leaf_columns_.empty())
             return res;
+        if (prof)
+            t1 = ProfClock::now();
 
         plan_ = buildMergePlan(leaf_weights_, config_.mergeWays(),
                                config_.scheduler);
+        if (prof)
+            t2 = ProfClock::now();
+
         for (const std::uint32_t round_id : plan_.rounds) {
             executeRound(round_id);
             ++res.mergeRounds;
         }
+        if (prof)
+            t3 = ProfClock::now();
 
         res.result =
             streamToCsr(node_data_.at(plan_.root), a_.rows(), b_.cols());
         recordMetrics(res);
+
+        if (prof) {
+            t4 = ProfClock::now();
+            const auto secs = [](ProfClock::time_point from,
+                                 ProfClock::time_point to) {
+                return std::chrono::duration<double>(to - from).count();
+            };
+            res.stats.set("profile.leaves_seconds", secs(t0, t1));
+            res.stats.set("profile.plan_seconds", secs(t1, t2));
+            res.stats.set("profile.rounds_seconds", secs(t2, t3));
+            res.stats.set("profile.convert_seconds", secs(t3, t4));
+            res.stats.set("profile.total_seconds", secs(t0, t4));
+        }
         return res;
     }
 
@@ -139,6 +182,13 @@ class RunContext
         }
     }
 
+    /** Simulation time of whichever kernel drives the pipeline. */
+    Cycle
+    kernelNow() const
+    {
+        return virtual_kernel_ ? kernel_.now() : static_kernel_.now();
+    }
+
     /** Run one merge round (Section II-C) through the pipeline. */
     void
     executeRound(std::uint32_t round_id)
@@ -157,22 +207,24 @@ class RunContext
                   });
 
         // Build the shared left-element stream in Fig. 7 load order,
-        // plus each port's queue of stream positions.
-        std::vector<MultTask> tasks;
-        std::vector<std::vector<std::uint64_t>> port_queues(
-            fresh.size());
+        // plus each port's queue of stream positions. The containers
+        // are members so their capacity carries across rounds.
+        tasks_.clear();
+        port_queues_.resize(fresh.size());
+        for (auto &queue : port_queues_)
+            queue.clear();
         Bytes rowptr_bytes = 0;
         std::uint64_t total_inputs = 0;
 
         if (config_.matrixCondensing) {
             // Row-major across the selected condensed columns.
-            std::vector<std::pair<Index, unsigned>> row_col;
+            row_col_.clear();
             for (unsigned p = 0; p < fresh.size(); ++p) {
                 const Index j = plan_.nodes[fresh[p]].column;
                 for (Index row : condensed_.columnRows(j))
-                    row_col.emplace_back(row, p);
+                    row_col_.emplace_back(row, p);
             }
-            std::sort(row_col.begin(), row_col.end(),
+            std::sort(row_col_.begin(), row_col_.end(),
                       [&](const auto &x, const auto &y) {
                           if (x.first != y.first)
                               return x.first < y.first;
@@ -180,10 +232,10 @@ class RunContext
                           return plan_.nodes[fresh[x.second]].column <
                                  plan_.nodes[fresh[y.second]].column;
                       });
-            tasks.reserve(row_col.size());
+            tasks_.reserve(row_col_.size());
             Index visited_rows = 0;
             Index last_row = ~Index{0};
-            for (const auto &[row, p] : row_col) {
+            for (const auto &[row, p] : row_col_) {
                 const Index j = plan_.nodes[fresh[p]].column;
                 MultTask t;
                 t.aRow = row;
@@ -193,8 +245,8 @@ class RunContext
                 t.addr = a_base_ +
                          (static_cast<Bytes>(a_.rowPtr()[row]) + j) *
                              bytesPerElement;
-                port_queues[p].push_back(tasks.size());
-                tasks.push_back(t);
+                port_queues_[p].push_back(tasks_.size());
+                tasks_.push_back(t);
                 if (row != last_row) {
                     ++visited_rows;
                     last_row = row;
@@ -220,14 +272,14 @@ class RunContext
                     t.addr = a_base_ +
                              (static_cast<Bytes>(a_csc_.rowPtr()[k]) +
                               i) * bytesPerElement;
-                    port_queues[p].push_back(tasks.size());
-                    tasks.push_back(t);
+                    port_queues_[p].push_back(tasks_.size());
+                    tasks_.push_back(t);
                 }
             }
             rowptr_bytes =
                 static_cast<Bytes>(fresh.size() + 1) * bytesPerRowPtr;
         }
-        total_inputs += tasks.size();
+        total_inputs += tasks_.size();
 
         // Stored inputs occupy the ports after the fresh ones.
         std::vector<StoredInput> stored_inputs;
@@ -247,14 +299,25 @@ class RunContext
                 ? static_cast<Bytes>(a_.rows() + 1) * bytesPerRowPtr
                 : 0;
 
+        // Recycle a spent output buffer for this round's capture; the
+        // plan weight bounds the output size, so the capture vector
+        // never reallocates inside the cycle loop.
+        std::vector<StreamElement> recycle;
+        if (!spares_.empty()) {
+            recycle = std::move(spares_.back());
+            spares_.pop_back();
+        }
+
         const auto active =
             static_cast<unsigned>(fresh.size() + stored.size());
         tree_.startRound(active);
-        fetcher_.startRound(&tasks, &port_queues, rowptr_bytes);
-        prefetcher_.startRound(&tasks, &b_, b_base_);
-        multiplier_.startRound(&tasks, &b_, &port_queues);
+        fetcher_.startRound(&tasks_, &port_queues_, rowptr_bytes);
+        prefetcher_.startRound(&tasks_, &b_, b_base_);
+        multiplier_.startRound(&tasks_, &b_, &port_queues_);
         partial_fetcher_.startRound(std::move(stored_inputs));
-        writer_.startRound(final_round, out_base, final_rowptr);
+        writer_.startRound(final_round, out_base, final_rowptr,
+                           static_cast<std::size_t>(node.weight),
+                           std::move(recycle));
 
         auto round_done = [&]() {
             return multiplier_.done() && partial_fetcher_.done() &&
@@ -262,12 +325,31 @@ class RunContext
         };
         // Generous bound: a healthy round moves a handful of elements
         // per cycle; hitting this limit means deadlock.
-        const Cycle max_cycles = kernel_.now() + 100000 +
+        const Cycle max_cycles = kernelNow() + 100000 +
                                  200 * (total_inputs + node.weight + 1);
-        if (!kernel_.run(round_done, max_cycles)) {
+#if SPARCH_DCHECK_IS_ON
+        const std::uint64_t allocs_before =
+            allochook::counter().load(std::memory_order_relaxed);
+#endif
+        const bool finished =
+            virtual_kernel_ ? kernel_.run(round_done, max_cycles)
+                            : static_kernel_.run(round_done, max_cycles);
+        if (!finished) {
             panic("sparch: merge round ", round_id,
                   " deadlocked (inputs=", total_inputs, ")");
         }
+#if SPARCH_DCHECK_IS_ON
+        if (allochook::strict().load(std::memory_order_relaxed)) {
+            const std::uint64_t allocs =
+                allochook::counter().load(std::memory_order_relaxed) -
+                allocs_before;
+            if (allocs != 0) {
+                panic("sparch: ", allocs, " heap allocation(s) inside "
+                      "the steady-state cycle loop of round ",
+                      round_id);
+            }
+        }
+#endif
 
         node_data_[round_id] = writer_.takeCaptured();
         node_addr_[round_id] = out_base;
@@ -275,9 +357,13 @@ class RunContext
             static_cast<Bytes>(node_data_[round_id].size()) *
             bytesPerElement;
 
-        // Children are fully consumed; free their storage.
+        // Children are fully consumed; recycle their buffers.
         for (std::uint32_t c : stored) {
-            node_data_.erase(c);
+            auto it = node_data_.find(c);
+            if (it != node_data_.end()) {
+                spares_.push_back(std::move(it->second));
+                node_data_.erase(it);
+            }
             node_addr_.erase(c);
         }
     }
@@ -286,7 +372,7 @@ class RunContext
     void
     recordMetrics(SpArchResult &res)
     {
-        res.cycles = kernel_.now();
+        res.cycles = kernelNow();
         res.seconds = static_cast<double>(res.cycles) / config_.clockHz;
         res.multiplies = multiplier_.multiplies();
         res.additions = tree_.additions() + writer_.additions();
@@ -336,13 +422,24 @@ class RunContext
 
     // ---- the clocked pipeline of Fig. 10 ----
     std::unique_ptr<mem::MemoryModel> mem_;
-    hw::SimKernel kernel_;
+    hw::SimKernel kernel_; //!< polymorphic conformance path
     MataColumnFetcher fetcher_;
     RowPrefetcher prefetcher_;
     MultiplierArray multiplier_;
     PartialMatrixFetcher partial_fetcher_;
     hw::MergeTree tree_;
     PartialMatrixWriter writer_;
+    hw::StaticKernel<MataColumnFetcher, RowPrefetcher, MultiplierArray,
+                     PartialMatrixFetcher, hw::MergeTree,
+                     PartialMatrixWriter>
+        static_kernel_;
+    const bool virtual_kernel_;
+
+    // ---- per-round scratch, reused across rounds ----
+    std::vector<MultTask> tasks_;
+    std::vector<std::vector<std::uint64_t>> port_queues_;
+    std::vector<std::pair<Index, unsigned>> row_col_;
+    std::vector<std::vector<StreamElement>> spares_;
 
     /** Stored partial results: node id -> (data, DRAM address). */
     std::unordered_map<std::uint32_t, std::vector<StreamElement>>
@@ -350,7 +447,51 @@ class RunContext
     std::unordered_map<std::uint32_t, Bytes> node_addr_;
 };
 
+/**
+ * Per-thread run arena: one multiply() per thread at a time uses it,
+ * reset on entry so a warmed-up thread reruns with zero heap
+ * allocations in the cycle loop. Re-entrant multiplies on the same
+ * thread (not a supported fast path) fall back to a private arena.
+ */
+thread_local Arena t_run_arena;
+thread_local bool t_run_arena_busy = false;
+
+struct RunArenaLease
+{
+    RunArenaLease()
+    {
+        if (!t_run_arena_busy) {
+            t_run_arena_busy = true;
+            owns_shared = true;
+            t_run_arena.reset();
+            arena = &t_run_arena;
+        } else {
+            fallback = std::make_unique<Arena>();
+            arena = fallback.get();
+        }
+    }
+
+    ~RunArenaLease()
+    {
+        if (owns_shared)
+            t_run_arena_busy = false;
+    }
+
+    RunArenaLease(const RunArenaLease &) = delete;
+    RunArenaLease &operator=(const RunArenaLease &) = delete;
+
+    Arena *arena = nullptr;
+    bool owns_shared = false;
+    std::unique_ptr<Arena> fallback;
+};
+
 } // namespace
+
+std::size_t
+runArenaChunkAllocations()
+{
+    return static_cast<std::size_t>(t_run_arena.chunkAllocations());
+}
 
 SpArchSimulator::SpArchSimulator(const SpArchConfig &config)
     : config_(config)
@@ -382,7 +523,8 @@ SpArchSimulator::multiply(const CsrMatrix &a, const CsrMatrix &b) const
         return res;
     }
 
-    RunContext context(config_, a, b);
+    RunArenaLease lease;
+    RunContext context(config_, a, b, *lease.arena);
     return context.run();
 }
 

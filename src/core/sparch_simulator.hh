@@ -15,6 +15,7 @@
 #ifndef SPARCH_CORE_SPARCH_SIMULATOR_HH
 #define SPARCH_CORE_SPARCH_SIMULATOR_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/stats.hh"
@@ -95,6 +96,14 @@ class SpArchSimulator
   private:
     SpArchConfig config_;
 };
+
+/**
+ * Lifetime chunk-allocation count of the calling thread's per-run
+ * arena (the one multiply() uses on this thread). Steady-state reuse
+ * means this stays flat across repeated multiplies of the same
+ * workload; the zero-allocation tests assert exactly that.
+ */
+std::size_t runArenaChunkAllocations();
 
 } // namespace sparch
 

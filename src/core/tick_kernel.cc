@@ -1,0 +1,47 @@
+#include "core/tick_kernel.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace sparch
+{
+
+namespace
+{
+
+constexpr int kUnset = -1;
+
+std::atomic<int> g_kernel{kUnset};
+
+int
+fromEnvironment()
+{
+    const char *env = std::getenv("SPARCH_VIRTUAL_KERNEL");
+    const bool virt = env != nullptr && env[0] != '\0' &&
+                      !(env[0] == '0' && env[1] == '\0');
+    return virt ? static_cast<int>(TickKernel::Virtual)
+                : static_cast<int>(TickKernel::Static);
+}
+
+} // namespace
+
+TickKernel
+tickKernel()
+{
+    int mode = g_kernel.load(std::memory_order_relaxed);
+    if (mode == kUnset) {
+        mode = fromEnvironment();
+        int expected = kUnset;
+        g_kernel.compare_exchange_strong(expected, mode,
+                                         std::memory_order_relaxed);
+    }
+    return static_cast<TickKernel>(mode);
+}
+
+void
+setTickKernel(TickKernel kernel)
+{
+    g_kernel.store(static_cast<int>(kernel), std::memory_order_relaxed);
+}
+
+} // namespace sparch

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Run-time selection between the static (devirtualized) tick kernel
+ * and the polymorphic SimKernel conformance path.
+ *
+ * The selection is process-wide rather than a SpArchConfig field so
+ * that it cannot leak into result-cache keys: both kernels are
+ * bit-identical by contract (pinned by the conformance tests), so a
+ * cached result is valid regardless of which kernel produced it.
+ *
+ * Default: the static kernel. Setting SPARCH_VIRTUAL_KERNEL to a
+ * non-empty value other than "0" — or calling setTickKernel() — picks
+ * the virtual path.
+ */
+
+#ifndef SPARCH_CORE_TICK_KERNEL_HH
+#define SPARCH_CORE_TICK_KERNEL_HH
+
+namespace sparch
+{
+
+/** Which kernel drives the per-cycle clock phases. */
+enum class TickKernel
+{
+    Static,  //!< compile-time-unrolled direct calls (default)
+    Virtual, //!< hw::SimKernel, two virtual calls per module per cycle
+};
+
+/** Current process-wide selection (reads SPARCH_VIRTUAL_KERNEL once). */
+TickKernel tickKernel();
+
+/** Override the selection for subsequent multiplies (tests, benches). */
+void setTickKernel(TickKernel kernel);
+
+} // namespace sparch
+
+#endif // SPARCH_CORE_TICK_KERNEL_HH

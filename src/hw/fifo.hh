@@ -7,14 +7,22 @@
  * array and writer (Fig. 10). The model tracks occupancy high-water
  * marks and push/pop counts so CACTI-style SRAM energy can be derived
  * from access counts (Section III-A).
+ *
+ * The storage is a fixed-capacity ring: a FIFO never allocates after
+ * construction, and the backing buffer can live either on the heap
+ * (owning constructor, unit tests and standalone use) or on a per-run
+ * Arena (the merge tree's 127 node FIFOs), which is what lets a
+ * steady-state simulation run the cycle loop without heap traffic.
  */
 
 #ifndef SPARCH_HW_FIFO_HH
 #define SPARCH_HW_FIFO_HH
 
 #include <cstddef>
-#include <deque>
+#include <memory>
+#include <type_traits>
 
+#include "common/arena.hh"
 #include "common/logging.hh"
 
 namespace sparch
@@ -22,31 +30,53 @@ namespace sparch
 namespace hw
 {
 
-/** Bounded FIFO with access statistics. */
+/** Bounded ring-buffer FIFO with access statistics. */
 template <typename T>
 class Fifo
 {
   public:
-    explicit Fifo(std::size_t capacity) : capacity_(capacity)
+    /** Owning constructor: ring storage on the heap. */
+    explicit Fifo(std::size_t capacity)
+        : capacity_(capacity)
     {
         SPARCH_ASSERT(capacity_ > 0, "FIFO capacity must be positive");
+        owned_ = std::make_unique<T[]>(capacity_);
+        data_ = owned_.get();
     }
 
+    /** Arena-backed constructor: ring storage bump-allocated, valid
+     *  until the arena resets. */
+    Fifo(std::size_t capacity, Arena &arena)
+        : capacity_(capacity)
+    {
+        SPARCH_ASSERT(capacity_ > 0, "FIFO capacity must be positive");
+        data_ = arena.allocArray<T>(capacity_);
+    }
+
+    Fifo(Fifo &&) = default;
+    Fifo &operator=(Fifo &&) = default;
+    Fifo(const Fifo &) = delete;
+    Fifo &operator=(const Fifo &) = delete;
+
     std::size_t capacity() const { return capacity_; }
-    std::size_t size() const { return items_.size(); }
-    bool empty() const { return items_.empty(); }
-    bool full() const { return items_.size() >= capacity_; }
-    std::size_t freeSpace() const { return capacity_ - items_.size(); }
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    bool full() const { return count_ >= capacity_; }
+    std::size_t freeSpace() const { return capacity_ - count_; }
 
     /** Push one item; caller must check !full(). */
     void
     push(const T &item)
     {
         SPARCH_DCHECK(!full(), "push to full FIFO");
-        items_.push_back(item);
+        std::size_t idx = head_ + count_;
+        if (idx >= capacity_)
+            idx -= capacity_;
+        data_[idx] = item;
+        ++count_;
         ++pushes_;
-        if (items_.size() > high_water_)
-            high_water_ = items_.size();
+        if (count_ > high_water_)
+            high_water_ = count_;
     }
 
     /** Front item; caller must check !empty(). */
@@ -54,7 +84,7 @@ class Fifo
     front() const
     {
         SPARCH_DCHECK(!empty(), "front of empty FIFO");
-        return items_.front();
+        return data_[head_];
     }
 
     /** Mutable access to the most recently pushed item. */
@@ -62,7 +92,10 @@ class Fifo
     back()
     {
         SPARCH_DCHECK(!empty(), "back of empty FIFO");
-        return items_.back();
+        std::size_t idx = head_ + count_ - 1;
+        if (idx >= capacity_)
+            idx -= capacity_;
+        return data_[idx];
     }
 
     /** Pop one item; caller must check !empty(). */
@@ -70,14 +103,21 @@ class Fifo
     pop()
     {
         SPARCH_DCHECK(!empty(), "pop of empty FIFO");
-        T item = items_.front();
-        items_.pop_front();
+        T item = data_[head_];
+        if (++head_ == capacity_)
+            head_ = 0;
+        --count_;
         ++pops_;
         return item;
     }
 
     /** Drop everything (end of a merge round). */
-    void clear() { items_.clear(); }
+    void
+    clear()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
 
     /** Lifetime push count (SRAM write accesses). */
     std::uint64_t pushes() const { return pushes_; }
@@ -90,7 +130,10 @@ class Fifo
 
   private:
     std::size_t capacity_;
-    std::deque<T> items_;
+    std::unique_ptr<T[]> owned_; //!< null when arena-backed
+    T *data_ = nullptr;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
     std::uint64_t pushes_ = 0;
     std::uint64_t pops_ = 0;
     std::size_t high_water_ = 0;

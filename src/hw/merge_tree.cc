@@ -9,7 +9,8 @@ namespace sparch
 namespace hw
 {
 
-MergeTree::MergeTree(const MergeTreeConfig &config, std::string name)
+MergeTree::MergeTree(const MergeTreeConfig &config, std::string name,
+                     Arena *arena)
     : Clocked(std::move(name)), config_(config)
 {
     SPARCH_ASSERT(config_.layers >= 1 && config_.layers <= 16,
@@ -18,9 +19,20 @@ MergeTree::MergeTree(const MergeTreeConfig &config, std::string name)
                   "merger width must be positive");
     const unsigned node_count = (2u << config_.layers);
     nodes_.reserve(node_count);
-    for (unsigned i = 0; i < node_count; ++i)
-        nodes_.emplace_back(config_.fifoCapacity);
+    for (unsigned i = 0; i < node_count; ++i) {
+        if (arena != nullptr)
+            nodes_.emplace_back(config_.fifoCapacity, *arena);
+        else
+            nodes_.emplace_back(config_.fifoCapacity);
+    }
     cursor_.assign(config_.layers, 0);
+    const std::string p = this->name() + ".";
+    key_elements_merged_ = p + "elements_merged";
+    key_additions_ = p + "additions";
+    key_cycles_ = p + "cycles";
+    key_idle_cycles_ = p + "idle_cycles";
+    key_fifo_pushes_ = p + "fifo_pushes";
+    key_fifo_pops_ = p + "fifo_pops";
     startRound(0);
 }
 
@@ -47,71 +59,7 @@ MergeTree::startRound(unsigned active_leaves)
         if (i == 1)
             break;
     }
-}
-
-std::size_t
-MergeTree::leafFreeSpace(unsigned leaf) const
-{
-    SPARCH_DCHECK(leaf < leafCount(), "leaf index out of range");
-    return nodes_[leafCount() + leaf].fifo.freeSpace();
-}
-
-void
-MergeTree::pushLeaf(unsigned leaf, const StreamElement &element)
-{
-    SPARCH_DCHECK(leaf < leafCount(), "leaf index out of range");
-    Node &node = nodes_[leafCount() + leaf];
-    SPARCH_DCHECK(!node.inputDone, "push to finished leaf ", leaf);
-    // Leaf streams are sorted partial-product columns; a disordered
-    // push here would silently corrupt every merge above it.
-    SPARCH_DCHECK(node.fifo.empty() ||
-                      node.fifo.back().coord <= element.coord,
-                  "leaf ", leaf, " fed out of order: ",
-                  node.fifo.back().coord, " then ", element.coord);
-    node.fifo.push(element);
-}
-
-void
-MergeTree::finishLeaf(unsigned leaf)
-{
-    SPARCH_DCHECK(leaf < leafCount(), "leaf index out of range");
-    nodes_[leafCount() + leaf].inputDone = true;
-}
-
-bool
-MergeTree::rootHasData() const
-{
-    return !nodes_[1].fifo.empty();
-}
-
-bool
-MergeTree::rootHasPoppable() const
-{
-    const Node &root = nodes_[1];
-    if (root.fifo.empty())
-        return false;
-    // The newest buffered element may still coalesce with an in-flight
-    // equal coordinate; it is only releasable once more data queued
-    // behind it or the tree is finished.
-    return root.fifo.size() > 1 || root.inputDone;
-}
-
-StreamElement
-MergeTree::popRoot()
-{
-    return nodes_[1].fifo.pop();
-}
-
-bool
-MergeTree::done() const
-{
-    return nodes_[1].inputDone && nodes_[1].fifo.empty();
-}
-
-bool
-MergeTree::nodeExhausted(unsigned idx) const
-{
-    return nodes_[idx].inputDone && nodes_[idx].fifo.empty();
+    eos_dirty_ = true;
 }
 
 void
@@ -167,6 +115,10 @@ MergeTree::serveParent(unsigned parent)
         }
         ++moved;
     }
+    // A drained child with inputDone pending may have just become
+    // exhausted; let the end-of-stream sweep recompute.
+    if (left.fifo.empty() || right.fifo.empty())
+        eos_dirty_ = true;
 }
 
 void
@@ -202,13 +154,18 @@ MergeTree::clockUpdate()
     }
 
     // Propagate end-of-stream deepest-first (cheap control signals).
-    for (unsigned i = (1u << config_.layers) - 1; i >= 1; --i) {
-        if (!nodes_[i].inputDone) {
-            nodes_[i].inputDone =
-                nodeExhausted(2 * i) && nodeExhausted(2 * i + 1);
+    // Exhaustion is monotone within a round and one deepest-first pass
+    // reaches the fixpoint, so clean cycles skip the sweep entirely.
+    if (eos_dirty_) {
+        for (unsigned i = (1u << config_.layers) - 1; i >= 1; --i) {
+            if (!nodes_[i].inputDone) {
+                nodes_[i].inputDone =
+                    nodeExhausted(2 * i) && nodeExhausted(2 * i + 1);
+            }
+            if (i == 1)
+                break;
         }
-        if (i == 1)
-            break;
+        eos_dirty_ = false;
     }
 }
 
@@ -242,14 +199,13 @@ MergeTree::fifoPops() const
 void
 MergeTree::recordStats(StatSet &stats) const
 {
-    const std::string p = name() + ".";
-    stats.set(p + "elements_merged",
+    stats.set(key_elements_merged_,
               static_cast<double>(elements_merged_));
-    stats.set(p + "additions", static_cast<double>(additions_));
-    stats.set(p + "cycles", static_cast<double>(cycles_));
-    stats.set(p + "idle_cycles", static_cast<double>(idle_cycles_));
-    stats.set(p + "fifo_pushes", static_cast<double>(fifoPushes()));
-    stats.set(p + "fifo_pops", static_cast<double>(fifoPops()));
+    stats.set(key_additions_, static_cast<double>(additions_));
+    stats.set(key_cycles_, static_cast<double>(cycles_));
+    stats.set(key_idle_cycles_, static_cast<double>(idle_cycles_));
+    stats.set(key_fifo_pushes_, static_cast<double>(fifoPushes()));
+    stats.set(key_fifo_pops_, static_cast<double>(fifoPops()));
 }
 
 } // namespace hw

@@ -12,14 +12,24 @@
  * eliminator's effect is implicit in the compacted push.
  *
  * Table I: 6 layers of 16-wide array mergers = 64-way merge.
+ *
+ * Hot-path notes: the leaf/root accessors are called from the
+ * multiplier and writer inner loops every cycle and live in the header
+ * so they inline; node FIFOs can ring over a per-run Arena; the
+ * end-of-stream propagation sweep only runs on cycles where exhaustion
+ * state could have changed (it is a monotone fixpoint within a round,
+ * so skipping clean cycles is exact).
  */
 
 #ifndef SPARCH_HW_MERGE_TREE_HH
 #define SPARCH_HW_MERGE_TREE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/arena.hh"
+#include "common/logging.hh"
 #include "hw/clocked.hh"
 #include "hw/fifo.hh"
 
@@ -53,10 +63,15 @@ struct MergeTreeConfig
  * startRound(); producers push into leaf ports, the consumer pops the
  * root.
  */
-class MergeTree : public Clocked
+class MergeTree final : public Clocked
 {
   public:
-    MergeTree(const MergeTreeConfig &config, std::string name);
+    /**
+     * @param arena When non-null, node FIFO storage is placed on this
+     *        (outliving) per-run arena instead of the heap.
+     */
+    MergeTree(const MergeTreeConfig &config, std::string name,
+              Arena *arena = nullptr);
 
     unsigned leafCount() const { return 1u << config_.layers; }
     const MergeTreeConfig &config() const { return config_; }
@@ -69,29 +84,64 @@ class MergeTree : public Clocked
     void startRound(unsigned active_leaves);
 
     /** Free space in a leaf FIFO (producer back-pressure). */
-    std::size_t leafFreeSpace(unsigned leaf) const;
+    std::size_t
+    leafFreeSpace(unsigned leaf) const
+    {
+        SPARCH_DCHECK(leaf < leafCount(), "leaf index out of range");
+        return nodes_[leafCount() + leaf].fifo.freeSpace();
+    }
 
     /** Push one element into a leaf port; caller checks space. */
-    void pushLeaf(unsigned leaf, const StreamElement &element);
+    void
+    pushLeaf(unsigned leaf, const StreamElement &element)
+    {
+        SPARCH_DCHECK(leaf < leafCount(), "leaf index out of range");
+        Node &node = nodes_[leafCount() + leaf];
+        SPARCH_DCHECK(!node.inputDone, "push to finished leaf ", leaf);
+        // Leaf streams are sorted partial-product columns; a
+        // disordered push here would silently corrupt every merge
+        // above it.
+        SPARCH_DCHECK(node.fifo.empty() ||
+                          node.fifo.back().coord <= element.coord,
+                      "leaf ", leaf, " fed out of order: ",
+                      node.fifo.back().coord, " then ", element.coord);
+        node.fifo.push(element);
+    }
 
     /** Mark a leaf's input array as fully delivered. */
-    void finishLeaf(unsigned leaf);
+    void
+    finishLeaf(unsigned leaf)
+    {
+        SPARCH_DCHECK(leaf < leafCount(), "leaf index out of range");
+        nodes_[leafCount() + leaf].inputDone = true;
+        eos_dirty_ = true;
+    }
 
     /** True when the root FIFO has data to pop. */
-    bool rootHasData() const;
+    bool rootHasData() const { return !nodes_[1].fifo.empty(); }
 
     /**
      * True when the root FIFO element at the head is final, i.e. no
      * in-flight element could still coalesce with it. Conservatively:
      * more than one element buffered, or the whole tree is done.
      */
-    bool rootHasPoppable() const;
+    bool
+    rootHasPoppable() const
+    {
+        const Node &root = nodes_[1];
+        if (root.fifo.empty())
+            return false;
+        // The newest buffered element may still coalesce with an
+        // in-flight equal coordinate; it is only releasable once more
+        // data queued behind it or the tree is finished.
+        return root.fifo.size() > 1 || root.inputDone;
+    }
 
     /** Pop one element from the root. */
-    StreamElement popRoot();
+    StreamElement popRoot() { return nodes_[1].fifo.pop(); }
 
     /** True when every input is exhausted and all FIFOs are empty. */
-    bool done() const;
+    bool done() const { return nodes_[1].inputDone && nodes_[1].fifo.empty(); }
 
     void clockUpdate() override;
     void clockApply() override;
@@ -120,12 +170,19 @@ class MergeTree : public Clocked
     struct Node
     {
         explicit Node(std::size_t capacity) : fifo(capacity) {}
+        Node(std::size_t capacity, Arena &arena) : fifo(capacity, arena)
+        {}
         Fifo<StreamElement> fifo;
         /** No further input will arrive into this node's FIFO. */
         bool inputDone = false;
     };
 
-    bool nodeExhausted(unsigned idx) const;
+    bool
+    nodeExhausted(unsigned idx) const
+    {
+        return nodes_[idx].inputDone && nodes_[idx].fifo.empty();
+    }
+
     void serveParent(unsigned parent);
     void pushCombining(Node &node, const StreamElement &element);
 
@@ -138,6 +195,19 @@ class MergeTree : public Clocked
     std::uint64_t idle_cycles_ = 0;
     std::uint64_t cycles_ = 0;
     bool moved_this_cycle_ = false;
+
+    /**
+     * Exhaustion state may have changed since the last end-of-stream
+     * propagation sweep. Within a round exhaustion is monotone
+     * (inputDone is sticky and exhausted nodes never receive pushes),
+     * and one deepest-first pass reaches the fixpoint, so sweeps on
+     * clean cycles are exact no-ops and skipped.
+     */
+    bool eos_dirty_ = true;
+
+    /** Pre-composed stat keys (built once at construction). */
+    std::string key_elements_merged_, key_additions_, key_cycles_,
+        key_idle_cycles_, key_fifo_pushes_, key_fifo_pops_;
 };
 
 } // namespace hw

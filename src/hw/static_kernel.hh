@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Statically-typed tick kernel.
+ *
+ * The Fig. 10 pipeline is a fixed set of modules, so the per-cycle
+ * dispatch does not need the polymorphic SimKernel: this kernel holds
+ * the concrete module types in a tuple and unrolls both clock phases
+ * into direct calls at compile time (the module classes are `final`,
+ * so the compiler devirtualizes and can inline clockUpdate/clockApply
+ * into the tick loop). The virtual SimKernel (hw/clocked.hh) remains
+ * as the debug/conformance path; tests assert both produce
+ * bit-identical results (SPARCH_VIRTUAL_KERNEL=1 selects it at run
+ * time, see core/tick_kernel.hh).
+ */
+
+#ifndef SPARCH_HW_STATIC_KERNEL_HH
+#define SPARCH_HW_STATIC_KERNEL_HH
+
+#include <tuple>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace sparch
+{
+namespace hw
+{
+
+/**
+ * Compile-time-unrolled simulation kernel over a fixed module set.
+ * Semantics match SimKernel exactly: clockUpdate on every module in
+ * order, then clockApply in the same order, then advance the cycle.
+ */
+template <typename... Modules>
+class StaticKernel
+{
+  public:
+    explicit StaticKernel(Modules &...modules) : modules_(&modules...) {}
+
+    StaticKernel(const StaticKernel &) = delete;
+    StaticKernel &operator=(const StaticKernel &) = delete;
+
+    /** Advance one clock cycle. */
+    void
+    tick()
+    {
+        std::apply([](auto *...m) { (m->clockUpdate(), ...); }, modules_);
+        std::apply([](auto *...m) { (m->clockApply(), ...); }, modules_);
+        ++now_;
+    }
+
+    /** Advance until the predicate is true or max_cycles elapse. */
+    template <typename DonePredicate>
+    bool
+    run(DonePredicate &&done, Cycle max_cycles)
+    {
+        while (!done()) {
+            if (now_ >= max_cycles)
+                return false;
+            tick();
+        }
+        return true;
+    }
+
+    /** Current simulation time in cycles. */
+    Cycle now() const { return now_; }
+
+    /** Collect statistics from all modules. */
+    void
+    recordStats(StatSet &stats) const
+    {
+        std::apply([&](auto *...m) { (m->recordStats(stats), ...); },
+                   modules_);
+    }
+
+  private:
+    std::tuple<Modules *...> modules_;
+    Cycle now_ = 0;
+};
+
+} // namespace hw
+} // namespace sparch
+
+#endif // SPARCH_HW_STATIC_KERNEL_HH

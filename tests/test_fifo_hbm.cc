@@ -89,24 +89,58 @@ TEST(Fifo, PushFullLeavesContentsIntact)
     EXPECT_EQ(f.pop(), 2);
 }
 
-#else // !SPARCH_DCHECK_IS_ON
+#endif // SPARCH_DCHECK_IS_ON
 
-// ...and compiled out entirely in plain release builds: an over-push
-// is simply unchecked (the backing deque grows past the modelled
-// capacity). Pop/front/back of an empty FIFO are undefined in release
-// and deliberately not exercised here.
-TEST(Fifo, MisuseChecksCompileOutInRelease)
+// The storage is a fixed ring: pushes and pops wrap around the buffer
+// without allocating, and FIFO order survives arbitrary interleaving
+// across the wrap point.
+TEST(Fifo, RingWrapsAroundPreservingOrder)
 {
-    hw::Fifo<int> f(1);
-    f.push(1);
-    EXPECT_TRUE(f.full());
-    EXPECT_NO_THROW(f.push(2));
-    EXPECT_EQ(f.size(), 2u);
-    EXPECT_EQ(f.pop(), 1);
-    EXPECT_EQ(f.pop(), 2);
+    hw::Fifo<int> f(3);
+    int next_in = 0, next_out = 0;
+    for (int round = 0; round < 7; ++round) {
+        while (!f.full())
+            f.push(next_in++);
+        // Drain two, refill: head walks around the ring.
+        for (int i = 0; i < 2; ++i) {
+            ASSERT_EQ(f.front(), next_out);
+            ASSERT_EQ(f.pop(), next_out++);
+        }
+    }
+    while (!f.empty())
+        ASSERT_EQ(f.pop(), next_out++);
+    EXPECT_EQ(next_in, next_out);
 }
 
-#endif // SPARCH_DCHECK_IS_ON
+TEST(Fifo, ClearResetsOccupancyButKeepsLifetimeCounters)
+{
+    hw::Fifo<int> f(2);
+    f.push(1);
+    f.push(2);
+    f.clear();
+    EXPECT_TRUE(f.empty());
+    EXPECT_EQ(f.freeSpace(), 2u);
+    f.push(9);
+    EXPECT_EQ(f.front(), 9);
+    EXPECT_EQ(f.pushes(), 3u);
+    EXPECT_EQ(f.highWater(), 2u);
+}
+
+TEST(Fifo, ArenaBackedRingBehavesLikeOwning)
+{
+    Arena arena;
+    hw::Fifo<int> f(3, arena);
+    for (int i = 0; i < 10; ++i) {
+        f.push(i);
+        EXPECT_EQ(f.pop(), i);
+    }
+    f.push(100);
+    f.push(101);
+    f.back() += 1;
+    EXPECT_EQ(f.pop(), 100);
+    EXPECT_EQ(f.pop(), 102);
+    EXPECT_EQ(f.pushes(), 12u);
+}
 
 TEST(Fifo, BackIsMutable)
 {
