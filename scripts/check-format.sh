@@ -1,18 +1,34 @@
 #!/usr/bin/env bash
 # clang-format gate: every tracked C++ file must match .clang-format.
 #
-# Usage: scripts/check-format.sh [file...]
+# Usage: scripts/check-format.sh [--require-tools] [file...]
 #
-# With no arguments, checks every tracked .cc/.hh in the repo. Exits
-# 0 when everything is formatted, 1 with a unified diff per offending
-# file otherwise, and 0 with a notice when clang-format is not
-# installed (CI installs it and enforces the gate).
+#   --require-tools  fail (exit 2) when clang-format is missing
+#                    instead of skipping, so CI can never silently
+#                    pass the gate on a broken tool install.
+#
+# With no arguments, checks every tracked .cc/.hh in the repo except
+# tests/audit/fixtures/ (those files seed deliberate style
+# violations for the audit tool). Exits 0 when everything is
+# formatted, 1 with a unified diff per offending file otherwise, and
+# 0 with a notice when clang-format is not installed (CI installs it
+# and enforces the gate with --require-tools).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+REQUIRE_TOOLS=0
+if [ "${1:-}" = "--require-tools" ]; then
+    REQUIRE_TOOLS=1
+    shift
+fi
+
 FORMAT="${CLANG_FORMAT:-clang-format}"
 if ! command -v "$FORMAT" >/dev/null 2>&1; then
+    if [ "$REQUIRE_TOOLS" -eq 1 ]; then
+        echo "check-format.sh: $FORMAT not installed but --require-tools was given" >&2
+        exit 2
+    fi
     echo "check-format.sh: $FORMAT not installed; skipping (CI enforces this gate)"
     exit 0
 fi
@@ -20,7 +36,7 @@ fi
 if [ $# -gt 0 ]; then
     files=("$@")
 else
-    mapfile -t files < <(git ls-files '*.cc' '*.hh')
+    mapfile -t files < <(git ls-files '*.cc' '*.hh' ':!tests/audit/fixtures')
 fi
 
 status=0

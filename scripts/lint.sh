@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # clang-tidy gate over src/ (the list CI holds warning-clean).
 #
-# Usage: scripts/lint.sh [build-dir] [file...]
+# Usage: scripts/lint.sh [--require-tools] [build-dir] [file...]
 #
+#   --require-tools  fail (exit 2) when clang-tidy is missing instead
+#                    of skipping. CI passes this so a broken tool
+#                    install can never silently pass the gate.
 #   build-dir  a configured build tree with compile_commands.json
 #              (default: build). Configure one with
 #              cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
@@ -12,13 +15,23 @@
 # Exits 0 when clean, 1 on findings (WarningsAsErrors: '*' in
 # .clang-tidy makes every finding an error), and 0 with a notice when
 # clang-tidy is not installed — local toolchains without clang are
-# fine; CI installs it and enforces the gate.
+# fine; CI installs it and enforces the gate with --require-tools.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+REQUIRE_TOOLS=0
+if [ "${1:-}" = "--require-tools" ]; then
+    REQUIRE_TOOLS=1
+    shift
+fi
+
 TIDY="${CLANG_TIDY:-clang-tidy}"
 if ! command -v "$TIDY" >/dev/null 2>&1; then
+    if [ "$REQUIRE_TOOLS" -eq 1 ]; then
+        echo "lint.sh: $TIDY not installed but --require-tools was given" >&2
+        exit 2
+    fi
     echo "lint.sh: $TIDY not installed; skipping (CI enforces this gate)"
     exit 0
 fi

@@ -1,5 +1,9 @@
 #include "check/schedule.hh"
 
+// sparch-audit: allow-file(schedule-point-coverage, this file
+// implements the schedule points - instrumenting the harness itself
+// would recurse)
+
 #include <sstream>
 #include <thread>
 

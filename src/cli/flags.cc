@@ -63,7 +63,7 @@ FlagSet::FlagSet(const std::vector<std::string> &args,
 bool
 FlagSet::has(const std::string &name) const
 {
-    return values_.find(name) != values_.end();
+    return values_.contains(name);
 }
 
 std::string

@@ -15,6 +15,7 @@
 #include "cli/flags.hh"
 #include "common/format.hh"
 #include "common/logging.hh"
+#include "core/config_registry.hh"
 
 namespace sparch
 {
@@ -64,6 +65,82 @@ fmtBool(bool v)
     return v ? "true" : "false";
 }
 
+// ---- registry-generated enum spelling tables ---------------------
+//
+// The CLI spelling of every config enum value lives in
+// core/config_fields.def (SPARCH_CONFIG_ENUM_VALUE entries) and
+// mem/memory_fields.def (SPARCH_MEM_KIND entries); the parse and
+// render tables below are generated from those lists, so adding an
+// enumerator without registering a spelling leaves it unreachable
+// from the CLI — which the registry's enum-coverage audit rule flags.
+
+/** One CLI spelling of an enum value. */
+template <class E>
+struct EnumText
+{
+    E value;
+    const char *text;
+};
+
+constexpr EnumText<ReplacementPolicy> kReplacementTexts[] = {
+#define SPARCH_ENUM_TEXT_ReplacementPolicy(enumerator, text)          \
+    {ReplacementPolicy::enumerator, #text},
+#define SPARCH_ENUM_TEXT_SchedulerKind(enumerator, text)
+#define SPARCH_CONFIG_ENUM_VALUE(Enum, enumerator, text)              \
+    SPARCH_ENUM_TEXT_##Enum(enumerator, text)
+#include "core/config_fields.def"
+#undef SPARCH_ENUM_TEXT_ReplacementPolicy
+#undef SPARCH_ENUM_TEXT_SchedulerKind
+};
+
+constexpr EnumText<SchedulerKind> kSchedulerTexts[] = {
+#define SPARCH_ENUM_TEXT_ReplacementPolicy(enumerator, text)
+#define SPARCH_ENUM_TEXT_SchedulerKind(enumerator, text)              \
+    {SchedulerKind::enumerator, #text},
+#define SPARCH_CONFIG_ENUM_VALUE(Enum, enumerator, text)              \
+    SPARCH_ENUM_TEXT_##Enum(enumerator, text)
+#include "core/config_fields.def"
+#undef SPARCH_ENUM_TEXT_ReplacementPolicy
+#undef SPARCH_ENUM_TEXT_SchedulerKind
+};
+
+constexpr EnumText<mem::MemoryKind> kMemoryKindTexts[] = {
+#define SPARCH_MEM_KIND(enumerator, text)                             \
+    {mem::MemoryKind::enumerator, #text},
+#include "mem/memory_fields.def"
+};
+
+/**
+ * Parse CLI text into an enum value, with the classic
+ * "<key>: '<v>' is not a, b or c" error on a miss.
+ */
+template <class E, std::size_t N>
+E
+parseEnumText(const char *key, const EnumText<E> (&table)[N],
+              const std::string &v)
+{
+    for (const EnumText<E> &entry : table)
+        if (v == entry.text)
+            return entry.value;
+    std::string valid;
+    for (std::size_t i = 0; i < N; ++i) {
+        if (i > 0)
+            valid += i + 1 == N ? " or " : ", ";
+        valid += table[i].text;
+    }
+    fatal(key, ": '", v, "' is not ", valid);
+}
+
+template <class E, std::size_t N>
+const char *
+renderEnumText(const EnumText<E> (&table)[N], E value)
+{
+    for (const EnumText<E> &entry : table)
+        if (entry.value == value)
+            return entry.text;
+    return table[0].text; // out-of-range enum: default spelling
+}
+
 /**
  * One config key: its name, how to apply a value, and how to render
  * the current value back as parser-accepted text. The parser
@@ -78,6 +155,118 @@ struct ConfigKey
     std::function<void(SpArchConfig &, const std::string &)> apply;
     std::function<std::string(const SpArchConfig &)> render;
 };
+
+/**
+ * Memory keys — the backend selector plus every backend's parameter
+ * block — generated from src/mem/memory_fields.def into the slot the
+ * SPARCH_CONFIG_MEMORY() entry occupies in the main registry. The
+ * blocks are emitted in the legacy key order (memory, hbm_*, ddr4_*,
+ * lpddr4_*, ideal_latency), which test_cli pins via configKeyList.
+ */
+template <class AddFn>
+void
+addMemoryKeys(std::vector<ConfigKey> &k, const AddFn &add)
+{
+    add("memory",
+        [](SpArchConfig &c, const char *n, const std::string &v) {
+            c.memory.kind = parseEnumText(n, kMemoryKindTexts, v);
+        },
+        [](const SpArchConfig &c) -> std::string {
+            return renderEnumText(kMemoryKindTexts, c.memory.kind);
+        });
+
+// How each memory-registry TYPE assigns a parsed CLI value.
+#define SPARCH_MEM_APPLY_U64(lvalue) lvalue = parseU64(v, n);
+#define SPARCH_MEM_APPLY_UNSIGNED(lvalue)                             \
+    lvalue = static_cast<unsigned>(parseU64(v, n));
+
+#define SPARCH_MEM_FIELD_HBM(cli_name, type, member, key)             \
+    add(#cli_name,                                                    \
+        [](SpArchConfig &c, const char *n, const std::string &v) {    \
+            SPARCH_MEM_APPLY_##type(c.memory.hbm.member)              \
+        },                                                            \
+        [](const SpArchConfig &c) {                                   \
+            return std::to_string(c.memory.hbm.member);               \
+        });
+#include "mem/memory_fields.def"
+
+    // DDR4 and LPDDR4 share one parameter block; both key families
+    // (ddr4_<suffix>, lpddr4_<suffix>) come from the BANKED entries.
+    struct BankedField
+    {
+        const char *suffix;
+        void (*set)(mem::BankedDramConfig &, std::uint64_t);
+        std::uint64_t (*get)(const mem::BankedDramConfig &);
+    };
+    static constexpr BankedField banked_fields[] = {
+#define SPARCH_MEM_SET_U64(member) d.member = v;
+#define SPARCH_MEM_SET_UNSIGNED(member)                               \
+    d.member = static_cast<unsigned>(v);
+#define SPARCH_MEM_FIELD_BANKED(cli_suffix, type, member, key)        \
+    {#cli_suffix,                                                     \
+     [](mem::BankedDramConfig &d, std::uint64_t v) {                  \
+         SPARCH_MEM_SET_##type(member)                                \
+     },                                                               \
+     [](const mem::BankedDramConfig &d) {                             \
+         return static_cast<std::uint64_t>(d.member);                 \
+     }},
+#include "mem/memory_fields.def"
+#undef SPARCH_MEM_SET_U64
+#undef SPARCH_MEM_SET_UNSIGNED
+    };
+    using BankedGet = mem::BankedDramConfig &(*)(SpArchConfig &);
+    using BankedGetConst =
+        const mem::BankedDramConfig &(*)(const SpArchConfig &);
+    const std::tuple<const char *, BankedGet, BankedGetConst>
+        banked_blocks[] = {
+            {"ddr4",
+             [](SpArchConfig &c) -> mem::BankedDramConfig & {
+                 return c.memory.ddr4;
+             },
+             [](const SpArchConfig &c)
+                 -> const mem::BankedDramConfig & {
+                 return c.memory.ddr4;
+             }},
+            {"lpddr4",
+             [](SpArchConfig &c) -> mem::BankedDramConfig & {
+                 return c.memory.lpddr4;
+             },
+             [](const SpArchConfig &c)
+                 -> const mem::BankedDramConfig & {
+                 return c.memory.lpddr4;
+             }},
+        };
+    for (const auto &[prefix, get, cget] : banked_blocks) {
+        for (const BankedField &field : banked_fields) {
+            const std::string name =
+                std::string(prefix) + "_" + field.suffix;
+            auto set = field.set;
+            auto read = field.get;
+            k.push_back(
+                {name,
+                 [name, get, set](SpArchConfig &c,
+                                  const std::string &v) {
+                     set(get(c), parseU64(v, name));
+                 },
+                 [cget, read](const SpArchConfig &c) {
+                     return std::to_string(read(cget(c)));
+                 }});
+        }
+    }
+
+#define SPARCH_MEM_FIELD_IDEAL(cli_name, type, member, key)           \
+    add(#cli_name,                                                    \
+        [](SpArchConfig &c, const char *n, const std::string &v) {    \
+            SPARCH_MEM_APPLY_##type(c.memory.ideal.member)            \
+        },                                                            \
+        [](const SpArchConfig &c) {                                   \
+            return std::to_string(c.memory.ideal.member);             \
+        });
+#include "mem/memory_fields.def"
+
+#undef SPARCH_MEM_APPLY_U64
+#undef SPARCH_MEM_APPLY_UNSIGNED
+}
 
 const std::vector<ConfigKey> &
 configKeys()
@@ -94,366 +283,60 @@ configKeys()
                          render});
         };
 
-        add("clock_ghz",
-            [](SpArchConfig &c, const char *n,
-               const std::string &v) {
-                c.clockHz = parseDouble(v, n) * 1e9;
-            },
-            [](const SpArchConfig &c) {
-                return fmtDouble(c.clockHz / 1e9);
-            });
-        add("merge_layers",
-            [](SpArchConfig &c, const char *n,
-               const std::string &v) {
-                c.mergeTree.layers =
-                    static_cast<unsigned>(parseU64(v, n));
-            },
-            [](const SpArchConfig &c) {
-                return std::to_string(c.mergeTree.layers);
-            });
-        add("merger_width",
-            [](SpArchConfig &c, const char *n,
-               const std::string &v) {
-                c.mergeTree.mergerWidth =
-                    static_cast<unsigned>(parseU64(v, n));
-            },
-            [](const SpArchConfig &c) {
-                return std::to_string(c.mergeTree.mergerWidth);
-            });
-        add("merge_fifo",
-            [](SpArchConfig &c, const char *n,
-               const std::string &v) {
-                c.mergeTree.fifoCapacity = parseU64(v, n);
-            },
-            [](const SpArchConfig &c) {
-                return std::to_string(c.mergeTree.fifoCapacity);
-            });
-        add("combine_duplicates",
-            [](SpArchConfig &c, const char *n,
-               const std::string &v) {
-                c.mergeTree.combineDuplicates = parseBool(v, n);
-            },
-            [](const SpArchConfig &c) {
-                return fmtBool(c.mergeTree.combineDuplicates);
-            });
-        add("multipliers",
-            [](SpArchConfig &c, const char *n,
-               const std::string &v) {
-                c.multipliers = static_cast<unsigned>(parseU64(v, n));
-            },
-            [](const SpArchConfig &c) {
-                return std::to_string(c.multipliers);
-            });
-        add("lookahead_fifo",
-            [](SpArchConfig &c, const char *n,
-               const std::string &v) {
-                c.lookaheadFifo = parseU64(v, n);
-            },
-            [](const SpArchConfig &c) {
-                return std::to_string(c.lookaheadFifo);
-            });
-        add("mata_fetch_width",
-            [](SpArchConfig &c, const char *n,
-               const std::string &v) {
-                c.mataFetchWidth =
-                    static_cast<unsigned>(parseU64(v, n));
-            },
-            [](const SpArchConfig &c) {
-                return std::to_string(c.mataFetchWidth);
-            });
-        add("a_element_window",
-            [](SpArchConfig &c, const char *n,
-               const std::string &v) {
-                c.aElementWindow = parseU64(v, n);
-            },
-            [](const SpArchConfig &c) {
-                return std::to_string(c.aElementWindow);
-            });
-        add("prefetch_lines",
-            [](SpArchConfig &c, const char *n,
-               const std::string &v) {
-                c.prefetchLines = parseU64(v, n);
-            },
-            [](const SpArchConfig &c) {
-                return std::to_string(c.prefetchLines);
-            });
-        add("prefetch_line_elems",
-            [](SpArchConfig &c, const char *n,
-               const std::string &v) {
-                c.prefetchLineElems = parseU64(v, n);
-            },
-            [](const SpArchConfig &c) {
-                return std::to_string(c.prefetchLineElems);
-            });
-        add("row_fetchers",
-            [](SpArchConfig &c, const char *n,
-               const std::string &v) {
-                c.rowFetchers = static_cast<unsigned>(parseU64(v, n));
-            },
-            [](const SpArchConfig &c) {
-                return std::to_string(c.rowFetchers);
-            });
-        add("prefetch_rows_ahead",
-            [](SpArchConfig &c, const char *n,
-               const std::string &v) {
-                c.prefetchRowsAhead =
-                    static_cast<unsigned>(parseU64(v, n));
-            },
-            [](const SpArchConfig &c) {
-                return std::to_string(c.prefetchRowsAhead);
-            });
-        add("replacement",
-            [](SpArchConfig &c, const char *, const std::string &v) {
-                if (v == "belady")
-                    c.replacement = ReplacementPolicy::Belady;
-                else if (v == "lru")
-                    c.replacement = ReplacementPolicy::Lru;
-                else if (v == "fifo")
-                    c.replacement = ReplacementPolicy::Fifo;
-                else
-                    fatal("replacement: '", v,
-                          "' is not belady, lru or fifo");
-            },
-            [](const SpArchConfig &c) -> std::string {
-                switch (c.replacement) {
-                case ReplacementPolicy::Belady:
-                    return "belady";
-                case ReplacementPolicy::Lru:
-                    return "lru";
-                case ReplacementPolicy::Fifo:
-                    return "fifo";
-                }
-                return "belady";
-            });
-        add("writer_fifo",
-            [](SpArchConfig &c, const char *n,
-               const std::string &v) {
-                c.writerFifo = parseU64(v, n);
-            },
-            [](const SpArchConfig &c) {
-                return std::to_string(c.writerFifo);
-            });
-        add("writer_burst",
-            [](SpArchConfig &c, const char *n,
-               const std::string &v) {
-                c.writerBurst = parseU64(v, n);
-            },
-            [](const SpArchConfig &c) {
-                return std::to_string(c.writerBurst);
-            });
-        add("partial_fetch_burst",
-            [](SpArchConfig &c, const char *n,
-               const std::string &v) {
-                c.partialFetchBurst = parseU64(v, n);
-            },
-            [](const SpArchConfig &c) {
-                return std::to_string(c.partialFetchBurst);
-            });
+        // Generated from core/config_fields.def: one add() per
+        // registry entry, in registry order (which test_cli pins via
+        // configKeyList), with the parse/render body chosen by the
+        // entry's TYPE token. The memory slot expands to
+        // addMemoryKeys() above. A registry entry naming a dead
+        // member fails to compile right here.
+#define SPARCH_APPLY_U64(member) c.member = parseU64(v, n);
+#define SPARCH_APPLY_UNSIGNED(member)                                 \
+    c.member = static_cast<unsigned>(parseU64(v, n));
+#define SPARCH_APPLY_BOOL(member) c.member = parseBool(v, n);
+#define SPARCH_APPLY_GHZ(member) c.member = parseDouble(v, n) * 1e9;
+#define SPARCH_APPLY_ENUM_ReplacementPolicy(member)                   \
+    c.member = parseEnumText(n, kReplacementTexts, v);
+#define SPARCH_APPLY_ENUM_SchedulerKind(member)                       \
+    c.member = parseEnumText(n, kSchedulerTexts, v);
 
-        // ---- memory backend selection + per-backend parameters ----
-        add("memory",
-            [](SpArchConfig &c, const char *, const std::string &v) {
-                if (v == "hbm")
-                    c.memory.kind = mem::MemoryKind::Hbm;
-                else if (v == "ddr4")
-                    c.memory.kind = mem::MemoryKind::Ddr4;
-                else if (v == "lpddr4")
-                    c.memory.kind = mem::MemoryKind::Lpddr4;
-                else if (v == "ideal")
-                    c.memory.kind = mem::MemoryKind::Ideal;
-                else
-                    fatal("memory: '", v,
-                          "' is not hbm, ddr4, lpddr4 or ideal");
-            },
-            [](const SpArchConfig &c) {
-                return std::string(
-                    mem::memoryKindName(c.memory.kind));
-            });
-        add("hbm_channels",
-            [](SpArchConfig &c, const char *n,
-               const std::string &v) {
-                c.memory.hbm.channels =
-                    static_cast<unsigned>(parseU64(v, n));
-            },
-            [](const SpArchConfig &c) {
-                return std::to_string(c.memory.hbm.channels);
-            });
-        add("hbm_bytes_per_cycle",
-            [](SpArchConfig &c, const char *n,
-               const std::string &v) {
-                c.memory.hbm.bytesPerCyclePerChannel = parseU64(v, n);
-            },
-            [](const SpArchConfig &c) {
-                return std::to_string(
-                    c.memory.hbm.bytesPerCyclePerChannel);
-            });
-        add("hbm_latency",
-            [](SpArchConfig &c, const char *n,
-               const std::string &v) {
-                c.memory.hbm.accessLatency = parseU64(v, n);
-            },
-            [](const SpArchConfig &c) {
-                return std::to_string(c.memory.hbm.accessLatency);
-            });
-        add("hbm_interleave",
-            [](SpArchConfig &c, const char *n,
-               const std::string &v) {
-                c.memory.hbm.interleaveBytes = parseU64(v, n);
-            },
-            [](const SpArchConfig &c) {
-                return std::to_string(c.memory.hbm.interleaveBytes);
-            });
-        // DDR4 and LPDDR4 share one parameter block; generate both
-        // key families from one field list.
-        struct BankedField
-        {
-            const char *suffix;
-            void (*set)(mem::BankedDramConfig &, std::uint64_t);
-            std::uint64_t (*get)(const mem::BankedDramConfig &);
-        };
-        static constexpr BankedField banked_fields[] = {
-            {"channels",
-             [](mem::BankedDramConfig &d, std::uint64_t v) {
-                 d.channels = static_cast<unsigned>(v);
-             },
-             [](const mem::BankedDramConfig &d) {
-                 return static_cast<std::uint64_t>(d.channels);
-             }},
-            {"bytes_per_cycle",
-             [](mem::BankedDramConfig &d, std::uint64_t v) {
-                 d.bytesPerCyclePerChannel = v;
-             },
-             [](const mem::BankedDramConfig &d) {
-                 return static_cast<std::uint64_t>(
-                     d.bytesPerCyclePerChannel);
-             }},
-            {"banks",
-             [](mem::BankedDramConfig &d, std::uint64_t v) {
-                 d.banksPerChannel = static_cast<unsigned>(v);
-             },
-             [](const mem::BankedDramConfig &d) {
-                 return static_cast<std::uint64_t>(d.banksPerChannel);
-             }},
-            {"row_bytes",
-             [](mem::BankedDramConfig &d, std::uint64_t v) {
-                 d.rowBufferBytes = v;
-             },
-             [](const mem::BankedDramConfig &d) {
-                 return static_cast<std::uint64_t>(d.rowBufferBytes);
-             }},
-            {"hit_latency",
-             [](mem::BankedDramConfig &d, std::uint64_t v) {
-                 d.rowHitLatency = v;
-             },
-             [](const mem::BankedDramConfig &d) {
-                 return static_cast<std::uint64_t>(d.rowHitLatency);
-             }},
-            {"miss_penalty",
-             [](mem::BankedDramConfig &d, std::uint64_t v) {
-                 d.rowMissPenalty = v;
-             },
-             [](const mem::BankedDramConfig &d) {
-                 return static_cast<std::uint64_t>(d.rowMissPenalty);
-             }},
-            {"interleave",
-             [](mem::BankedDramConfig &d, std::uint64_t v) {
-                 d.interleaveBytes = v;
-             },
-             [](const mem::BankedDramConfig &d) {
-                 return static_cast<std::uint64_t>(d.interleaveBytes);
-             }},
-        };
-        using BankedGet = mem::BankedDramConfig &(*)(SpArchConfig &);
-        using BankedGetConst =
-            const mem::BankedDramConfig &(*)(const SpArchConfig &);
-        const std::tuple<const char *, BankedGet, BankedGetConst>
-            banked_blocks[] = {
-                {"ddr4",
-                 [](SpArchConfig &c) -> mem::BankedDramConfig & {
-                     return c.memory.ddr4;
-                 },
-                 [](const SpArchConfig &c)
-                     -> const mem::BankedDramConfig & {
-                     return c.memory.ddr4;
-                 }},
-                {"lpddr4",
-                 [](SpArchConfig &c) -> mem::BankedDramConfig & {
-                     return c.memory.lpddr4;
-                 },
-                 [](const SpArchConfig &c)
-                     -> const mem::BankedDramConfig & {
-                     return c.memory.lpddr4;
-                 }},
-            };
-        for (const auto &[prefix, get, cget] : banked_blocks) {
-            for (const BankedField &field : banked_fields) {
-                const std::string name =
-                    std::string(prefix) + "_" + field.suffix;
-                auto set = field.set;
-                auto read = field.get;
-                k.push_back(
-                    {name,
-                     [name, get, set](SpArchConfig &c,
-                                      const std::string &v) {
-                         set(get(c), parseU64(v, name));
-                     },
-                     [cget, read](const SpArchConfig &c) {
-                         return std::to_string(read(cget(c)));
-                     }});
-            }
-        }
-        add("ideal_latency",
-            [](SpArchConfig &c, const char *n,
-               const std::string &v) {
-                c.memory.ideal.accessLatency = parseU64(v, n);
-            },
-            [](const SpArchConfig &c) {
-                return std::to_string(c.memory.ideal.accessLatency);
-            });
+#define SPARCH_RENDER_U64(member) return std::to_string(c.member);
+#define SPARCH_RENDER_UNSIGNED(member)                                \
+    return std::to_string(c.member);
+#define SPARCH_RENDER_BOOL(member) return fmtBool(c.member);
+#define SPARCH_RENDER_GHZ(member) return fmtDouble(c.member / 1e9);
+#define SPARCH_RENDER_ENUM_ReplacementPolicy(member)                  \
+    return renderEnumText(kReplacementTexts, c.member);
+#define SPARCH_RENDER_ENUM_SchedulerKind(member)                      \
+    return renderEnumText(kSchedulerTexts, c.member);
 
-        add("condensing",
-            [](SpArchConfig &c, const char *n,
-               const std::string &v) {
-                c.matrixCondensing = parseBool(v, n);
-            },
-            [](const SpArchConfig &c) {
-                return fmtBool(c.matrixCondensing);
-            });
-        add("scheduler",
-            [](SpArchConfig &c, const char *, const std::string &v) {
-                if (v == "huffman")
-                    c.scheduler = SchedulerKind::Huffman;
-                else if (v == "sequential")
-                    c.scheduler = SchedulerKind::Sequential;
-                else if (v == "random")
-                    c.scheduler = SchedulerKind::Random;
-                else
-                    fatal("scheduler: '", v,
-                          "' is not huffman, sequential or random");
-            },
-            [](const SpArchConfig &c) -> std::string {
-                switch (c.scheduler) {
-                case SchedulerKind::Huffman:
-                    return "huffman";
-                case SchedulerKind::Sequential:
-                    return "sequential";
-                case SchedulerKind::Random:
-                    return "random";
-                }
-                return "huffman";
-            });
-        add("prefetcher",
-            [](SpArchConfig &c, const char *n,
-               const std::string &v) {
-                c.rowPrefetcher = parseBool(v, n);
-            },
-            [](const SpArchConfig &c) {
-                return fmtBool(c.rowPrefetcher);
-            });
+#define SPARCH_CONFIG_FIELD(cli_name, type, member, key)              \
+    add(#cli_name,                                                    \
+        [](SpArchConfig &c, const char *n, const std::string &v) {    \
+            SPARCH_APPLY_##type(member)                               \
+        },                                                            \
+        [](const SpArchConfig &c) -> std::string {                    \
+            SPARCH_RENDER_##type(member)                              \
+        });
+#define SPARCH_CONFIG_MEMORY() addMemoryKeys(k, add);
+#include "core/config_fields.def"
+
+#undef SPARCH_APPLY_U64
+#undef SPARCH_APPLY_UNSIGNED
+#undef SPARCH_APPLY_BOOL
+#undef SPARCH_APPLY_GHZ
+#undef SPARCH_APPLY_ENUM_ReplacementPolicy
+#undef SPARCH_APPLY_ENUM_SchedulerKind
+#undef SPARCH_RENDER_U64
+#undef SPARCH_RENDER_UNSIGNED
+#undef SPARCH_RENDER_BOOL
+#undef SPARCH_RENDER_GHZ
+#undef SPARCH_RENDER_ENUM_ReplacementPolicy
+#undef SPARCH_RENDER_ENUM_SchedulerKind
         return k;
     }();
     return keys;
 }
+
 
 } // namespace
 

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Source annotations consumed by both the compiler and tools/audit.
+ *
+ * SPARCH_HOT marks a function as a steady-state cycle-loop entry
+ * point. It expands to the compiler's hot attribute (better block
+ * placement and inlining priority), and it is the anchor of the
+ * `alloc-in-hot` static-analysis rule: tools/audit/sparch_audit.py
+ * flags any heap-allocation call (new-expressions, the malloc family,
+ * make_unique/make_shared) inside a function annotated SPARCH_HOT.
+ * This is the compile-time counterpart of the runtime strict
+ * allocation hook (common/alloc_hook.hh): the hook proves a run made
+ * no allocations, the audit proves the code cannot grow one without a
+ * reviewer seeing a `// sparch-audit: allow(alloc-in-hot, reason)`
+ * annotation in the diff.
+ *
+ * Annotate the *definition* (the audit is token-level and needs the
+ * function body in the same place as the annotation).
+ */
+
+#ifndef SPARCH_COMMON_ANNOTATIONS_HH
+#define SPARCH_COMMON_ANNOTATIONS_HH
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SPARCH_HOT [[gnu::hot]]
+#else
+#define SPARCH_HOT
+#endif
+
+#endif // SPARCH_COMMON_ANNOTATIONS_HH

@@ -60,7 +60,7 @@ class StatSet
     bool
     has(const std::string &name) const
     {
-        return values_.find(name) != values_.end();
+        return values_.contains(name);
     }
 
     /** Merge another set into this one (summing shared names). */

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Compile-time completeness checks for the config field registries.
+ *
+ * The registries (core/config_fields.def, mem/memory_fields.def) are
+ * the single source of truth for the cache-key hasher and the CLI
+ * table. This header closes the remaining gap — a config struct
+ * gaining a member that nobody registers — by counting aggregate
+ * fields at compile time and static_asserting against the counts the
+ * registries pin (SPARCH_CONFIG_STRUCT / SPARCH_MEM_STRUCT entries).
+ *
+ * Adding a member to SpArchConfig (or any nested config struct)
+ * without touching the registry therefore fails the build with a
+ * message pointing at the .def file, where the new field must declare
+ * its CLI key and its KEYED / KEY_EXEMPT(reason) disposition. The
+ * reverse direction — a registry entry naming a member that no longer
+ * exists — fails the build inside the generated hasher/CLI code, and
+ * tools/audit/sparch_audit.py cross-checks both directions at the
+ * path level (rule config-field-coverage).
+ *
+ * Include this from every translation unit that generates code from
+ * the registries, so the checks run whenever the registries are
+ * consumed.
+ */
+
+#ifndef SPARCH_CORE_CONFIG_REGISTRY_HH
+#define SPARCH_CORE_CONFIG_REGISTRY_HH
+
+#include <cstddef>
+
+#include "core/sparch_config.hh"
+
+namespace sparch
+{
+namespace registry
+{
+
+namespace detail
+{
+
+/** Converts to anything: probes aggregate-initializer arity. */
+struct AnyField
+{
+    template <class T>
+    operator T() const; // never defined; unevaluated context only
+};
+
+template <class T, class... Probe>
+constexpr std::size_t
+fieldCountImpl()
+{
+    // Grow the brace-init list until it no longer compiles; the last
+    // arity that did is the number of data members (aggregates accept
+    // at most one initializer per member, and AnyField matches any
+    // member type exactly, so no narrowing or conversion ambiguity).
+    if constexpr (requires { T{Probe{}..., AnyField{}}; })
+        return fieldCountImpl<T, Probe..., AnyField>();
+    else
+        return sizeof...(Probe);
+}
+
+} // namespace detail
+
+/** Number of data members of aggregate T. */
+template <class T>
+constexpr std::size_t
+aggregateFieldCount()
+{
+    return detail::fieldCountImpl<T>();
+}
+
+// One static_assert per SPARCH_CONFIG_STRUCT / SPARCH_MEM_STRUCT
+// entry: the struct's member count must match the registry's pin.
+#define SPARCH_CONFIG_STRUCT(Type, field_count)                       \
+    static_assert(                                                    \
+        aggregateFieldCount<Type>() == (field_count),                 \
+        #Type " changed: register the field in "                      \
+              "src/core/config_fields.def (CLI key + KEYED or "       \
+              "KEY_EXEMPT disposition) and update its "               \
+              "SPARCH_CONFIG_STRUCT count");
+#include "core/config_fields.def"
+
+#define SPARCH_MEM_STRUCT(Type, field_count)                          \
+    static_assert(                                                    \
+        aggregateFieldCount<Type>() == (field_count),                 \
+        #Type " changed: register the field in "                      \
+              "src/mem/memory_fields.def (CLI key + KEYED or "        \
+              "KEY_EXEMPT disposition) and update its "               \
+              "SPARCH_MEM_STRUCT count");
+#include "mem/memory_fields.def"
+
+// Registered-entry counts, pinned so *deleting* a registry line (and
+// with it a field's hash/CLI coverage) is a loud, deliberate act:
+// the count here must move in the same commit.
+constexpr std::size_t kConfigFieldEntries =
+    0
+#define SPARCH_CONFIG_FIELD(cli_name, type, member, key) +1
+#include "core/config_fields.def"
+    ;
+static_assert(kConfigFieldEntries == 21,
+              "a config_fields.def entry was added or removed: "
+              "update this pin in the same change (golden cache keys "
+              "and the CLI key list both shift with the registry)");
+
+constexpr std::size_t kMemoryFieldEntries =
+    0
+#define SPARCH_MEM_FIELD_HBM(cli_name, type, member, key) +1
+#define SPARCH_MEM_FIELD_BANKED(cli_suffix, type, member, key) +1
+#define SPARCH_MEM_FIELD_IDEAL(cli_name, type, member, key) +1
+#include "mem/memory_fields.def"
+    ;
+static_assert(kMemoryFieldEntries == 12,
+              "a memory_fields.def entry was added or removed: "
+              "update this pin in the same change");
+
+} // namespace registry
+} // namespace sparch
+
+#endif // SPARCH_CORE_CONFIG_REGISTRY_HH

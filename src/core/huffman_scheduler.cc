@@ -11,16 +11,23 @@
 namespace sparch
 {
 
+// Both display-name functions are generated from the enum spelling
+// tables in core/config_fields.def, so the names always match the
+// CLI spellings the spec parser accepts.
+
 const char *
 schedulerKindName(SchedulerKind kind)
 {
     switch (kind) {
-      case SchedulerKind::Huffman:
-        return "huffman";
-      case SchedulerKind::Sequential:
-        return "sequential";
-      case SchedulerKind::Random:
-        return "random";
+#define SPARCH_NAME_ReplacementPolicy(enumerator, text)
+#define SPARCH_NAME_SchedulerKind(enumerator, text)                   \
+    case SchedulerKind::enumerator:                                   \
+        return #text;
+#define SPARCH_CONFIG_ENUM_VALUE(Enum, enumerator, text)              \
+    SPARCH_NAME_##Enum(enumerator, text)
+#include "core/config_fields.def"
+#undef SPARCH_NAME_ReplacementPolicy
+#undef SPARCH_NAME_SchedulerKind
       default:
         return "unknown";
     }
@@ -30,12 +37,15 @@ const char *
 replacementPolicyName(ReplacementPolicy policy)
 {
     switch (policy) {
-      case ReplacementPolicy::Belady:
-        return "belady";
-      case ReplacementPolicy::Lru:
-        return "lru";
-      case ReplacementPolicy::Fifo:
-        return "fifo";
+#define SPARCH_NAME_ReplacementPolicy(enumerator, text)               \
+    case ReplacementPolicy::enumerator:                               \
+        return #text;
+#define SPARCH_NAME_SchedulerKind(enumerator, text)
+#define SPARCH_CONFIG_ENUM_VALUE(Enum, enumerator, text)              \
+    SPARCH_NAME_##Enum(enumerator, text)
+#include "core/config_fields.def"
+#undef SPARCH_NAME_ReplacementPolicy
+#undef SPARCH_NAME_SchedulerKind
       default:
         return "unknown";
     }

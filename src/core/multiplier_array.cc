@@ -1,5 +1,6 @@
 #include "core/multiplier_array.hh"
 
+#include "common/annotations.hh"
 #include "common/logging.hh"
 #include "core/mata_column_fetcher.hh"
 #include "core/row_prefetcher.hh"
@@ -59,7 +60,7 @@ MultiplierArray::done() const
     return remaining_ == 0;
 }
 
-void
+SPARCH_HOT void
 MultiplierArray::clockUpdate()
 {
     if (tasks_ == nullptr || remaining_ == 0)
@@ -133,7 +134,7 @@ MultiplierArray::clockUpdate()
     rr_port_ = n_ports == 0 ? 0 : (rr_port_ + 1) % n_ports;
 }
 
-void
+SPARCH_HOT void
 MultiplierArray::clockApply()
 {}
 

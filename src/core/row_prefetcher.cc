@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/annotations.hh"
 #include "common/logging.hh"
 
 namespace sparch
@@ -366,7 +367,7 @@ RowPrefetcher::rowReady(std::uint64_t pos)
     return now_ >= rs.ready_at;
 }
 
-void
+SPARCH_HOT void
 RowPrefetcher::clockUpdate()
 {
     if (!config_->rowPrefetcher || tasks_ == nullptr)
@@ -428,7 +429,7 @@ RowPrefetcher::clockUpdate()
 
         if (rowLines(row) > config_->prefetchLines) {
             // Stream oversized rows without caching.
-            if (!streaming_ready_.count(cursor_)) {
+            if (!streaming_ready_.contains(cursor_)) {
                 const Bytes addr = b_base_ +
                     static_cast<Bytes>(b_->rowPtr()[row]) *
                         bytesPerElement;
@@ -460,7 +461,7 @@ RowPrefetcher::clockUpdate()
         ++stall_cycles_;
 }
 
-void
+SPARCH_HOT void
 RowPrefetcher::clockApply()
 {
     ++now_;

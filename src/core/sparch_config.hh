@@ -49,7 +49,16 @@ const char *replacementPolicyName(ReplacementPolicy policy);
 /** Printable scheduler name. */
 const char *schedulerKindName(SchedulerKind kind);
 
-/** Full architectural configuration. */
+/**
+ * Full architectural configuration.
+ *
+ * Every field is registered in src/core/config_fields.def (nested
+ * memory fields: src/mem/memory_fields.def) with its CLI key and its
+ * cache-key disposition; the CLI parser/serializer and the
+ * result-cache hasher are generated from that registry, and
+ * core/config_registry.hh static_asserts the member counts, so a
+ * field added here without a registry entry does not compile.
+ */
 struct SpArchConfig
 {
     /** Clock frequency in Hz (Table I: 1 GHz). */
@@ -112,6 +121,15 @@ struct SpArchConfig
      * off = every left element streams its full right row from DRAM.
      */
     bool rowPrefetcher = true;
+
+    /**
+     * Cycles a merge round may tick before the simulator declares
+     * deadlock; 0 derives a generous bound from the round's input
+     * size. A liveness guard only: any run that completes produces
+     * measurements independent of this value, so the field is
+     * KEY_EXEMPT in the registry and never feeds result-cache keys.
+     */
+    Cycle deadlockCycleCap = 0;
 
     /** Merge ways = leaf ports of the tree. */
     unsigned mergeWays() const { return 1u << mergeTree.layers; }

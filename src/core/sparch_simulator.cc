@@ -324,9 +324,14 @@ class RunContext
                    writer_.drained();
         };
         // Generous bound: a healthy round moves a handful of elements
-        // per cycle; hitting this limit means deadlock.
-        const Cycle max_cycles = kernelNow() + 100000 +
-                                 200 * (total_inputs + node.weight + 1);
+        // per cycle; hitting this limit means deadlock. A nonzero
+        // deadlockCycleCap overrides the derived bound (a liveness
+        // knob only — completed runs do not depend on it).
+        const Cycle max_cycles =
+            kernelNow() +
+            (config_.deadlockCycleCap > 0
+                 ? config_.deadlockCycleCap
+                 : 100000 + 200 * (total_inputs + node.weight + 1));
 #if SPARCH_DCHECK_IS_ON
         const std::uint64_t allocs_before =
             allochook::counter().load(std::memory_order_relaxed);

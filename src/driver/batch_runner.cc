@@ -345,16 +345,37 @@ parseF64(const std::string &s, double &out)
     return end == s.c_str() + s.size();
 }
 
+/** Columns in the CSV schema (driver/record_fields.def). */
+constexpr std::size_t kCsvFieldCount =
+    0
+#define SPARCH_RECORD_FIELD(column, type, member) +1
+#include "driver/record_fields.def"
+    ;
+static_assert(kCsvFieldCount == 22,
+              "the CSV schema changed: grow record_fields.def "
+              "append-only and update this pin (reordering or "
+              "renaming invalidates persisted caches and the fig12 "
+              "byte-identity pins)");
+
 } // namespace
+
+// csvHeader/writeCsvRow/parseCsvRow are all generated from
+// driver/record_fields.def, so the header, the writer and the parser
+// share one column list and cannot drift apart.
 
 const char *
 BatchRunner::csvHeader()
 {
-    return "id,config,workload,seed,shards,cycles,seconds,flops,gflops,"
-           "bytes_mat_a,bytes_mat_b,bytes_partial_read,"
-           "bytes_partial_write,bytes_final_write,bytes_total,"
-           "bandwidth_utilization,prefetch_hit_rate,multiplies,"
-           "additions,partial_matrices,merge_rounds,result_nnz";
+    static const std::string header = [] {
+        std::string h;
+#define SPARCH_RECORD_FIELD(column, type, member)                     \
+    if (!h.empty())                                                   \
+        h += ',';                                                     \
+    h += #column;
+#include "driver/record_fields.def"
+        return h;
+    }();
+    return header.c_str();
 }
 
 void
@@ -365,18 +386,23 @@ BatchRunner::writeCsvRow(const BatchRecord &r, std::ostream &out)
     // the original measurements (and CSV bytes) bit for bit.
     const auto old_precision =
         out.precision(std::numeric_limits<double>::max_digits10);
-    const SpArchResult &s = r.sim;
-    out << r.id << ',' << csvField(r.configLabel) << ','
-        << csvField(r.workloadName) << ',' << r.seed << ','
-        << r.shards << ',' << s.cycles << ',' << s.seconds
-        << ',' << s.flops << ',' << s.gflops << ','
-        << s.bytesMatA << ',' << s.bytesMatB << ','
-        << s.bytesPartialRead << ',' << s.bytesPartialWrite << ','
-        << s.bytesFinalWrite << ',' << s.bytesTotal << ','
-        << s.bandwidthUtilization << ',' << s.prefetchHitRate
-        << ',' << s.multiplies << ',' << s.additions << ','
-        << s.partialMatrices << ',' << s.mergeRounds << ','
-        << r.resultNnz << '\n';
+    const char *sep = "";
+#define SPARCH_CSV_WRITE_U64(member) out << r.member;
+#define SPARCH_CSV_WRITE_SIZE(member) out << r.member;
+#define SPARCH_CSV_WRITE_UNSIGNED(member) out << r.member;
+#define SPARCH_CSV_WRITE_F64(member) out << r.member;
+#define SPARCH_CSV_WRITE_STR(member) out << csvField(r.member);
+#define SPARCH_RECORD_FIELD(column, type, member)                     \
+    out << sep;                                                       \
+    sep = ",";                                                        \
+    SPARCH_CSV_WRITE_##type(member)
+#include "driver/record_fields.def"
+#undef SPARCH_CSV_WRITE_U64
+#undef SPARCH_CSV_WRITE_SIZE
+#undef SPARCH_CSV_WRITE_UNSIGNED
+#undef SPARCH_CSV_WRITE_F64
+#undef SPARCH_CSV_WRITE_STR
+    out << '\n';
     out.precision(old_precision);
 }
 
@@ -384,37 +410,40 @@ bool
 BatchRunner::parseCsvRow(const std::string &line, BatchRecord &record)
 {
     std::vector<std::string> f;
-    if (!splitCsvLine(line, f) || f.size() != 22)
+    if (!splitCsvLine(line, f) || f.size() != kCsvFieldCount)
         return false;
 
     BatchRecord r;
-    std::uint64_t id = 0, shards = 0, result_nnz = 0;
-    const bool ok = parseU64(f[0], id) && parseU64(f[3], r.seed) &&
-                    parseU64(f[4], shards) &&
-                    parseU64(f[5], r.sim.cycles) &&
-                    parseF64(f[6], r.sim.seconds) &&
-                    parseU64(f[7], r.sim.flops) &&
-                    parseF64(f[8], r.sim.gflops) &&
-                    parseU64(f[9], r.sim.bytesMatA) &&
-                    parseU64(f[10], r.sim.bytesMatB) &&
-                    parseU64(f[11], r.sim.bytesPartialRead) &&
-                    parseU64(f[12], r.sim.bytesPartialWrite) &&
-                    parseU64(f[13], r.sim.bytesFinalWrite) &&
-                    parseU64(f[14], r.sim.bytesTotal) &&
-                    parseF64(f[15], r.sim.bandwidthUtilization) &&
-                    parseF64(f[16], r.sim.prefetchHitRate) &&
-                    parseU64(f[17], r.sim.multiplies) &&
-                    parseU64(f[18], r.sim.additions) &&
-                    parseU64(f[19], r.sim.partialMatrices) &&
-                    parseU64(f[20], r.sim.mergeRounds) &&
-                    parseU64(f[21], result_nnz);
+    std::size_t i = 0;
+    bool ok = true;
+#define SPARCH_CSV_PARSE_U64(member) ok = parseU64(f[i], r.member);
+#define SPARCH_CSV_PARSE_F64(member) ok = parseF64(f[i], r.member);
+#define SPARCH_CSV_PARSE_STR(member) r.member = f[i];
+#define SPARCH_CSV_PARSE_SIZE(member)                                 \
+    {                                                                 \
+        std::uint64_t u = 0;                                          \
+        ok = parseU64(f[i], u);                                       \
+        r.member = static_cast<std::size_t>(u);                       \
+    }
+#define SPARCH_CSV_PARSE_UNSIGNED(member)                             \
+    {                                                                 \
+        std::uint64_t u = 0;                                          \
+        ok = parseU64(f[i], u);                                       \
+        r.member = static_cast<unsigned>(u);                          \
+    }
+#define SPARCH_RECORD_FIELD(column, type, member)                     \
+    if (ok) {                                                         \
+        SPARCH_CSV_PARSE_##type(member)                               \
+        ++i;                                                          \
+    }
+#include "driver/record_fields.def"
+#undef SPARCH_CSV_PARSE_U64
+#undef SPARCH_CSV_PARSE_F64
+#undef SPARCH_CSV_PARSE_STR
+#undef SPARCH_CSV_PARSE_SIZE
+#undef SPARCH_CSV_PARSE_UNSIGNED
     if (!ok)
         return false;
-    r.id = static_cast<std::size_t>(id);
-    r.configLabel = f[1];
-    r.workloadName = f[2];
-    r.shards = static_cast<unsigned>(shards);
-    r.resultNnz = static_cast<std::size_t>(result_nnz);
     record = std::move(r);
     return true;
 }

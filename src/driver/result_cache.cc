@@ -10,6 +10,7 @@
 #include "check/schedule.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "core/config_registry.hh"
 
 namespace sparch
 {
@@ -26,12 +27,6 @@ mix(std::uint64_t h, std::uint64_t v)
     return splitMix64((h ^ v) + 0x9e3779b97f4a7c15ULL);
 }
 
-std::uint64_t
-mixDouble(std::uint64_t h, double v)
-{
-    return mix(h, std::bit_cast<std::uint64_t>(v));
-}
-
 /** FNV-1a over the bytes, then folded in as one word. */
 std::uint64_t
 mixString(std::uint64_t h, const std::string &s)
@@ -40,6 +35,67 @@ mixString(std::uint64_t h, const std::string &s)
     for (unsigned char c : s)
         fnv = (fnv ^ c) * 0x100000001b3ULL;
     return mix(mix(h, s.size()), fnv);
+}
+
+// ---- registry-generated hashing ----------------------------------
+//
+// The field walk below is generated from the registries, so the hash
+// covers exactly the fields declared KEYED there, in registry order.
+// KEY_EXEMPT fields expand to nothing; a field that is in the struct
+// but not in the registry fails the config_registry.hh count asserts.
+
+// How each registry TYPE becomes the 64-bit word that feeds mix().
+#define SPARCH_HASH_VALUE_U64(expr) static_cast<std::uint64_t>(expr)
+#define SPARCH_HASH_VALUE_UNSIGNED(expr)                              \
+    static_cast<std::uint64_t>(expr)
+#define SPARCH_HASH_VALUE_BOOL(expr) ((expr) ? 1u : 0u)
+#define SPARCH_HASH_VALUE_GHZ(expr) std::bit_cast<std::uint64_t>(expr)
+#define SPARCH_HASH_VALUE_ENUM_ReplacementPolicy(expr)                \
+    static_cast<std::uint64_t>(expr)
+#define SPARCH_HASH_VALUE_ENUM_SchedulerKind(expr)                    \
+    static_cast<std::uint64_t>(expr)
+
+// KEY-disposition dispatch: KEYED mixes, KEY_EXEMPT(reason) drops.
+#define SPARCH_HASH_KEYED(word) h = mix(h, (word));
+#define SPARCH_HASH_KEY_EXEMPT(reason) SPARCH_HASH_DROP
+#define SPARCH_HASH_DROP(word)
+
+/**
+ * Hash the *active* memory backend's parameters. For kind == Hbm the
+ * exact legacy field sequence (no kind marker) keeps keys byte-stable
+ * with caches written before memory.kind existed; other kinds mix a
+ * kind marker plus their own block. Inactive blocks — including the
+ * HBM block on non-HBM runs — never feed the hash: they cannot affect
+ * results, and leftover overrides must not cause spurious misses.
+ */
+std::uint64_t
+hashActiveMemory(std::uint64_t h, const mem::MemoryConfig &memory)
+{
+    switch (memory.kind) {
+    case mem::MemoryKind::Hbm:
+#define SPARCH_MEM_FIELD_HBM(cli_name, type, member, key)             \
+    SPARCH_HASH_##key(SPARCH_HASH_VALUE_##type(memory.hbm.member))
+#include "mem/memory_fields.def"
+        break;
+    case mem::MemoryKind::Ddr4:
+    case mem::MemoryKind::Lpddr4: {
+        h = mix(h, static_cast<std::uint64_t>(memory.kind));
+        const mem::BankedDramConfig &banked =
+            memory.kind == mem::MemoryKind::Ddr4 ? memory.ddr4
+                                                 : memory.lpddr4;
+#define SPARCH_MEM_FIELD_BANKED(cli_suffix, type, member, key)        \
+    SPARCH_HASH_##key(SPARCH_HASH_VALUE_##type(banked.member))
+#include "mem/memory_fields.def"
+        break;
+    }
+    case mem::MemoryKind::Ideal:
+        h = mix(h, static_cast<std::uint64_t>(memory.kind));
+#define SPARCH_MEM_FIELD_IDEAL(cli_name, type, member, key)           \
+    SPARCH_HASH_##key(SPARCH_HASH_VALUE_##type(memory.ideal.member))
+#include "mem/memory_fields.def"
+        break;
+    }
+    return h;
 }
 
 } // namespace
@@ -55,67 +111,18 @@ ResultCache::key(const SpArchConfig &config,
                  std::uint64_t seed, unsigned shards,
                  ShardPolicy policy)
 {
-    // Every field of SpArchConfig that can change the simulation feeds
-    // the hash. Only the *active* memory backend's parameters are
-    // hashed: inactive blocks cannot affect results, and keeping the
-    // default (HBM) field sequence exactly as it was before the
-    // memory.kind axis existed means caches written by older builds
-    // still hit on memory=hbm grids (test_result_cache pins the keys).
+    // Generated from config_fields.def: every KEYED field feeds the
+    // hash in registry order (which reproduces the pre-registry field
+    // sequence byte for byte — test_config_fields pins the golden
+    // keys), KEY_EXEMPT fields are skipped, and the memory slot
+    // hashes only the active backend (legacy HBM sequence preserved,
+    // so caches written by older builds still hit on memory=hbm
+    // grids).
     std::uint64_t h = mix(0x5eedcac8eULL, kSchemaVersion);
-    h = mixDouble(h, config.clockHz);
-    h = mix(h, config.mergeTree.layers);
-    h = mix(h, config.mergeTree.mergerWidth);
-    h = mix(h, config.mergeTree.fifoCapacity);
-    h = mix(h, config.mergeTree.combineDuplicates ? 1 : 0);
-    h = mix(h, config.multipliers);
-    h = mix(h, config.lookaheadFifo);
-    h = mix(h, config.mataFetchWidth);
-    h = mix(h, config.aElementWindow);
-    h = mix(h, config.prefetchLines);
-    h = mix(h, config.prefetchLineElems);
-    h = mix(h, config.rowFetchers);
-    h = mix(h, config.prefetchRowsAhead);
-    h = mix(h, static_cast<std::uint64_t>(config.replacement));
-    h = mix(h, config.writerFifo);
-    h = mix(h, config.writerBurst);
-    h = mix(h, config.partialFetchBurst);
-    // The active memory backend occupies the slot the HBM block held
-    // before memory.kind existed: for kind == Hbm the exact legacy
-    // field sequence (byte-stable keys for old caches), otherwise a
-    // kind marker plus the active backend's own fields. Inactive
-    // blocks — including the HBM block on non-HBM runs — never feed
-    // the hash.
-    switch (config.memory.kind) {
-      case mem::MemoryKind::Hbm:
-        h = mix(h, config.memory.hbm.channels);
-        h = mix(h, config.memory.hbm.bytesPerCyclePerChannel);
-        h = mix(h, config.memory.hbm.accessLatency);
-        h = mix(h, config.memory.hbm.interleaveBytes);
-        break;
-      case mem::MemoryKind::Ddr4:
-      case mem::MemoryKind::Lpddr4: {
-        h = mix(h, static_cast<std::uint64_t>(config.memory.kind));
-        const mem::BankedDramConfig &d =
-            config.memory.kind == mem::MemoryKind::Ddr4
-                ? config.memory.ddr4
-                : config.memory.lpddr4;
-        h = mix(h, d.channels);
-        h = mix(h, d.bytesPerCyclePerChannel);
-        h = mix(h, d.banksPerChannel);
-        h = mix(h, d.rowBufferBytes);
-        h = mix(h, d.rowHitLatency);
-        h = mix(h, d.rowMissPenalty);
-        h = mix(h, d.interleaveBytes);
-        break;
-      }
-      case mem::MemoryKind::Ideal:
-        h = mix(h, static_cast<std::uint64_t>(config.memory.kind));
-        h = mix(h, config.memory.ideal.accessLatency);
-        break;
-    }
-    h = mix(h, config.matrixCondensing ? 1 : 0);
-    h = mix(h, static_cast<std::uint64_t>(config.scheduler));
-    h = mix(h, config.rowPrefetcher ? 1 : 0);
+#define SPARCH_CONFIG_FIELD(cli_name, type, member, key)              \
+    SPARCH_HASH_##key(SPARCH_HASH_VALUE_##type(config.member))
+#define SPARCH_CONFIG_MEMORY() h = hashActiveMemory(h, config.memory);
+#include "core/config_fields.def"
 
     h = mixString(h, workload_identity);
     h = mix(h, seed);

@@ -83,6 +83,8 @@ const CsrMatrix &
 Workload::left() const
 {
     SPARCH_ASSERT(data_, "left() on an empty workload");
+    // sparch-audit: allow(schedule-point-coverage, lazy build under
+    // one mutex - whichever thread wins builds the same matrix)
     std::lock_guard<std::mutex> lock(data_->mutex);
     if (!data_->left)
         data_->left = data_->make_left();
@@ -93,6 +95,8 @@ const CsrMatrix &
 Workload::right() const
 {
     SPARCH_ASSERT(data_, "right() on an empty workload");
+    // sparch-audit: allow(schedule-point-coverage, lazy build under
+    // one mutex - whichever thread wins builds the same matrix)
     std::lock_guard<std::mutex> lock(data_->mutex);
     if (!data_->make_right) {
         if (!data_->left)
@@ -254,7 +258,7 @@ WorkloadRegistry::find(const std::string &name) const
 bool
 WorkloadRegistry::contains(const std::string &name) const
 {
-    return index_.find(name) != index_.end();
+    return index_.contains(name);
 }
 
 } // namespace driver

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <utility>
 
+#include "check/schedule.hh"
 #include "driver/thread_pool.hh"
 
 namespace sparch
@@ -89,6 +90,7 @@ ThreadPoolExecutor::run(
                 done.error = "unknown error";
                 done.failed = true;
             }
+            SPARCH_SCHEDULE_POINT("thread_executor.complete");
             {
                 std::lock_guard<std::mutex> lock(mutex);
                 completed.push_back(std::move(done));
@@ -101,6 +103,7 @@ ThreadPoolExecutor::run(
     records.reserve(tasks.size());
     for (std::size_t n = 0; n < tasks.size(); ++n) {
         Completion done;
+        SPARCH_SCHEDULE_POINT("thread_executor.drain");
         {
             std::unique_lock<std::mutex> lock(mutex);
             ready.wait(lock, [&completed] {

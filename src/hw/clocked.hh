@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -68,7 +69,7 @@ class SimKernel
     }
 
     /** Advance one clock cycle. */
-    void
+    SPARCH_HOT void
     tick()
     {
         for (Clocked *m : modules_)
@@ -80,7 +81,7 @@ class SimKernel
 
     /** Advance until the predicate is true or max_cycles elapse. */
     template <typename DonePredicate>
-    bool
+    SPARCH_HOT bool
     run(DonePredicate &&done, Cycle max_cycles)
     {
         while (!done()) {

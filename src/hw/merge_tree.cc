@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/annotations.hh"
 #include "common/logging.hh"
 
 namespace sparch
@@ -121,7 +122,7 @@ MergeTree::serveParent(unsigned parent)
         eos_dirty_ = true;
 }
 
-void
+SPARCH_HOT void
 MergeTree::clockUpdate()
 {
     // One shared merger per level, serving a single parent node per
@@ -169,7 +170,7 @@ MergeTree::clockUpdate()
     }
 }
 
-void
+SPARCH_HOT void
 MergeTree::clockApply()
 {
     ++cycles_;

@@ -18,6 +18,7 @@
 
 #include <tuple>
 
+#include "common/annotations.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -41,7 +42,7 @@ class StaticKernel
     StaticKernel &operator=(const StaticKernel &) = delete;
 
     /** Advance one clock cycle. */
-    void
+    SPARCH_HOT void
     tick()
     {
         std::apply([](auto *...m) { (m->clockUpdate(), ...); }, modules_);
@@ -51,7 +52,7 @@ class StaticKernel
 
     /** Advance until the predicate is true or max_cycles elapse. */
     template <typename DonePredicate>
-    bool
+    SPARCH_HOT bool
     run(DonePredicate &&done, Cycle max_cycles)
     {
         while (!done()) {

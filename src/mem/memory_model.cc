@@ -33,15 +33,13 @@ namespace mem
 const char *
 memoryKindName(MemoryKind kind)
 {
+    // Generated from the kind registry, so the display name always
+    // matches the CLI spelling the spec parser accepts.
     switch (kind) {
-      case MemoryKind::Hbm:
-        return "hbm";
-      case MemoryKind::Ddr4:
-        return "ddr4";
-      case MemoryKind::Lpddr4:
-        return "lpddr4";
-      case MemoryKind::Ideal:
-        return "ideal";
+#define SPARCH_MEM_KIND(enumerator, text)                             \
+    case MemoryKind::enumerator:                                      \
+        return #text;
+#include "mem/memory_fields.def"
       default:
         return "unknown";
     }

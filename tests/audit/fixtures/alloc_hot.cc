@@ -1,0 +1,46 @@
+// Seeded violations for the alloc-in-hot rule: heap allocation inside
+// a function annotated SPARCH_HOT (src/common/annotations.hh). The
+// fixture is scanned, never compiled, so the annotation macro is used
+// bare.
+
+#include <memory>
+
+SPARCH_HOT int *
+hotNew()
+{
+    return new int(7); // expect(alloc-in-hot)
+}
+
+SPARCH_HOT void
+hotMalloc(void **out)
+{
+    *out = std::malloc(16); // expect(alloc-in-hot)
+}
+
+SPARCH_HOT void
+hotMakeUnique()
+{
+    auto p = std::make_unique<int>(3); // expect(alloc-in-hot)
+    (void)p;
+}
+
+SPARCH_HOT void
+hotPlacementNew(void *slot)
+{
+    new (slot) int(5); // placement new builds in place: no violation
+}
+
+int *
+coldNew()
+{
+    return new int(9); // not SPARCH_HOT: no violation
+}
+
+SPARCH_HOT void
+hotButJustified()
+{
+    // sparch-audit: allow(alloc-in-hot, fixture demonstrates an
+    // accepted suppression - one-time setup on the first call)
+    int *p = new int(1);
+    delete p;
+}

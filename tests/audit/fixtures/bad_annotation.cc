@@ -1,0 +1,28 @@
+// Seeded violations for the bad-annotation rule: sparch-audit
+// annotations that name an unknown rule, omit the reason, or never
+// form a well-parenthesized marker.
+
+void
+unknownRule()
+{
+    // sparch-audit: allow(made-up-rule, some reason) expect(bad-annotation)
+}
+
+void
+emptyReason()
+{
+    // sparch-audit: allow(alloc-in-hot, ) expect(bad-annotation)
+}
+
+void
+malformedMarker()
+{
+    // sparch-audit: allow alloc-in-hot without parens expect(bad-annotation)
+}
+
+void
+wellFormed()
+{
+    // sparch-audit: allow(alloc-in-hot, a correct annotation reports
+    // nothing even when it suppresses nothing)
+}

@@ -1,0 +1,10 @@
+// Coverage fixture: paired with coverage_fields.def by name. Member
+// `b` is deliberately missing from the registry, so deleting a
+// registry line (or adding a member without registering it) is the
+// scenario this fixture locks in.
+
+struct FixtureConfig
+{
+    int a = 0;
+    int b = 0; // expect(config-field-coverage)
+};

@@ -1,0 +1,31 @@
+// Seeded violations for the nolint-reason rule: every lint
+// suppression must name its checks and carry a justification.
+
+void
+bareNolint()
+{
+    int x = 0; // NOLINT expect(nolint-reason)
+    (void)x;
+}
+
+void
+emptyCheckList()
+{
+    int y = 0; // NOLINT() expect(nolint-reason)
+    (void)y;
+}
+
+void
+noJustification()
+{
+    long z = 0; // NOLINT(bugprone-foo) expect(nolint-reason)
+    (void)z;
+}
+
+void
+justified()
+{
+    // NOLINTNEXTLINE(bugprone-bar): fixture shows the accepted form
+    double w = 0;
+    (void)w;
+}

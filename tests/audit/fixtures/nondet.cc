@@ -1,0 +1,47 @@
+// Seeded violations for the nondet-in-keyed rule. Fixture mode treats
+// every file as keyed scope; in the real tree the rule covers
+// src/driver and src/cli. Each expect marker asserts that the audit
+// reports exactly that rule on that line. This file is an audit
+// fixture, not part of the build.
+
+#include <cstdlib>
+#include <ctime>
+#include <chrono>
+#include <map>
+#include <unordered_map>
+
+int
+badRand()
+{
+    return std::rand(); // expect(nondet-in-keyed)
+}
+
+long
+badTime()
+{
+    return time(nullptr); // expect(nondet-in-keyed)
+}
+
+long
+badClock()
+{
+    const auto t = std::chrono::steady_clock::now(); // expect(nondet-in-keyed)
+    return t.time_since_epoch().count();
+}
+
+int
+badUnorderedIteration()
+{
+    std::unordered_map<int, int> counts;
+    int total = 0;
+    for (const auto &entry : counts) // expect(nondet-in-keyed)
+        total += entry.second;
+    return total;
+}
+
+std::map<const int *, int> byAddress; // expect(nondet-in-keyed)
+
+// A justified suppression reads like this and reports nothing:
+// sparch-audit: allow(nondet-in-keyed, fixture demonstrates an
+// accepted suppression - the map is never iterated)
+std::map<const char *, int> allowedByAddress;

@@ -1,0 +1,16 @@
+// sparch-audit: allow-file(schedule-point-coverage, fixture
+// demonstrates a file-wide exemption like the schedule harness's own)
+
+#include <mutex>
+
+void
+exemptLockA(std::mutex &m)
+{
+    std::lock_guard<std::mutex> lock(m); // suppressed file-wide
+}
+
+void
+exemptLockB(std::mutex &m)
+{
+    std::lock_guard<std::mutex> lock(m); // suppressed file-wide
+}

@@ -1,0 +1,34 @@
+// Seeded violations for the schedule-point-coverage rule: a
+// synchronization site whose enclosing function has neither a
+// SPARCH_SCHEDULE_POINT nor an allow annotation.
+
+#include <condition_variable>
+#include <mutex>
+
+void
+uncoveredLock(std::mutex &m)
+{
+    std::lock_guard<std::mutex> lock(m); // expect(schedule-point-coverage)
+}
+
+void
+uncoveredWait(std::mutex &m, std::condition_variable &cv, bool &flag)
+{
+    std::unique_lock<std::mutex> lock(m); // expect(schedule-point-coverage)
+    cv.wait(lock, [&flag] { return flag; }); // expect(schedule-point-coverage)
+}
+
+void
+coveredLock(std::mutex &m)
+{
+    SPARCH_SCHEDULE_POINT("fixture.covered");
+    std::lock_guard<std::mutex> lock(m);
+}
+
+void
+annotatedLock(std::mutex &m)
+{
+    // sparch-audit: allow(schedule-point-coverage, fixture
+    // demonstrates a justified single-acquisition site)
+    std::lock_guard<std::mutex> lock(m);
+}
