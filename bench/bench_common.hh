@@ -15,10 +15,13 @@
 #define SPARCH_BENCH_BENCH_COMMON_HH
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "baselines/benchmarks.hh"
 #include "bench/json_writer.hh"
@@ -201,6 +204,82 @@ maybeWriteJson(const std::vector<driver::BatchRecord> &records)
     if (!out)
         fatal("SPARCH_BENCH_JSON: cannot write '", path, "'");
     out << json.str() << "\n";
+}
+
+/** Seconds elapsed since `start` on the steady clock. */
+inline double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/**
+ * Fixed-work calibration: a SplitMix64 stream reduction whose cost
+ * depends only on the machine, never on the workload scale. Every
+ * trajectory-writing bench divides its timing by this so two machines
+ * of different speed can be compared ratio-to-ratio, which is what
+ * lets CI regression-gate against a trajectory recorded elsewhere
+ * (scripts/bench_trajectory.sh, ci.yml perf-smoke).
+ */
+inline double
+calibrationSeconds()
+{
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t x = 0x9e3779b97f4a7c15ULL, acc = 0;
+    for (std::uint64_t i = 0; i < (1ULL << 25); ++i) {
+        x += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        acc ^= z ^ (z >> 31);
+    }
+    // Fold the accumulator into the timing read so the loop cannot be
+    // dead-code eliminated.
+    volatile std::uint64_t sink = acc;
+    (void)sink;
+    return secondsSince(start);
+}
+
+/** First "model name" line of /proc/cpuinfo, or "unknown". */
+inline std::string
+cpuModel()
+{
+    std::ifstream cpuinfo("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(cpuinfo, line)) {
+        const auto colon = line.find(':');
+        if (line.rfind("model name", 0) == 0 && colon != std::string::npos) {
+            const auto begin = line.find_first_not_of(" \t", colon + 1);
+            return begin == std::string::npos ? "unknown"
+                                              : line.substr(begin);
+        }
+    }
+    return "unknown";
+}
+
+inline std::string
+hostName()
+{
+    char buf[256] = {};
+    if (gethostname(buf, sizeof(buf) - 1) != 0)
+        return "unknown";
+    return buf;
+}
+
+/** The shared "machine" block of a trajectory JSON entry. */
+inline void
+writeMachineBlock(JsonWriter &json)
+{
+    json.key("machine");
+    json.beginObject();
+    json.field("host", hostName());
+    json.field("cpu", cpuModel());
+    json.field("hardware_threads",
+               driver::ThreadPool::hardwareThreads());
+    json.field("compiler", __VERSION__);
+    json.endObject();
 }
 
 /** Generate the proxy for one suite entry at the bench scale. */

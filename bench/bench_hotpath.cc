@@ -31,8 +31,6 @@
 #include <string>
 #include <vector>
 
-#include <unistd.h>
-
 #include "bench/bench_common.hh"
 #include "bench/json_writer.hh"
 #include "core/tick_kernel.hh"
@@ -41,62 +39,6 @@ namespace
 {
 
 using Clock = std::chrono::steady_clock;
-
-double
-secondsSince(Clock::time_point start)
-{
-    return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-/**
- * Fixed-work calibration: a SplitMix64 stream reduction whose cost
- * depends only on the machine, never on the workload scale. Both the
- * trajectory entry and the CI gate divide by this.
- */
-double
-calibrationSeconds()
-{
-    const auto start = Clock::now();
-    std::uint64_t x = 0x9e3779b97f4a7c15ULL, acc = 0;
-    for (std::uint64_t i = 0; i < (1ULL << 25); ++i) {
-        x += 0x9e3779b97f4a7c15ULL;
-        std::uint64_t z = x;
-        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-        acc ^= z ^ (z >> 31);
-    }
-    // Fold the accumulator into the timing read so the loop cannot be
-    // dead-code eliminated.
-    volatile std::uint64_t sink = acc;
-    (void)sink;
-    return secondsSince(start);
-}
-
-/** First "model name" line of /proc/cpuinfo, or "unknown". */
-std::string
-cpuModel()
-{
-    std::ifstream cpuinfo("/proc/cpuinfo");
-    std::string line;
-    while (std::getline(cpuinfo, line)) {
-        const auto colon = line.find(':');
-        if (line.rfind("model name", 0) == 0 && colon != std::string::npos) {
-            const auto begin = line.find_first_not_of(" \t", colon + 1);
-            return begin == std::string::npos ? "unknown"
-                                              : line.substr(begin);
-        }
-    }
-    return "unknown";
-}
-
-std::string
-hostName()
-{
-    char buf[256] = {};
-    if (gethostname(buf, sizeof(buf) - 1) != 0)
-        return "unknown";
-    return buf;
-}
 
 } // namespace
 
@@ -194,14 +136,7 @@ main()
         json.field("result_nnz", total_nnz_out);
         json.field("calibration_seconds", calib);
         json.field("normalized_cost", median / calib);
-        json.key("machine");
-        json.beginObject();
-        json.field("host", hostName());
-        json.field("cpu", cpuModel());
-        json.field("hardware_threads",
-                   driver::ThreadPool::hardwareThreads());
-        json.field("compiler", __VERSION__);
-        json.endObject();
+        writeMachineBlock(json);
         json.endObject();
         std::ofstream out(path);
         if (!out)

@@ -1,32 +1,75 @@
 #!/usr/bin/env bash
-# Append one bench_hotpath measurement to the checked-in benchmark
+# Append one benchmark measurement to the checked-in benchmark
 # trajectory (BENCH_simulator.json at the repository root).
 #
-# The trajectory records how long one serial simulation of the fig12
-# suite takes, PR over PR, on whatever machine ran it: every entry
-# carries a machine fingerprint and a `normalized_cost` (median wall
-# clock divided by a fixed-work calibration loop timed in the same
-# process), so entries from different machines compare ratio-to-ratio.
-# CI's perf-smoke job gates on the latest entry at its scale.
+# The trajectory records perf PR over PR, on whatever machine ran it:
+# every entry carries a machine fingerprint and a machine-normalized
+# metric (wall clock or throughput divided by / multiplied by a
+# fixed-work calibration loop timed in the same process), so entries
+# from different machines compare ratio-to-ratio. CI's perf-smoke job
+# gates on the latest entry of each schema at its scale.
 #
-# usage: scripts/bench_trajectory.sh <label> [build-dir]
+# Two benches feed the trajectory, selected by the third argument:
+#   hotpath    bench_hotpath   (schema sparch-bench-hotpath-v1,
+#              gated on normalized_cost)
+#   surrogate  bench_surrogate (schema sparch-bench-surrogate-v1,
+#              gated on points_per_second >= 1e6)
+#
+# Entries record the exact commit they measured: the script refuses to
+# run on a dirty tree (an entry stamped with a HEAD that does not
+# contain the measured code is untraceable) unless
+# SPARCH_BENCH_ALLOW_DIRTY=1 is set, in which case the entry is
+# annotated with "dirty": true.
+#
+# usage: scripts/bench_trajectory.sh <label> [build-dir] [bench]
 #   label      trajectory entry label, e.g. "PR7-post"
-#   build-dir  CMake build dir containing bench/bench_hotpath
+#   build-dir  CMake build dir containing the bench binaries
 #              (default: build)
-# env: SPARCH_BENCH_NNZ (default 60000), SPARCH_BENCH_REPS (default 3)
+#   bench      hotpath (default) | surrogate
+# env: SPARCH_BENCH_NNZ (default 60000), SPARCH_BENCH_REPS (default 3),
+#      SPARCH_BENCH_SURROGATE_POINTS (default 100000),
+#      SPARCH_BENCH_ALLOW_DIRTY=1 to append from a dirty tree
 
 set -euo pipefail
 
-label="${1:?usage: bench_trajectory.sh <label> [build-dir]}"
+label="${1:?usage: bench_trajectory.sh <label> [build-dir] [bench]}"
 build="${2:-build}"
+which_bench="${3:-hotpath}"
 root="$(cd "$(dirname "$0")/.." && pwd)"
 traj="$root/BENCH_simulator.json"
-bench="$root/$build/bench/bench_hotpath"
+
+case "$which_bench" in
+hotpath) bench="$root/$build/bench/bench_hotpath" ;;
+surrogate) bench="$root/$build/bench/bench_surrogate" ;;
+*)
+    echo "bench_trajectory: unknown bench '$which_bench'" \
+         "(want hotpath or surrogate)" >&2
+    exit 1
+    ;;
+esac
 
 if [ ! -x "$bench" ]; then
     echo "bench_trajectory: $bench is not built" \
-         "(cmake --build $build --target bench_hotpath)" >&2
+         "(cmake --build $build --target bench_$which_bench)" >&2
     exit 1
+fi
+
+# The real commit, not `git describe`'s nearest-tag guess, and an
+# explicit dirty check: a "-dirty" suffix in the git field means the
+# measured tree is unrecoverable from the hash it names.
+rev="$(git -C "$root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+dirty=0
+if [ -n "$(git -C "$root" status --porcelain 2>/dev/null)" ]; then
+    dirty=1
+    if [ "${SPARCH_BENCH_ALLOW_DIRTY:-0}" != "1" ]; then
+        echo "bench_trajectory: working tree is dirty; commit first" \
+             "so the entry's git field names the measured code, or" \
+             "set SPARCH_BENCH_ALLOW_DIRTY=1 to append an entry" \
+             "annotated \"dirty\": true" >&2
+        exit 1
+    fi
+    echo "bench_trajectory: WARNING: appending from a dirty tree;" \
+         "entry will be annotated \"dirty\": true" >&2
 fi
 
 entry="$(mktemp)"
@@ -36,17 +79,19 @@ SPARCH_BENCH_NNZ="${SPARCH_BENCH_NNZ:-60000}" \
 SPARCH_BENCH_REPS="${SPARCH_BENCH_REPS:-3}" \
 SPARCH_BENCH_JSON="$entry" "$bench"
 
-rev="$(git -C "$root" describe --always --dirty 2>/dev/null || echo unknown)"
 stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
-python3 - "$traj" "$entry" "$label" "$rev" "$stamp" <<'EOF'
+python3 - "$traj" "$entry" "$label" "$rev" "$stamp" "$dirty" <<'EOF'
 import json
 import sys
 
-traj_path, entry_path, label, rev, stamp = sys.argv[1:6]
+traj_path, entry_path, label, rev, stamp, dirty = sys.argv[1:7]
 with open(entry_path) as f:
     entry = json.load(f)
-entry = {"label": label, "git": rev, "date": stamp, **entry}
+head = {"label": label, "git": rev, "date": stamp}
+if dirty == "1":
+    head["dirty"] = True
+entry = {**head, **entry}
 
 try:
     with open(traj_path) as f:
@@ -62,6 +107,9 @@ traj["entries"].append(entry)
 with open(traj_path, "w") as f:
     json.dump(traj, f, indent=2)
     f.write("\n")
-print(f"bench_trajectory: appended '{label}' "
-      f"(normalized_cost {entry['normalized_cost']:.2f}) to {traj_path}")
+if "normalized_cost" in entry:
+    metric = f"normalized_cost {entry['normalized_cost']:.2f}"
+else:
+    metric = f"{entry['points_per_second'] / 1e6:.2f} Mpoints/s"
+print(f"bench_trajectory: appended '{label}' ({metric}) to {traj_path}")
 EOF

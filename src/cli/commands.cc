@@ -9,6 +9,10 @@
 #include <ostream>
 #include <sstream>
 
+#include <algorithm>
+#include <cmath>
+#include <future>
+
 #include "baselines/benchmarks.hh"
 #include "check/invariants.hh"
 #include "cli/flags.hh"
@@ -19,6 +23,9 @@
 #include "driver/batch_runner.hh"
 #include "driver/result_cache.hh"
 #include "driver/thread_pool.hh"
+#include "dse/pareto.hh"
+#include "dse/surrogate.hh"
+#include "dse/workload_stats.hh"
 #include "exec/local_executors.hh"
 #include "exec/process_pool_executor.hh"
 
@@ -90,6 +97,28 @@ const char *kUsage =
     "omitted\n"
     "from the CSV; re-run with --cache to simulate only those "
     "points)\n"
+    "\n"
+    "surrogate-first sweep (two-tier DSE):\n"
+    "  --surrogate            score every grid point with the batched "
+    "analytic\n"
+    "                         model first, then simulate only the "
+    "Pareto\n"
+    "                         survivors (cycles x energy x DRAM "
+    "traffic);\n"
+    "                         the CSV carries both tiers via its "
+    "'tier' column;\n"
+    "                         frontiers are per workload x shard "
+    "group, across\n"
+    "                         the config axis\n"
+    "  --surrogate-keep K     total simulation budget, split evenly "
+    "across the\n"
+    "                         groups (default 10% of the grid, at "
+    "least one per\n"
+    "                         group; 0 = the whole Pareto frontier)\n"
+    "  --surrogate-eps E      relative epsilon-dominance slack "
+    "(default 0):\n"
+    "                         larger values thin near-ties off the "
+    "frontier\n"
     "\n"
     "workload specs:\n"
     "  suite:<name> | suite:*            20-matrix suite proxies\n"
@@ -231,13 +260,264 @@ cmdRun(const std::vector<std::string> &args, std::ostream &out,
     return stats.failed == 0 ? 0 : 3;
 }
 
+/** Round a nonnegative surrogate estimate into an integer column. */
+std::uint64_t
+estU64(double value)
+{
+    return value <= 0.0 ? 0
+                        : static_cast<std::uint64_t>(value + 0.5);
+}
+
+/** Map one surrogate estimate into the record CSV schema. */
+BatchRecord
+makeSurrogateRecord(const GridSpec &grid, const GridPointRef &ref,
+                    const sparch::dse::SurrogateEstimate &est)
+{
+    BatchRecord r;
+    r.id = ref.id;
+    r.configLabel = grid.configs[ref.configIdx].first;
+    r.workloadName = grid.workloads[ref.workloadIdx].name();
+    r.seed = BatchRunner::taskSeed(grid.seed, ref.id);
+    r.shards = grid.shards[ref.shardIdx];
+    r.resultNnz = static_cast<std::size_t>(estU64(est.outputNnz));
+    r.tier = "surrogate";
+    r.sim.cycles = estU64(est.cycles);
+    r.sim.seconds = est.seconds;
+    r.sim.flops = estU64(2.0 * est.multiplies);
+    r.sim.gflops = est.gflops;
+    r.sim.bytesMatA = estU64(est.bytesMatA);
+    r.sim.bytesMatB = estU64(est.bytesMatB);
+    r.sim.bytesPartialRead = estU64(est.bytesPartialRead);
+    r.sim.bytesPartialWrite = estU64(est.bytesPartialWrite);
+    r.sim.bytesFinalWrite = estU64(est.bytesFinalWrite);
+    r.sim.bytesTotal = estU64(est.bytesTotal);
+    r.sim.bandwidthUtilization = est.bandwidthUtilization;
+    r.sim.prefetchHitRate = est.prefetchHitRate;
+    r.sim.multiplies = estU64(est.multiplies);
+    r.sim.additions = estU64(est.additions);
+    r.sim.partialMatrices = estU64(est.partialMatrices);
+    r.sim.mergeRounds = estU64(est.mergeRounds);
+    return r;
+}
+
+/** Mean/max |surrogate - simulated| / simulated over survivors. */
+struct CalibrationError
+{
+    double sum = 0.0;
+    double max = 0.0;
+    std::size_t n = 0;
+
+    void
+    sample(double estimate, double simulated)
+    {
+        if (simulated <= 0.0)
+            return;
+        const double rel =
+            std::fabs(estimate - simulated) / simulated;
+        sum += rel;
+        if (rel > max)
+            max = rel;
+        ++n;
+    }
+
+    double mean() const { return n == 0 ? 0.0 : sum / n; }
+};
+
+/**
+ * The --surrogate sweep: score the whole grid with the batched
+ * analytic evaluator, Pareto-filter on (cycles, energy, DRAM bytes),
+ * simulate only the survivors — with the seeds and ids of the
+ * untiered grid, so survivor records (and cache keys) are
+ * byte-identical to a plain sweep's — and emit both tiers into one
+ * CSV plus a calibration report of surrogate-vs-simulated error.
+ */
+int
+runSurrogateSweep(const GridSpec &grid, const std::string &grid_path,
+                  const FlagSet &flags, std::ostream &out,
+                  std::ostream &err)
+{
+    namespace dse = sparch::dse;
+    const unsigned threads =
+        resolveThreads(flags.has("threads")
+                           ? flags.getUnsigned("threads", 0)
+                           : grid.threads);
+    const std::size_t total = gridPointCount(grid);
+
+    // Stats tier: one extraction per unique workload, persisted in a
+    // sidecar next to the result cache so repeat sweeps never
+    // materialize known operands.
+    const std::string cache_path = flags.get("cache");
+    dse::WorkloadStatsCache stats_cache(
+        cache_path.empty() ? std::string{} : cache_path + ".stats");
+    dse::WorkloadStatsSoA soa;
+    for (const driver::Workload &w : grid.workloads)
+        soa.push(stats_cache.obtain(w));
+    stats_cache.save();
+
+    // Surrogate tier: one evaluator per config over the shared stats,
+    // fanned across the pool (configs are independent).
+    std::vector<dse::SurrogateBatch> batches(grid.configs.size());
+    const auto evaluate_config = [&grid, &soa, &batches](
+                                     std::size_t c) {
+        const dse::SurrogateEvaluator evaluator(
+            grid.configs[c].second);
+        evaluator.evaluate(soa, batches[c]);
+    };
+    if (threads > 1 && grid.configs.size() > 1) {
+        driver::ThreadPool pool(threads);
+        std::vector<std::future<void>> futures;
+        futures.reserve(grid.configs.size());
+        for (std::size_t c = 0; c < grid.configs.size(); ++c)
+            futures.push_back(
+                pool.submit([&evaluate_config, c] {
+                    evaluate_config(c);
+                }));
+        for (std::future<void> &f : futures)
+            f.get();
+    } else {
+        for (std::size_t c = 0; c < grid.configs.size(); ++c)
+            evaluate_config(c);
+    }
+
+    // Offer every point in id order (deterministic regardless of the
+    // evaluation thread count) and keep the full surrogate tier for
+    // the CSV. Frontiers are per (workload x shard) group, across the
+    // config axis: objectives of different workloads differ by orders
+    // of magnitude, so a grid-wide frontier would collapse onto the
+    // cheapest workload instead of ranking design points.
+    const std::size_t groups =
+        grid.workloads.size() * grid.shards.size();
+    std::vector<dse::ParetoFilter> filters(
+        groups,
+        dse::ParetoFilter(flags.getDouble("surrogate-eps", 0.0)));
+    std::vector<BatchRecord> surrogate_records;
+    surrogate_records.reserve(total);
+    for (std::size_t id = 0; id < total; ++id) {
+        const GridPointRef ref = gridPointAt(grid, id);
+        const dse::SurrogateEstimate est =
+            batches[ref.configIdx].get(ref.workloadIdx);
+        filters[ref.workloadIdx * grid.shards.size() + ref.shardIdx]
+            .offer(id, {est.cycles, est.energyJ, est.bytesTotal});
+        surrogate_records.push_back(
+            makeSurrogateRecord(grid, ref, est));
+    }
+
+    // --surrogate-keep is the total simulation budget, split evenly
+    // across the groups (at least one survivor each); 0 lifts the cap
+    // and simulates every frontier point.
+    const std::size_t keep =
+        flags.has("surrogate-keep")
+            ? static_cast<std::size_t>(
+                  flags.getU64("surrogate-keep", 0))
+            : std::max<std::size_t>(1, total / 10);
+    const std::size_t keep_per_group =
+        keep == 0 ? 0 : std::max<std::size_t>(1, keep / groups);
+    std::size_t frontier_size = 0;
+    std::vector<dse::ParetoPoint> survivors;
+    for (const dse::ParetoFilter &filter : filters) {
+        frontier_size += filter.size();
+        for (const dse::ParetoPoint &p :
+             filter.survivors(keep_per_group))
+            survivors.push_back(p);
+    }
+    std::sort(survivors.begin(), survivors.end(),
+              [](const dse::ParetoPoint &a,
+                 const dse::ParetoPoint &b) { return a.id < b.id; });
+    err << "sparch: surrogate tier: " << total
+        << " points evaluated, frontier=" << frontier_size
+        << ", survivors=" << survivors.size() << " ("
+        << TablePrinter::num(
+               total == 0 ? 0.0
+                          : 100.0 * static_cast<double>(
+                                        survivors.size()) /
+                                static_cast<double>(total),
+               1)
+        << "% simulated)\n";
+
+    // Cycle-accurate tier: a dense runner over the survivors only.
+    // addWithSeed pins each task to its *original* grid id's seed;
+    // runner-internal ids are dense 0..K-1 in ascending original-id
+    // order, restamped back after the run.
+    BatchRunner runner(threads, grid.seed);
+    for (const dse::ParetoPoint &p : survivors) {
+        const GridPointRef ref = gridPointAt(grid, p.id);
+        runner.addWithSeed(grid.configs[ref.configIdx].first,
+                           grid.configs[ref.configIdx].second,
+                           grid.workloads[ref.workloadIdx],
+                           BatchRunner::taskSeed(grid.seed, p.id),
+                           grid.shards[ref.shardIdx], grid.policy);
+    }
+
+    const std::unique_ptr<sparch::exec::Executor> executor =
+        makeExecutor(flags.get("exec", "threads"), threads,
+                     resolveThreads(flags.getUnsigned("procs", 0)));
+    ResultCache cache(cache_path);
+    ResultCache *cache_ptr = flags.has("cache") ? &cache : nullptr;
+    RunStats stats;
+    std::vector<BatchRecord> sim_records =
+        runner.run(*executor, cache_ptr, &stats);
+    if (cache_ptr != nullptr)
+        cache_ptr->save();
+    for (BatchRecord &r : sim_records)
+        r.id = survivors[r.id].id;
+    for (driver::FailedPoint &f : stats.failures)
+        f.id = survivors[f.id].id;
+
+    // Calibration: surrogate-vs-simulated relative error on the
+    // survivors that actually simulated.
+    CalibrationError cycles_err;
+    CalibrationError bytes_err;
+    for (const BatchRecord &r : sim_records) {
+        const BatchRecord &est = surrogate_records[r.id];
+        cycles_err.sample(static_cast<double>(est.sim.cycles),
+                          static_cast<double>(r.sim.cycles));
+        bytes_err.sample(static_cast<double>(est.sim.bytesTotal),
+                         static_cast<double>(r.sim.bytesTotal));
+    }
+    err << "sparch: surrogate calibration (" << sim_records.size()
+        << " survivors): cycles mean="
+        << TablePrinter::num(100.0 * cycles_err.mean(), 1)
+        << "% max=" << TablePrinter::num(100.0 * cycles_err.max, 1)
+        << "%; dram-bytes mean="
+        << TablePrinter::num(100.0 * bytes_err.mean(), 1)
+        << "% max=" << TablePrinter::num(100.0 * bytes_err.max, 1)
+        << "%\n";
+
+    // One CSV, both tiers: the full surrogate grid first (ids
+    // ascending), then the simulated survivors (ids ascending).
+    std::vector<BatchRecord> all_records;
+    all_records.reserve(surrogate_records.size() +
+                        sim_records.size());
+    for (BatchRecord &r : surrogate_records)
+        all_records.push_back(std::move(r));
+    for (BatchRecord &r : sim_records)
+        all_records.push_back(std::move(r));
+    const std::string csv = flags.get("csv");
+    if (!csv.empty())
+        emitCsv(all_records, csv, out);
+    if (csv.empty() || flags.has("table")) {
+        const std::vector<BatchRecord> sim_view(
+            all_records.begin() +
+                static_cast<std::ptrdiff_t>(total),
+            all_records.end());
+        BatchRunner::toTable(sim_view, "sparch sweep (surrogate "
+                                       "survivors): " +
+                                           grid_path)
+            .print(out);
+    }
+    reportStats(stats, cache_ptr, err);
+    return stats.failed == 0 ? 0 : 3;
+}
+
 int
 cmdSweep(const std::vector<std::string> &args, std::ostream &out,
          std::ostream &err)
 {
     const FlagSet flags(
-        args, {"grid", "csv", "cache", "threads", "exec", "procs"},
-        {"table", "check"});
+        args,
+        {"grid", "csv", "cache", "threads", "exec", "procs",
+         "surrogate-keep", "surrogate-eps"},
+        {"table", "check", "surrogate"});
     if (!flags.positional().empty())
         fatal("sweep: unexpected argument '", flags.positional()[0],
               "' (workloads belong in the grid file)");
@@ -247,6 +527,11 @@ cmdSweep(const std::vector<std::string> &args, std::ostream &out,
         fatal("sweep: --grid FILE is required");
 
     const GridSpec grid = parseGridSpecFile(grid_path);
+    if (flags.has("surrogate"))
+        return runSurrogateSweep(grid, grid_path, flags, out, err);
+    if (flags.has("surrogate-keep") || flags.has("surrogate-eps"))
+        fatal("sweep: --surrogate-keep/--surrogate-eps need "
+              "--surrogate");
     const unsigned threads = flags.has("threads")
                                  ? flags.getUnsigned("threads", 0)
                                  : grid.threads;

@@ -839,5 +839,27 @@ parseGridSpecFile(const std::string &path)
     return parseGridSpec(in, path);
 }
 
+std::size_t
+gridPointCount(const GridSpec &grid)
+{
+    return grid.configs.size() * grid.workloads.size() *
+           grid.shards.size();
+}
+
+GridPointRef
+gridPointAt(const GridSpec &grid, std::size_t id)
+{
+    SPARCH_ASSERT(id < gridPointCount(grid),
+                  "grid point id out of range");
+    const std::size_t n_shards = grid.shards.size();
+    const std::size_t n_workloads = grid.workloads.size();
+    GridPointRef ref;
+    ref.id = id;
+    ref.shardIdx = id % n_shards;
+    ref.workloadIdx = (id / n_shards) % n_workloads;
+    ref.configIdx = id / (n_shards * n_workloads);
+    return ref;
+}
+
 } // namespace cli
 } // namespace sparch

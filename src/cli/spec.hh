@@ -156,6 +156,29 @@ struct GridSpec
     WorkloadDefaults defaults;
 };
 
+/**
+ * One grid point of a spec's configs x workloads x shards cross
+ * product, identified without building BatchRunner tasks. The id
+ * enumeration is exactly addShardSweep's (config-major, then
+ * workload, then shard count), so ids, per-task seeds and records
+ * line up point for point with an untiered sweep of the same spec —
+ * that is what lets the surrogate tier score a grid it never
+ * materializes and still hand survivor ids to the simulator.
+ */
+struct GridPointRef
+{
+    std::size_t id = 0;
+    std::size_t configIdx = 0;
+    std::size_t workloadIdx = 0;
+    std::size_t shardIdx = 0;
+};
+
+/** Grid points the spec expands to: configs x workloads x shards. */
+std::size_t gridPointCount(const GridSpec &grid);
+
+/** Decompose a grid-point id; asserts id < gridPointCount(grid). */
+GridPointRef gridPointAt(const GridSpec &grid, std::size_t id);
+
 /** Parse a grid-spec stream; `what` names it in error messages. */
 GridSpec parseGridSpec(std::istream &in, const std::string &what);
 

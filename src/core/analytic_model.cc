@@ -32,6 +32,76 @@ rereadFactorApprox(double num_partials, double ways)
     return ways / (ways - 1.0) * std::log(t);
 }
 
+namespace
+{
+
+/**
+ * Digamma via the asymptotic expansion, valid for x >= 8 (relative
+ * error well under 1e-9 there); callers shift smaller arguments up
+ * with the recurrence psi(x) = psi(x+1) - 1/x first.
+ */
+double
+digammaLarge(double x)
+{
+    const double inv = 1.0 / x;
+    const double inv2 = inv * inv;
+    return std::log(x) - 0.5 * inv -
+           inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0));
+}
+
+/** Digamma for any positive argument (recurrence + expansion). */
+double
+digamma(double x)
+{
+    double shift = 0.0;
+    while (x < 8.0)
+    {
+        shift -= 1.0 / x;
+        x += 1.0;
+    }
+    return shift + digammaLarge(x);
+}
+
+} // namespace
+
+void
+rereadFactorBatch(const double *num_partials, std::size_t count,
+                  double ways, double *out)
+{
+    SPARCH_ASSERT(ways > 1, "merger must be at least 2-way");
+    const double w = ways;
+    const double inv_rounds = 1.0 / (w - 1.0);
+    const double scale = w / (w - 1.0);
+    // c = 1/(w-1); sum_{i=1..t} 1/(c+i) = psi(c+t+1) - psi(c+1). The
+    // base term depends only on the tree shape, so it is hoisted out
+    // of the per-point loop.
+    const double c = inv_rounds;
+    const double psi_base = digamma(c + 1.0);
+    for (std::size_t i = 0; i < count; ++i)
+    {
+        const double n = num_partials[i];
+        if (n <= w)
+        {
+            out[i] = 0.0;
+            continue;
+        }
+        const double t = std::ceil((n - 1.0) * inv_rounds);
+        const double x = c + t + 1.0;
+        if (x >= 8.0)
+        {
+            out[i] = scale * (digammaLarge(x) - psi_base);
+        }
+        else
+        {
+            // Few rounds: the exact sum is both cheaper and exact.
+            double sum = 0.0;
+            for (double j = 1.0; j <= t; j += 1.0)
+                sum += 1.0 / (c + j);
+            out[i] = scale * sum;
+        }
+    }
+}
+
 AnalyticTraffic
 analyzeTraffic(const AnalyticInputs &in)
 {

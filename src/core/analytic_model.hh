@@ -16,6 +16,7 @@
 #ifndef SPARCH_CORE_ANALYTIC_MODEL_HH
 #define SPARCH_CORE_ANALYTIC_MODEL_HH
 
+#include <cstddef>
 #include <cstdint>
 
 namespace sparch
@@ -58,6 +59,18 @@ double rereadFactorExact(double num_partials, double ways);
 
 /** Log approximation, formula (7): E ~ w/(w-1) * ln t. */
 double rereadFactorApprox(double num_partials, double ways);
+
+/**
+ * Batched formula (5) for the surrogate evaluator: fills `out[i]` with
+ * the reread factor for `num_partials[i]` partial matrices merged by a
+ * shared `ways`-way tree. Exact-sum accuracy is kept to within ~1e-6
+ * relative by summing the few-round cases directly and switching to a
+ * digamma closed form (with its asymptotic expansion) beyond that, so
+ * the per-point cost stays at one log plus a handful of divides — tight
+ * enough to vectorize over millions of points.
+ */
+void rereadFactorBatch(const double *num_partials, std::size_t count,
+                       double ways, double *out);
 
 /** Evaluate the whole Section III-C traffic chain. */
 AnalyticTraffic analyzeTraffic(const AnalyticInputs &in);

@@ -48,6 +48,18 @@ BatchRunner::add(std::string config_label, const SpArchConfig &config,
 }
 
 std::size_t
+BatchRunner::addWithSeed(std::string config_label,
+                         const SpArchConfig &config, Workload workload,
+                         std::uint64_t seed, unsigned shards,
+                         ShardPolicy policy)
+{
+    const std::size_t id = add(std::move(config_label), config,
+                               std::move(workload), shards, policy);
+    tasks_[id].seed = seed;
+    return id;
+}
+
+std::size_t
 BatchRunner::addSeeded(
     std::string config_label, const SpArchConfig &config,
     const std::function<Workload(std::uint64_t)> &factory)
@@ -351,7 +363,7 @@ constexpr std::size_t kCsvFieldCount =
 #define SPARCH_RECORD_FIELD(column, type, member) +1
 #include "driver/record_fields.def"
     ;
-static_assert(kCsvFieldCount == 22,
+static_assert(kCsvFieldCount == 23,
               "the CSV schema changed: grow record_fields.def "
               "append-only and update this pin (reordering or "
               "renaming invalidates persisted caches and the fig12 "

@@ -78,6 +78,13 @@ struct BatchRecord
     unsigned shards = 1;
     /** Product nonzeros (kept even when the matrix is dropped). */
     std::size_t resultNnz = 0;
+    /**
+     * Which tier produced the measurements: "sim" (cycle-accurate,
+     * the default — every record BatchRunner itself produces) or
+     * "surrogate" (batched analytic estimate; the surrogate-first
+     * sweep path emits both tiers into one CSV).
+     */
+    std::string tier = "sim";
     SpArchResult sim;
 };
 
@@ -132,6 +139,22 @@ class BatchRunner
                     const SpArchConfig &config, Workload workload,
                     unsigned shards = 1,
                     ShardPolicy policy = ShardPolicy::NnzBalanced);
+
+    /**
+     * Append one task with an explicit per-task seed instead of the
+     * derived taskSeed(base, id). The surrogate-first sweep runs only
+     * Pareto survivors, but each survivor must simulate with (and
+     * record) the seed of its *original* grid id so its record — and
+     * its result-cache key — is byte-identical to the untiered
+     * sweep's; the caller restamps the returned records' ids back to
+     * the original grid afterwards.
+     */
+    std::size_t addWithSeed(std::string config_label,
+                            const SpArchConfig &config,
+                            Workload workload, std::uint64_t seed,
+                            unsigned shards = 1,
+                            ShardPolicy policy =
+                                ShardPolicy::NnzBalanced);
 
     /**
      * Append one task whose workload depends on the per-task seed.

@@ -1,0 +1,234 @@
+#include "dse/surrogate.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/types.hh"
+#include "core/analytic_model.hh"
+#include "model/energy_model.hh"
+
+namespace sparch
+{
+namespace dse
+{
+
+void
+WorkloadStatsSoA::push(const WorkloadStats &s)
+{
+    rows.push_back(s.rows);
+    nnzA.push_back(s.nnzA);
+    nnzB.push_back(s.nnzB);
+    multiplies.push_back(s.multiplies);
+    outputNnz.push_back(s.outputNnz);
+    partialCondensed.push_back(s.partialCondensed);
+    partialColumns.push_back(s.partialColumns);
+}
+
+void
+SurrogateBatch::resize(std::size_t n)
+{
+    cycles.resize(n);
+    seconds.resize(n);
+    gflops.resize(n);
+    bytesMatA.resize(n);
+    bytesMatB.resize(n);
+    bytesPartialRead.resize(n);
+    bytesPartialWrite.resize(n);
+    bytesFinalWrite.resize(n);
+    bytesTotal.resize(n);
+    bandwidthUtilization.resize(n);
+    prefetchHitRate.resize(n);
+    multiplies.resize(n);
+    additions.resize(n);
+    partialMatrices.resize(n);
+    mergeRounds.resize(n);
+    outputNnz.resize(n);
+    energyJ.resize(n);
+    rereadScratch.resize(n);
+}
+
+SurrogateEstimate
+SurrogateBatch::get(std::size_t i) const
+{
+    SurrogateEstimate e;
+    e.cycles = cycles[i];
+    e.seconds = seconds[i];
+    e.gflops = gflops[i];
+    e.bytesMatA = bytesMatA[i];
+    e.bytesMatB = bytesMatB[i];
+    e.bytesPartialRead = bytesPartialRead[i];
+    e.bytesPartialWrite = bytesPartialWrite[i];
+    e.bytesFinalWrite = bytesFinalWrite[i];
+    e.bytesTotal = bytesTotal[i];
+    e.bandwidthUtilization = bandwidthUtilization[i];
+    e.prefetchHitRate = prefetchHitRate[i];
+    e.multiplies = multiplies[i];
+    e.additions = additions[i];
+    e.partialMatrices = partialMatrices[i];
+    e.mergeRounds = mergeRounds[i];
+    e.outputNnz = outputNnz[i];
+    e.energyJ = energyJ[i];
+    return e;
+}
+
+SurrogateEvaluator::SurrogateEvaluator(const SpArchConfig &config)
+    : merge_ways_(static_cast<double>(config.mergeWays())),
+      merger_width_(static_cast<double>(config.mergeTree.mergerWidth)),
+      multipliers_(static_cast<double>(config.multipliers)),
+      clock_hz_(config.clockHz),
+      bytes_per_cycle_(
+          static_cast<double>(config.memory.peakBytesPerCycle())),
+      access_latency_(
+          static_cast<double>(config.memory.accessLatency())),
+      tree_layers_(static_cast<double>(config.mergeTree.layers)),
+      buffer_elems_(static_cast<double>(config.prefetchLines) *
+                    static_cast<double>(config.prefetchLineElems)),
+      line_elems_(static_cast<double>(
+          std::max<std::size_t>(config.prefetchLineElems, 1))),
+      dram_j_per_byte_(
+          EnergyModel::dramEnergyPerByte(config.memory.kind)),
+      condensing_(config.matrixCondensing),
+      huffman_(config.scheduler == SchedulerKind::Huffman),
+      prefetcher_(config.rowPrefetcher)
+{
+    const EventEnergiesPj pj = EnergyModel::eventEnergiesPj();
+    pj_multiply_ = pj.multiply;
+    pj_add_ = pj.add;
+    pj_tree_move_ = pj.treeElementMove;
+    pj_fifo_ = pj.fifoAccess;
+    pj_buffer_read_ = pj.bufferElemRead;
+    pj_line_write_ = pj.bufferLineWrite;
+}
+
+void
+SurrogateEvaluator::evaluate(const WorkloadStatsSoA &stats,
+                             SurrogateBatch &out) const
+{
+    const std::size_t n = stats.size();
+    out.resize(n);
+
+    // Partial-matrix count under this config's condensing switch; the
+    // Huffman scheduler makes partial spills negligible (Section
+    // III-C), every other order pays the formula-(5) reread chain.
+    const std::vector<double> &partials =
+        condensing_ ? stats.partialCondensed : stats.partialColumns;
+    if (huffman_) {
+        std::fill(out.rereadScratch.begin(), out.rereadScratch.end(),
+                  0.0);
+    } else {
+        rereadFactorBatch(partials.data(), n, merge_ways_,
+                          out.rereadScratch.data());
+    }
+
+    const double elem_bytes = static_cast<double>(bytesPerElement);
+    const double ptr_bytes = static_cast<double>(bytesPerRowPtr);
+    const double inv_mult = 1.0 / multipliers_;
+    const double inv_width = 1.0 / merger_width_;
+    const double inv_bpc =
+        bytes_per_cycle_ > 0.0 ? 1.0 / bytes_per_cycle_ : 0.0;
+    const double inv_clock = 1.0 / clock_hz_;
+    const double inv_ways_rounds = 1.0 / (merge_ways_ - 1.0);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const double m = stats.multiplies[i];
+        const double nnz_b = stats.nnzB[i];
+        const double out_nnz = std::min(stats.outputNnz[i], m);
+        const double rows = stats.rows[i];
+        const double p = partials[i];
+
+        // Formula (5) counts every read of a partial element; the
+        // first merge round consumes fresh multiplier output, so the
+        // DRAM reread factor is E - 1, floored at zero.
+        const double reread =
+            std::max(out.rereadScratch[i] - 1.0, 0.0);
+        const double partial_elems = reread * m;
+
+        // MatB fetches: nnzB compulsory element reads, plus one read
+        // per reuse (M - nnzB) that the prefetch buffer fails to
+        // retain. Coverage is the buffer's fraction of B; no
+        // prefetcher means every multiply streams its element.
+        const double reuse = std::max(m - nnz_b, 0.0);
+        const double coverage =
+            prefetcher_ && nnz_b > 0.0
+                ? std::min(1.0, buffer_elems_ / nnz_b)
+                : 0.0;
+        const double hits = reuse * coverage;
+        const double matb_elems = m - hits;
+        const double hit_rate = m > 0.0 ? hits / m : 0.0;
+
+        const double bytes_a =
+            stats.nnzA[i] * elem_bytes + (rows + 1.0) * ptr_bytes;
+        const double bytes_b = matb_elems * elem_bytes;
+        const double bytes_partial = partial_elems * elem_bytes;
+        const double bytes_final =
+            out_nnz * elem_bytes + (rows + 1.0) * ptr_bytes;
+        const double bytes_total =
+            bytes_a + bytes_b + 2.0 * bytes_partial + bytes_final;
+
+        // Bottleneck cycle estimate: the multiplier array, the merge
+        // tree root (fresh + re-merged elements), and DRAM bandwidth
+        // each bound throughput; the slowest wins, plus one access
+        // latency of startup.
+        const double compute_cycles = m * inv_mult;
+        const double merge_cycles = (m + partial_elems) * inv_width;
+        const double mem_cycles = bytes_total * inv_bpc;
+        const double cycles =
+            std::max(std::max(compute_cycles, merge_cycles),
+                     mem_cycles) +
+            access_latency_;
+        const double seconds = cycles * inv_clock;
+
+        // Event counts, priced with the EnergyModel constants: every
+        // element entering the tree traverses ~layers comparator
+        // stages and one FIFO push/pop pair per stage boundary.
+        const double additions = std::max(m - out_nnz, 0.0);
+        const double tree_moves = (m + partial_elems) * tree_layers_;
+        const double fifo_accesses = 2.0 * tree_moves;
+        const double buffer_reads = prefetcher_ ? m : 0.0;
+        const double line_writes =
+            prefetcher_ ? matb_elems / line_elems_ : 0.0;
+        const double energy =
+            (m * pj_multiply_ + additions * pj_add_ +
+             tree_moves * pj_tree_move_ + fifo_accesses * pj_fifo_ +
+             buffer_reads * pj_buffer_read_ +
+             line_writes * pj_line_write_) *
+                1e-12 +
+            bytes_total * dram_j_per_byte_;
+
+        out.cycles[i] = cycles;
+        out.seconds[i] = seconds;
+        out.gflops[i] =
+            seconds > 0.0 ? 2.0 * m / seconds * 1e-9 : 0.0;
+        out.bytesMatA[i] = bytes_a;
+        out.bytesMatB[i] = bytes_b;
+        out.bytesPartialRead[i] = bytes_partial;
+        out.bytesPartialWrite[i] = bytes_partial;
+        out.bytesFinalWrite[i] = bytes_final;
+        out.bytesTotal[i] = bytes_total;
+        out.bandwidthUtilization[i] =
+            cycles > 0.0 && bytes_per_cycle_ > 0.0
+                ? bytes_total / (cycles * bytes_per_cycle_)
+                : 0.0;
+        out.prefetchHitRate[i] = hit_rate;
+        out.multiplies[i] = m;
+        out.additions[i] = additions;
+        out.partialMatrices[i] = p;
+        out.mergeRounds[i] =
+            p > 1.0 ? std::ceil((p - 1.0) * inv_ways_rounds) : 0.0;
+        out.outputNnz[i] = out_nnz;
+        out.energyJ[i] = energy;
+    }
+}
+
+SurrogateEstimate
+SurrogateEvaluator::evaluateOne(const WorkloadStats &stats) const
+{
+    WorkloadStatsSoA soa;
+    soa.push(stats);
+    SurrogateBatch batch;
+    evaluate(soa, batch);
+    return batch.get(0);
+}
+
+} // namespace dse
+} // namespace sparch

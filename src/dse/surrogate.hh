@@ -1,0 +1,150 @@
+/**
+ * @file
+ * SurrogateEvaluator: the batched analytic first tier of a
+ * surrogate-first sweep.
+ *
+ * The cycle-accurate simulator costs seconds per grid point; the
+ * Section III-C analytic model costs tens of nanoseconds. This
+ * evaluator turns that model into a batch scorer: one evaluator per
+ * configuration precomputes every config-dependent scalar (merge
+ * ways, comparator width, buffer capacity, memory bandwidth, the
+ * EnergyModel per-event prices), then evaluate() runs tight
+ * structure-of-arrays loops over per-workload stats — the formula-(5)
+ * reread chain via core/analytic_model's batched kernel, the Fig. 10
+ * traffic classes, a bottleneck cycle estimate and an EnergyModel-
+ * priced energy estimate — filling parallel output arrays with no
+ * branches on the hot path beyond the shared config switches. A
+ * million points per second on one core is the design target
+ * (bench/bench_surrogate.cc measures it); configurations are
+ * independent, so the sweep path fans evaluators across the
+ * ThreadPool for more.
+ *
+ * Estimates deliberately mirror SpArchResult's measurement fields so
+ * surrogate rows fit the record CSV schema and calibration against
+ * simulated survivors is a per-column comparison.
+ */
+
+#ifndef SPARCH_DSE_SURROGATE_HH
+#define SPARCH_DSE_SURROGATE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/sparch_config.hh"
+#include "dse/workload_stats.hh"
+
+namespace sparch
+{
+namespace dse
+{
+
+/** Scalar view of one evaluated point (units match SpArchResult). */
+struct SurrogateEstimate
+{
+    double cycles = 0.0;
+    double seconds = 0.0;
+    double gflops = 0.0;
+    double bytesMatA = 0.0;
+    double bytesMatB = 0.0;
+    double bytesPartialRead = 0.0;
+    double bytesPartialWrite = 0.0;
+    double bytesFinalWrite = 0.0;
+    double bytesTotal = 0.0;
+    double bandwidthUtilization = 0.0;
+    double prefetchHitRate = 0.0;
+    double multiplies = 0.0;
+    double additions = 0.0;
+    double partialMatrices = 0.0;
+    double mergeRounds = 0.0;
+    /** Estimated product nonzeros (the resultNnz column). */
+    double outputNnz = 0.0;
+    /** Total energy in joules, EnergyModel-priced. */
+    double energyJ = 0.0;
+};
+
+/** Workload stats in structure-of-arrays form, one entry per point. */
+struct WorkloadStatsSoA
+{
+    std::vector<double> rows;
+    std::vector<double> nnzA;
+    std::vector<double> nnzB;
+    std::vector<double> multiplies;
+    std::vector<double> outputNnz;
+    std::vector<double> partialCondensed;
+    std::vector<double> partialColumns;
+
+    void push(const WorkloadStats &s);
+    std::size_t size() const { return rows.size(); }
+};
+
+/** Evaluator outputs in structure-of-arrays form. */
+struct SurrogateBatch
+{
+    std::vector<double> cycles;
+    std::vector<double> seconds;
+    std::vector<double> gflops;
+    std::vector<double> bytesMatA;
+    std::vector<double> bytesMatB;
+    std::vector<double> bytesPartialRead;
+    std::vector<double> bytesPartialWrite;
+    std::vector<double> bytesFinalWrite;
+    std::vector<double> bytesTotal;
+    std::vector<double> bandwidthUtilization;
+    std::vector<double> prefetchHitRate;
+    std::vector<double> multiplies;
+    std::vector<double> additions;
+    std::vector<double> partialMatrices;
+    std::vector<double> mergeRounds;
+    std::vector<double> outputNnz;
+    std::vector<double> energyJ;
+
+    /** Reread-factor scratch, sized with the outputs. */
+    std::vector<double> rereadScratch;
+
+    void resize(std::size_t n);
+    std::size_t size() const { return cycles.size(); }
+
+    /** Assemble the scalar view of point i. */
+    SurrogateEstimate get(std::size_t i) const;
+};
+
+/** Scores (one config) x (many workload stats) points. */
+class SurrogateEvaluator
+{
+  public:
+    explicit SurrogateEvaluator(const SpArchConfig &config);
+
+    /** Evaluate every point of `stats` into `out` (resized). */
+    void evaluate(const WorkloadStatsSoA &stats,
+                  SurrogateBatch &out) const;
+
+    /** Convenience scalar form (same math as evaluate). */
+    SurrogateEstimate evaluateOne(const WorkloadStats &stats) const;
+
+  private:
+    // Config-dependent scalars, hoisted once per evaluator.
+    double merge_ways_;
+    double merger_width_;
+    double multipliers_;
+    double clock_hz_;
+    double bytes_per_cycle_; //!< 0 = unlimited (ideal backend)
+    double access_latency_;
+    double tree_layers_;
+    double buffer_elems_;
+    double line_elems_;
+    double dram_j_per_byte_;
+    double pj_multiply_;
+    double pj_add_;
+    double pj_tree_move_;
+    double pj_fifo_;
+    double pj_buffer_read_;
+    double pj_line_write_;
+    bool condensing_;
+    bool huffman_;
+    bool prefetcher_;
+};
+
+} // namespace dse
+} // namespace sparch
+
+#endif // SPARCH_DSE_SURROGATE_HH

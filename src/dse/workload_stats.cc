@@ -1,0 +1,166 @@
+#include "dse/workload_stats.hh"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace sparch
+{
+namespace dse
+{
+
+namespace
+{
+
+/** Sidecar schema tag; bump on any field change (old files -> miss). */
+const char *kStatsHeader = "sparch-workload-stats-v1";
+
+/** Numeric fields per line, in struct order. */
+constexpr std::size_t kStatsFields = 10;
+
+} // namespace
+
+WorkloadStats
+computeWorkloadStats(const CsrMatrix &a, const CsrMatrix &b)
+{
+    SPARCH_ASSERT(a.cols() == b.rows(),
+                  "workload stats of mismatched operands");
+    WorkloadStats s;
+    s.rows = static_cast<double>(a.rows());
+    s.colsA = static_cast<double>(a.cols());
+    s.colsB = static_cast<double>(b.cols());
+    s.nnzA = static_cast<double>(a.nnz());
+    s.nnzB = static_cast<double>(b.nnz());
+    s.partialCondensed = static_cast<double>(a.maxRowNnz());
+
+    // One pass over A's column indices: per-column nonzero counts give
+    // the non-empty column count (= uncondensed partial matrices), and
+    // against B's row lengths, M and its heaviest column.
+    std::vector<std::uint64_t> col_count(a.cols(), 0);
+    for (Index col : a.colIdx())
+        ++col_count[col];
+    double multiplies = 0.0;
+    double non_empty = 0.0;
+    double max_col = 0.0;
+    for (Index k = 0; k < a.cols(); ++k) {
+        if (col_count[k] == 0)
+            continue;
+        non_empty += 1.0;
+        const double col_mult = static_cast<double>(col_count[k]) *
+                                static_cast<double>(b.rowNnz(k));
+        multiplies += col_mult;
+        if (col_mult > max_col)
+            max_col = col_mult;
+    }
+    s.multiplies = multiplies;
+    s.partialColumns = non_empty;
+    s.maxColMultiplies = max_col;
+
+    // Uniform collision model for the product density: M partial
+    // results land on rows x colsB slots; distinct slots hit is
+    // rc * (1 - exp(-M/rc)), which tends to M when sparse and
+    // saturates at the dense product.
+    const double rc =
+        static_cast<double>(a.rows()) * static_cast<double>(b.cols());
+    s.outputNnz =
+        rc > 0.0 ? rc * -std::expm1(-multiplies / rc) : 0.0;
+    return s;
+}
+
+WorkloadStats
+computeWorkloadStats(const driver::Workload &workload)
+{
+    SPARCH_ASSERT(workload.valid(),
+                  "workload stats of an empty workload");
+    return computeWorkloadStats(workload.left(), workload.right());
+}
+
+WorkloadStatsCache::WorkloadStatsCache(std::string path)
+    : path_(std::move(path))
+{
+    if (path_.empty())
+        return;
+    std::ifstream in(path_);
+    if (!in)
+        return; // no sidecar yet: every identity misses
+    std::string line;
+    if (!std::getline(in, line) || line != kStatsHeader)
+        return; // old or foreign schema: full miss, file rewritten on save
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        // Numbers first, identity last, so identities containing tabs
+        // survive the split unharmed.
+        std::istringstream fields(line);
+        double v[kStatsFields];
+        bool ok = true;
+        for (std::size_t i = 0; i < kStatsFields && ok; ++i)
+            ok = static_cast<bool>(fields >> v[i]);
+        std::string identity;
+        if (ok && fields.get() == '\t' &&
+            std::getline(fields, identity) && !identity.empty()) {
+            WorkloadStats s;
+            s.rows = v[0];
+            s.colsA = v[1];
+            s.colsB = v[2];
+            s.nnzA = v[3];
+            s.nnzB = v[4];
+            s.multiplies = v[5];
+            s.outputNnz = v[6];
+            s.partialCondensed = v[7];
+            s.partialColumns = v[8];
+            s.maxColMultiplies = v[9];
+            stats_.emplace(std::move(identity), s);
+        }
+    }
+}
+
+const WorkloadStats *
+WorkloadStatsCache::find(const std::string &identity) const
+{
+    const auto it = stats_.find(identity);
+    return it == stats_.end() ? nullptr : &it->second;
+}
+
+WorkloadStats
+WorkloadStatsCache::obtain(const driver::Workload &workload)
+{
+    const std::string &identity = workload.identity();
+    if (const WorkloadStats *hit = find(identity)) {
+        ++hits_;
+        return *hit;
+    }
+    ++computes_;
+    const WorkloadStats s = computeWorkloadStats(workload);
+    // Newline-bearing identities cannot round-trip the line format;
+    // serve them from memory only.
+    if (identity.find('\n') == std::string::npos)
+        stats_.emplace(identity, s);
+    return s;
+}
+
+void
+WorkloadStatsCache::save() const
+{
+    if (path_.empty())
+        return;
+    std::ofstream out(path_);
+    if (!out)
+        fatal("cannot write workload stats cache '", path_, "'");
+    out.precision(std::numeric_limits<double>::max_digits10);
+    out << kStatsHeader << '\n';
+    for (const auto &[identity, s] : stats_) {
+        out << s.rows << '\t' << s.colsA << '\t' << s.colsB << '\t'
+            << s.nnzA << '\t' << s.nnzB << '\t' << s.multiplies
+            << '\t' << s.outputNnz << '\t' << s.partialCondensed
+            << '\t' << s.partialColumns << '\t' << s.maxColMultiplies
+            << '\t' << identity << '\n';
+    }
+}
+
+} // namespace dse
+} // namespace sparch

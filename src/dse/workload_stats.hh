@@ -1,0 +1,117 @@
+/**
+ * @file
+ * WorkloadStats: the per-workload scalars the surrogate evaluator
+ * scores against.
+ *
+ * A surrogate-first sweep evaluates millions of (config x workload)
+ * points per second, so everything that depends only on the workload —
+ * operand shapes, the paper's M (scalar multiply count), per-column
+ * multiply summaries, partial-matrix counts, an output-nonzero
+ * estimate — is extracted exactly once per workload here and reused
+ * across every configuration of the grid. Extraction is the only step
+ * that touches the actual matrices; after it, the surrogate tier never
+ * materializes an operand again.
+ *
+ * WorkloadStatsCache persists the extracted stats in a sidecar file
+ * next to the result cache (keyed by Workload::identity(), the same
+ * string the result cache keys on), so repeat sweeps skip operand
+ * generation entirely for known workloads.
+ */
+
+#ifndef SPARCH_DSE_WORKLOAD_STATS_HH
+#define SPARCH_DSE_WORKLOAD_STATS_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "driver/workload.hh"
+#include "matrix/csr.hh"
+
+namespace sparch
+{
+namespace dse
+{
+
+/**
+ * Workload-only inputs of the surrogate model, all as doubles so the
+ * evaluator's structure-of-arrays loops stay branch- and
+ * conversion-free.
+ */
+struct WorkloadStats
+{
+    /** Rows of A (= rows of the product). */
+    double rows = 0.0;
+    /** Columns of A (= rows of B). */
+    double colsA = 0.0;
+    /** Columns of B (= columns of the product). */
+    double colsB = 0.0;
+    /** Nonzeros of the left operand. */
+    double nnzA = 0.0;
+    /** Nonzeros of the right operand. */
+    double nnzB = 0.0;
+    /** Scalar multiplications M (Section III-C). */
+    double multiplies = 0.0;
+    /**
+     * Estimated product nonzeros from the uniform collision model:
+     * rows*colsB * (1 - exp(-M / (rows*colsB))). Exact output counts
+     * would need a symbolic SpGEMM pass, which is what the surrogate
+     * tier exists to avoid.
+     */
+    double outputNnz = 0.0;
+    /** Partial matrices with condensing = longest row of A (Fig. 7). */
+    double partialCondensed = 0.0;
+    /** Partial matrices without condensing = non-empty columns of A. */
+    double partialColumns = 0.0;
+    /** Largest per-column multiply count (the heaviest partial). */
+    double maxColMultiplies = 0.0;
+};
+
+/** Extract the stats of C = a x b; asserts a.cols() == b.rows(). */
+WorkloadStats computeWorkloadStats(const CsrMatrix &a,
+                                   const CsrMatrix &b);
+
+/** Extract the stats of a driver workload (materializes on miss). */
+WorkloadStats computeWorkloadStats(const driver::Workload &workload);
+
+/**
+ * Identity-keyed persistent store of extracted stats. Not
+ * thread-safe; the sweep path extracts serially (materialization
+ * itself dominates, and workload counts are small next to config
+ * counts).
+ */
+class WorkloadStatsCache
+{
+  public:
+    /** @param path Sidecar file; empty = in-memory only. Loads if
+     *  present; a corrupt or old-schema file degrades to a miss. */
+    explicit WorkloadStatsCache(std::string path = {});
+
+    /** Cached stats for one identity, or nullptr. */
+    const WorkloadStats *find(const std::string &identity) const;
+
+    /** Find-or-compute: a miss materializes the workload's operands,
+     *  extracts, and remembers the result. */
+    WorkloadStats obtain(const driver::Workload &workload);
+
+    /** Persist to the sidecar path; no-op when path is empty. */
+    void save() const;
+
+    const std::string &path() const { return path_; }
+    std::size_t size() const { return stats_.size(); }
+    /** obtain() calls answered from the cache. */
+    std::size_t hits() const { return hits_; }
+    /** obtain() calls that had to materialize and extract. */
+    std::size_t computes() const { return computes_; }
+
+  private:
+    std::string path_;
+    std::map<std::string, WorkloadStats> stats_;
+    std::size_t hits_ = 0;
+    std::size_t computes_ = 0;
+};
+
+} // namespace dse
+} // namespace sparch
+
+#endif // SPARCH_DSE_WORKLOAD_STATS_HH

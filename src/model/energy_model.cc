@@ -54,6 +54,19 @@ comparatorsFor(unsigned width)
 EnergyModel::EnergyModel(const SpArchConfig &config) : config_(config)
 {}
 
+EventEnergiesPj
+EnergyModel::eventEnergiesPj()
+{
+    EventEnergiesPj e;
+    e.multiply = kPjMultiply;
+    e.add = kPjAdd;
+    e.treeElementMove = kPjTreeElementMove;
+    e.fifoAccess = kPjFifoAccess;
+    e.bufferElemRead = kPjBufferElemRead;
+    e.bufferLineWrite = kPjBufferLineWrite;
+    return e;
+}
+
 double
 EnergyModel::dramEnergyPerByte()
 {

@@ -78,6 +78,23 @@ struct EnergyBreakdown
     }
 };
 
+/**
+ * The calibrated per-event energies (picojoules). EnergyModel::energy
+ * prices simulator event counts with these; the batched surrogate
+ * evaluator (src/dse) prices its *estimated* event counts with the
+ * same constants, so the two tiers of a surrogate-first sweep share
+ * one calibration and their energies are directly comparable.
+ */
+struct EventEnergiesPj
+{
+    double multiply = 0.0;        //!< FP64 multiply
+    double add = 0.0;             //!< FP64 add
+    double treeElementMove = 0.0; //!< comparator work per element
+    double fifoAccess = 0.0;      //!< 12-byte FIFO push or pop
+    double bufferElemRead = 0.0;  //!< prefetch buffer read per element
+    double bufferLineWrite = 0.0; //!< prefetch line fill
+};
+
 /** The calibrated energy/area model. */
 class EnergyModel
 {
@@ -98,6 +115,9 @@ class EnergyModel
      * uses the per-byte figure of the configured memory backend.
      */
     EnergyBreakdown energy(const SpArchResult &result) const;
+
+    /** The per-event calibration constants energy() prices with. */
+    static EventEnergiesPj eventEnergiesPj();
 
     /** HBM energy per byte from the 42.6 GB/s/W figure. */
     static double dramEnergyPerByte();

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Golden tests for the Section III-C analytic traffic model — the
+ * math the surrogate evaluator (src/dse) is built on.
+ *
+ * The paper's back-of-envelope figures (Section III-C: 13.9M / 2.5M /
+ * 1.5M / 0.88M elements for a million-multiply workload) pin the
+ * traffic chain; the formula-(5)/(7) reread factors are pinned both
+ * against each other (the log approximation's relative error is
+ * bounded and shrinks with the round count) and against the batched
+ * digamma kernel, which must agree with the exact sum to near
+ * machine precision at every tree shape.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/analytic_model.hh"
+
+namespace sparch
+{
+namespace
+{
+
+TEST(AnalyticModel, SectionIIICTrafficChainMatchesThePaper)
+{
+    // Defaults are the paper's example: 140k partial matrices, a
+    // 64-way tree, M = 1e6, half of M surviving to the output, and
+    // the published 62% prefetch hit rate.
+    const AnalyticTraffic t = analyzeTraffic(AnalyticInputs{});
+
+    // OuterSPACE-style multiply-then-merge: exactly 2M + 0.5M.
+    EXPECT_DOUBLE_EQ(t.outerspace, 2.5e6);
+
+    // Pipelined merge, random order, no condensing: the paper rounds
+    // to 13.9M; the model lands within 2%.
+    EXPECT_NEAR(t.pipelineOnly, 13.9e6, 0.02 * 13.9e6);
+
+    // + matrix condensing: back to ~2.5M (within 0.5%).
+    EXPECT_NEAR(t.withCondensing, 2.5e6, 0.005 * 2.5e6);
+
+    // + Huffman scheduler: partial traffic vanishes, 1.5M exactly.
+    EXPECT_DOUBLE_EQ(t.withHuffman, 1.5e6);
+
+    // + row prefetcher at 62% hit rate: 0.88M exactly.
+    EXPECT_DOUBLE_EQ(t.withPrefetcher, 0.88e6);
+}
+
+TEST(AnalyticModel, RereadFactorExactMatchesHandComputedRounds)
+{
+    // 100 partials through a 64-way tree: t = ceil(99/63) = 2 rounds,
+    // E = 64/63 * (1/(1/63 + 1) + 1/(1/63 + 2)).
+    const double c = 1.0 / 63.0;
+    const double expected =
+        64.0 / 63.0 * (1.0 / (c + 1.0) + 1.0 / (c + 2.0));
+    EXPECT_DOUBLE_EQ(rereadFactorExact(100, 64), expected);
+
+    // At or below the tree width everything merges in one pass that
+    // consumes fresh multiplier output: no rereads at all.
+    EXPECT_DOUBLE_EQ(rereadFactorExact(64, 64), 0.0);
+    EXPECT_DOUBLE_EQ(rereadFactorExact(2, 64), 0.0);
+}
+
+TEST(AnalyticModel, ApproxErrorIsBoundedAndShrinksWithRounds)
+{
+    // Formula (7) drops the Euler-Mascheroni constant, so it
+    // undershoots formula (5) worst at few rounds and converges as
+    // ln(t) grows. Pin the error at the paper's operating point and
+    // its monotone decay over a partial-count ladder.
+    const std::vector<double> ladder = {1e3, 1e4, 1.4e5, 1e6};
+    double previous = 1.0;
+    for (double n : ladder) {
+        const double exact = rereadFactorExact(n, 64);
+        const double approx = rereadFactorApprox(n, 64);
+        ASSERT_GT(exact, 0.0);
+        const double rel = std::fabs(approx - exact) / exact;
+        EXPECT_LT(rel, previous);
+        previous = rel;
+    }
+    // The paper's 140k-partial example: under 7% low.
+    const double exact = rereadFactorExact(140000, 64);
+    const double approx = rereadFactorApprox(140000, 64);
+    EXPECT_LT(approx, exact);
+    EXPECT_NEAR(approx, exact, 0.07 * exact);
+}
+
+TEST(AnalyticModel, BatchedKernelMatchesTheExactSum)
+{
+    // The surrogate's batched kernel must be interchangeable with the
+    // scalar exact sum: sweep partial counts across round-count
+    // regimes (sub-width, few-round exact path, digamma path) and
+    // tree shapes, requiring near-machine agreement.
+    const std::vector<double> partials = {1,    2,     63,    64,
+                                          65,   100,   127,   128,
+                                          500,  1000,  4096,  65536,
+                                          1.4e5, 1e6,  1e7};
+    for (double ways : {2.0, 4.0, 16.0, 64.0, 256.0}) {
+        std::vector<double> batched(partials.size());
+        rereadFactorBatch(partials.data(), partials.size(), ways,
+                          batched.data());
+        for (std::size_t i = 0; i < partials.size(); ++i) {
+            const double exact = rereadFactorExact(partials[i], ways);
+            EXPECT_NEAR(batched[i], exact,
+                        1e-7 * std::max(exact, 1.0))
+                << "partials=" << partials[i] << " ways=" << ways;
+        }
+    }
+}
+
+TEST(AnalyticModel, BatchedKernelHandlesEmptyAndSingleBatches)
+{
+    rereadFactorBatch(nullptr, 0, 64, nullptr); // must not touch mem
+    double one = 12345.0;
+    const double n = 140000.0;
+    rereadFactorBatch(&n, 1, 64, &one);
+    EXPECT_NEAR(one, rereadFactorExact(n, 64), 1e-7 * one);
+}
+
+} // namespace
+} // namespace sparch

@@ -7,8 +7,10 @@
  * of the same sweep against a warm cache simulates zero grid points.
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -556,6 +558,170 @@ TEST(Cli, SweepShardAxisMatchesAddShardSweep)
     EXPECT_NE(err.find("simulated=2"), std::string::npos);
     // One monolithic and one 2-shard record of the same workload.
     EXPECT_NE(csv.find(",uniform-128x128-900,"), std::string::npos);
+    std::remove(grid_path.c_str());
+    std::remove(csv_path.c_str());
+}
+
+// ------------------------------------------- surrogate-first sweep
+
+/** Split a CSV file into its data lines (header dropped). */
+std::vector<std::string>
+csvDataLines(const std::string &path)
+{
+    std::istringstream in(fileContents(path));
+    std::vector<std::string> lines;
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (first)
+            first = false;
+        else if (!line.empty())
+            lines.push_back(line);
+    }
+    return lines;
+}
+
+/** The shared grid of the surrogate CLI tests: 3 x 2 x 2 points. */
+std::string
+surrogateGrid(const std::string &name, std::uint64_t base_seed)
+{
+    return writeFile(
+        name, "shards = 1 2\nseed = " + std::to_string(base_seed) +
+                  "\n[config table-I]\n[config wide]\nmerger_width = "
+                  "32\n[config small-buf]\nprefetch_lines = 512\n"
+                  "[workloads]\nuniform:96x96:600\n"
+                  "uniform:128x128:900\n");
+}
+
+TEST(Cli, SurrogateSweepSurvivorsAreByteIdenticalToPlainSweep)
+{
+    const std::string grid_path =
+        surrogateGrid("sparch_surrogate.grid", 0x5eed5eedULL);
+    const std::string plain_csv = tempPath("sparch_sur_plain.csv");
+    const std::string tiered_csv = tempPath("sparch_sur_tiered.csv");
+
+    std::string err;
+    ASSERT_EQ(runCli({"sweep", "--grid", grid_path, "--csv",
+                      plain_csv, "--threads", "2"},
+                     nullptr, &err),
+              0);
+    ASSERT_EQ(runCli({"sweep", "--grid", grid_path, "--csv",
+                      tiered_csv, "--threads", "2", "--surrogate"},
+                     nullptr, &err),
+              0);
+    EXPECT_NE(err.find("surrogate tier: 12 points evaluated"),
+              std::string::npos)
+        << err;
+    EXPECT_NE(err.find("surrogate calibration"), std::string::npos);
+
+    // Index the plain sweep's rows by grid id.
+    std::map<std::string, std::string> plain_by_id;
+    for (const std::string &line : csvDataLines(plain_csv))
+        plain_by_id[line.substr(0, line.find(','))] = line;
+    ASSERT_EQ(plain_by_id.size(), 12u);
+
+    // The tiered CSV carries the full surrogate grid plus the
+    // simulated survivors; every line parses under the record
+    // schema, and every sim row is byte-identical to the plain
+    // sweep's row of the same grid id.
+    std::size_t surrogate_rows = 0;
+    std::size_t sim_rows = 0;
+    for (const std::string &line : csvDataLines(tiered_csv)) {
+        driver::BatchRecord record;
+        ASSERT_TRUE(BatchRunner::parseCsvRow(line, record)) << line;
+        if (record.tier == "surrogate") {
+            ++surrogate_rows;
+        } else {
+            ASSERT_EQ(record.tier, "sim");
+            ++sim_rows;
+            const auto it =
+                plain_by_id.find(std::to_string(record.id));
+            ASSERT_NE(it, plain_by_id.end());
+            EXPECT_EQ(line, it->second);
+        }
+    }
+    EXPECT_EQ(surrogate_rows, 12u); // every grid point is scored
+    EXPECT_GE(sim_rows, 1u);
+    EXPECT_LT(sim_rows, 12u); // and only survivors simulate
+
+    std::remove(grid_path.c_str());
+    std::remove(plain_csv.c_str());
+    std::remove(tiered_csv.c_str());
+}
+
+TEST(Cli, SurrogateRankingIsDeterministicAndSeedIndependent)
+{
+    // Same spec, different batch base seeds: the surrogate scores
+    // depend only on (config, workload stats), so the surviving grid
+    // ids must match exactly; and a re-run of the same spec must
+    // reproduce the tiered CSV byte for byte.
+    const auto survivor_ids = [](const std::string &csv_path) {
+        std::vector<std::string> ids;
+        for (const std::string &line : csvDataLines(csv_path)) {
+            driver::BatchRecord record;
+            if (BatchRunner::parseCsvRow(line, record) &&
+                record.tier == "sim")
+                ids.push_back(std::to_string(record.id));
+        }
+        return ids;
+    };
+
+    const std::string grid_a =
+        surrogateGrid("sparch_sur_seed_a.grid", 1);
+    const std::string grid_b =
+        surrogateGrid("sparch_sur_seed_b.grid", 0xabcdef);
+    const std::string csv_a = tempPath("sparch_sur_a.csv");
+    const std::string csv_a2 = tempPath("sparch_sur_a2.csv");
+    const std::string csv_b = tempPath("sparch_sur_b.csv");
+    ASSERT_EQ(runCli({"sweep", "--grid", grid_a, "--csv", csv_a,
+                      "--threads", "2", "--surrogate"}),
+              0);
+    ASSERT_EQ(runCli({"sweep", "--grid", grid_a, "--csv", csv_a2,
+                      "--threads", "1", "--surrogate"}),
+              0);
+    ASSERT_EQ(runCli({"sweep", "--grid", grid_b, "--csv", csv_b,
+                      "--threads", "2", "--surrogate"}),
+              0);
+    // Identical spec: identical bytes, even across thread counts.
+    EXPECT_EQ(fileContents(csv_a), fileContents(csv_a2));
+    // Different base seed: different record seeds, same survivors.
+    EXPECT_EQ(survivor_ids(csv_a), survivor_ids(csv_b));
+    EXPECT_NE(fileContents(csv_a), fileContents(csv_b));
+
+    std::remove(grid_a.c_str());
+    std::remove(grid_b.c_str());
+    std::remove(csv_a.c_str());
+    std::remove(csv_a2.c_str());
+    std::remove(csv_b.c_str());
+}
+
+TEST(Cli, SurrogateKeepZeroSimulatesTheWholeFrontier)
+{
+    const std::string grid_path =
+        surrogateGrid("sparch_sur_keep.grid", 0x5eed5eedULL);
+    const std::string csv_path = tempPath("sparch_sur_keep.csv");
+    std::string err;
+    ASSERT_EQ(runCli({"sweep", "--grid", grid_path, "--csv",
+                      csv_path, "--threads", "2", "--surrogate",
+                      "--surrogate-keep", "0"},
+                     nullptr, &err),
+              0);
+    // frontier=N and survivors=N agree when the cap is lifted.
+    const std::size_t frontier_pos = err.find("frontier=");
+    ASSERT_NE(frontier_pos, std::string::npos) << err;
+    const std::size_t comma = err.find(',', frontier_pos);
+    const std::string frontier =
+        err.substr(frontier_pos + 9, comma - frontier_pos - 9);
+    EXPECT_NE(err.find("survivors=" + frontier), std::string::npos)
+        << err;
+
+    // The surrogate knobs require --surrogate itself.
+    EXPECT_EQ(runCli({"sweep", "--grid", grid_path,
+                      "--surrogate-keep", "3"},
+                     nullptr, &err),
+              1);
+    EXPECT_NE(err.find("--surrogate"), std::string::npos);
+
     std::remove(grid_path.c_str());
     std::remove(csv_path.c_str());
 }

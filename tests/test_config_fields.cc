@@ -177,7 +177,7 @@ TEST(ConfigFieldRegistry, CsvHeaderIsByteIdenticalToTheLegacyHeader)
         "bytes_mat_a,bytes_mat_b,bytes_partial_read,"
         "bytes_partial_write,bytes_final_write,bytes_total,"
         "bandwidth_utilization,prefetch_hit_rate,multiplies,"
-        "additions,partial_matrices,merge_rounds,result_nnz");
+        "additions,partial_matrices,merge_rounds,result_nnz,tier");
 }
 
 // ------------------------------------------------ registry counts
