@@ -9,11 +9,13 @@
 # from different machines compare ratio-to-ratio. CI's perf-smoke job
 # gates on the latest entry of each schema at its scale.
 #
-# Two benches feed the trajectory, selected by the third argument:
+# Three benches feed the trajectory, selected by the third argument:
 #   hotpath    bench_hotpath   (schema sparch-bench-hotpath-v1,
 #              gated on normalized_cost)
 #   surrogate  bench_surrogate (schema sparch-bench-surrogate-v1,
 #              gated on points_per_second >= 1e6)
+#   io         bench_io        (schema sparch-bench-io-v1, gated on
+#              convert_mb_per_calibration)
 #
 # Entries record the exact commit they measured: the script refuses to
 # run on a dirty tree (an entry stamped with a HEAD that does not
@@ -25,9 +27,10 @@
 #   label      trajectory entry label, e.g. "PR7-post"
 #   build-dir  CMake build dir containing the bench binaries
 #              (default: build)
-#   bench      hotpath (default) | surrogate
+#   bench      hotpath (default) | surrogate | io
 # env: SPARCH_BENCH_NNZ (default 60000), SPARCH_BENCH_REPS (default 3),
 #      SPARCH_BENCH_SURROGATE_POINTS (default 100000),
+#      SPARCH_BENCH_IO_NNZ (default 2000000),
 #      SPARCH_BENCH_ALLOW_DIRTY=1 to append from a dirty tree
 
 set -euo pipefail
@@ -41,9 +44,10 @@ traj="$root/BENCH_simulator.json"
 case "$which_bench" in
 hotpath) bench="$root/$build/bench/bench_hotpath" ;;
 surrogate) bench="$root/$build/bench/bench_surrogate" ;;
+io) bench="$root/$build/bench/bench_io" ;;
 *)
     echo "bench_trajectory: unknown bench '$which_bench'" \
-         "(want hotpath or surrogate)" >&2
+         "(want hotpath, surrogate or io)" >&2
     exit 1
     ;;
 esac
@@ -77,6 +81,7 @@ trap 'rm -f "$entry"' EXIT
 
 SPARCH_BENCH_NNZ="${SPARCH_BENCH_NNZ:-60000}" \
 SPARCH_BENCH_REPS="${SPARCH_BENCH_REPS:-3}" \
+SPARCH_BENCH_IO_NNZ="${SPARCH_BENCH_IO_NNZ:-2000000}" \
 SPARCH_BENCH_JSON="$entry" "$bench"
 
 stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
@@ -109,6 +114,9 @@ with open(traj_path, "w") as f:
     f.write("\n")
 if "normalized_cost" in entry:
     metric = f"normalized_cost {entry['normalized_cost']:.2f}"
+elif "convert_mb_per_calibration" in entry:
+    metric = (f"convert_mb_per_calibration "
+              f"{entry['convert_mb_per_calibration']:.2f}")
 else:
     metric = f"{entry['points_per_second'] / 1e6:.2f} Mpoints/s"
 print(f"bench_trajectory: appended '{label}' ({metric}) to {traj_path}")

@@ -424,20 +424,27 @@ parseWorkloadSpecUnchecked(const std::string &raw,
 
     const std::size_t colon = spec.find(':');
     if (colon == std::string::npos) {
-        // A bare token: a Matrix Market path if it looks like one.
+        // A bare token: a matrix file path if it looks like one.
         if (spec.size() > 4 &&
             spec.compare(spec.size() - 4, 4, ".mtx") == 0) {
             return {driver::matrixMarketWorkload(spec)};
         }
+        if (spec.size() > 5 &&
+            spec.compare(spec.size() - 5, 5, ".scsr") == 0) {
+            return {driver::scsrWorkload(spec)};
+        }
         fatal("workload spec '", spec,
               "' has no family prefix; expected suite:, rmat:, "
-              "uniform:, dnn:, mtx: or a path ending in .mtx");
+              "uniform:, dnn:, mtx:, scsr: or a path ending in .mtx "
+              "or .scsr");
     }
 
     const std::string family = spec.substr(0, colon);
     const std::string rest = spec.substr(colon + 1);
     if (family == "mtx")
         return {driver::matrixMarketWorkload(rest)};
+    if (family == "scsr")
+        return {driver::scsrWorkload(rest)};
 
     if (family == "suite") {
         if (rest == "*") {
@@ -479,7 +486,7 @@ parseWorkloadSpecUnchecked(const std::string &raw,
             parseDouble(parts[1], "dnn density"), defaults.seed)};
     }
     fatal("unknown workload family '", family,
-          "'; expected suite, rmat, uniform, dnn or mtx");
+          "'; expected suite, rmat, uniform, dnn, mtx or scsr");
 }
 
 } // namespace
@@ -766,8 +773,8 @@ parseGridSpec(std::istream &in, const std::string &what)
     // Materialize the workload axis, replicated across the nnz-scale
     // and seed axes (scale-major): replicate r regenerates every spec
     // with wseed + r, so the grid carries `seeds` independent samples
-    // of each workload. Matrix Market specs ignore generator seeds
-    // (the file *is* the matrix), so they materialize once on the
+    // of each workload. File specs (mtx:/scsr:) ignore generator
+    // seeds (the file *is* the matrix), so they materialize once on the
     // seed axis — replicating them would emit N identical rows
     // masquerading as variance data. Likewise only suite: specs take
     // their size from the grid's nnz target; every other family
@@ -775,9 +782,11 @@ parseGridSpec(std::istream &in, const std::string &what)
     // workloads replicate across nnz_scale (renamed <name>@nnz<target>
     // to keep rows tellable apart).
     const auto spec_uses_seed = [](const std::string &spec) {
-        return spec.rfind("mtx:", 0) != 0 &&
+        return spec.rfind("mtx:", 0) != 0 && spec.rfind("scsr:", 0) != 0 &&
                !(spec.size() > 4 &&
-                 spec.compare(spec.size() - 4, 4, ".mtx") == 0);
+                 spec.compare(spec.size() - 4, 4, ".mtx") == 0) &&
+               !(spec.size() > 5 &&
+                 spec.compare(spec.size() - 5, 5, ".scsr") == 0);
     };
     const auto spec_uses_nnz = [](const std::string &spec) {
         return spec.rfind("suite:", 0) == 0;

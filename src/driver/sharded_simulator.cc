@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "driver/thread_pool.hh"
+#include "matrix/scsr.hh"
 
 namespace sparch
 {
@@ -27,19 +28,19 @@ shardPolicyName(ShardPolicy policy)
 namespace
 {
 
-std::size_t
-rangeNnz(const CsrMatrix &a, Index begin, Index end)
+/**
+ * The planning algorithms, generic over the row-pointer element type:
+ * Index for an in-memory CsrMatrix, std::uint64_t for the on-disk
+ * index of an .scsr file. Both instantiations run the identical
+ * arithmetic, so a plan cut from a mapped file matches the plan cut
+ * from the materialized matrix element for element.
+ */
+template <typename IndexT>
+std::vector<ShardRange>
+rowBalancedRanges(std::span<const IndexT> rp, unsigned shards)
 {
-    return a.rowPtr()[end] - a.rowPtr()[begin];
-}
-
-} // namespace
-
-ShardPlan
-ShardPlan::rowBalanced(const CsrMatrix &a, unsigned shards)
-{
-    ShardPlan plan;
-    const Index rows = a.rows();
+    std::vector<ShardRange> ranges;
+    const Index rows = static_cast<Index>(rp.size() - 1);
     const Index k = std::min<Index>(std::max(shards, 1u), rows);
     for (Index s = 0; s < k; ++s) {
         ShardRange r;
@@ -47,24 +48,25 @@ ShardPlan::rowBalanced(const CsrMatrix &a, unsigned shards)
             static_cast<std::uint64_t>(rows) * s / k);
         r.end = static_cast<Index>(
             static_cast<std::uint64_t>(rows) * (s + 1) / k);
-        r.nnz = rangeNnz(a, r.begin, r.end);
-        plan.ranges_.push_back(r);
+        r.nnz = static_cast<std::size_t>(rp[r.end] - rp[r.begin]);
+        ranges.push_back(r);
     }
-    return plan;
+    return ranges;
 }
 
-ShardPlan
-ShardPlan::nnzBalanced(const CsrMatrix &a, unsigned shards)
+template <typename IndexT>
+std::vector<ShardRange>
+nnzBalancedRanges(std::span<const IndexT> rp, unsigned shards)
 {
     // With no nonzeros there is nothing to balance on; fall back to
     // row counts so every shard still gets work.
-    if (a.nnz() == 0)
-        return rowBalanced(a, shards);
+    const Index rows = static_cast<Index>(rp.size() - 1);
+    if (rp[rows] == rp[0])
+        return rowBalancedRanges(rp, shards);
 
-    ShardPlan plan;
-    const Index rows = a.rows();
+    std::vector<ShardRange> ranges;
     const Index k = std::min<Index>(std::max(shards, 1u), rows);
-    std::size_t remaining_nnz = a.nnz();
+    std::size_t remaining_nnz = static_cast<std::size_t>(rp[rows] - rp[0]);
     Index row = 0;
     for (Index s = 0; s < k; ++s) {
         ShardRange r;
@@ -83,17 +85,33 @@ ShardPlan::nnzBalanced(const CsrMatrix &a, unsigned shards)
             while (end < max_end &&
                    (end == row ||
                     static_cast<double>(acc) < target)) {
-                acc += a.rowNnz(end);
+                acc += static_cast<std::size_t>(rp[end + 1] - rp[end]);
                 ++end;
             }
             r.end = end;
         }
-        r.nnz = rangeNnz(a, r.begin, r.end);
+        r.nnz = static_cast<std::size_t>(rp[r.end] - rp[r.begin]);
         remaining_nnz -= r.nnz;
         row = r.end;
-        plan.ranges_.push_back(r);
+        ranges.push_back(r);
     }
-    return plan;
+    return ranges;
+}
+
+} // namespace
+
+ShardPlan
+ShardPlan::rowBalanced(const CsrMatrix &a, unsigned shards)
+{
+    return ShardPlan(
+        rowBalancedRanges(std::span<const Index>(a.rowPtr()), shards));
+}
+
+ShardPlan
+ShardPlan::nnzBalanced(const CsrMatrix &a, unsigned shards)
+{
+    return ShardPlan(
+        nnzBalancedRanges(std::span<const Index>(a.rowPtr()), shards));
 }
 
 ShardPlan
@@ -104,6 +122,33 @@ ShardPlan::make(ShardPolicy policy, const CsrMatrix &a, unsigned shards)
         return rowBalanced(a, shards);
     case ShardPolicy::NnzBalanced:
         return nnzBalanced(a, shards);
+    }
+    fatal("unknown shard policy");
+}
+
+ShardPlan
+ShardPlan::rowBalanced(std::span<const std::uint64_t> row_ptr,
+                       unsigned shards)
+{
+    return ShardPlan(rowBalancedRanges(row_ptr, shards));
+}
+
+ShardPlan
+ShardPlan::nnzBalanced(std::span<const std::uint64_t> row_ptr,
+                       unsigned shards)
+{
+    return ShardPlan(nnzBalancedRanges(row_ptr, shards));
+}
+
+ShardPlan
+ShardPlan::make(ShardPolicy policy, std::span<const std::uint64_t> row_ptr,
+                unsigned shards)
+{
+    switch (policy) {
+    case ShardPolicy::RowBalanced:
+        return rowBalanced(row_ptr, shards);
+    case ShardPolicy::NnzBalanced:
+        return nnzBalanced(row_ptr, shards);
     }
     fatal("unknown shard policy");
 }
@@ -139,9 +184,33 @@ ShardedSimulator::multiply(const CsrMatrix &a, const CsrMatrix &b) const
     return multiply(a, b, ShardPlan::make(policy_, a, k));
 }
 
+namespace
+{
+
+/** The left operand as one whole matrix, for the empty-plan path. */
+const CsrMatrix &
+wholeOf(const CsrMatrix &a)
+{
+    return a;
+}
+
+CsrMatrix
+wholeOf(const MappedCsr &a)
+{
+    return a.toCsr();
+}
+
+/**
+ * The fan-out/merge engine behind every multiply overload, generic
+ * over the left operand: an in-memory CsrMatrix, or a MappedCsr whose
+ * rowSlice materializes each shard's block straight from the file so
+ * no single allocation ever holds the whole operand.
+ */
+template <typename Left>
 ShardedResult
-ShardedSimulator::multiply(const CsrMatrix &a, const CsrMatrix &b,
-                           const ShardPlan &plan) const
+multiplyPlanned(const SpArchSimulator &sim, const SpArchConfig &config,
+                unsigned threads, const Left &a, const CsrMatrix &b,
+                const ShardPlan &plan)
 {
     if (a.cols() != b.rows()) {
         fatal("sharded: dimension mismatch ", a.rows(), "x", a.cols(),
@@ -165,7 +234,7 @@ ShardedSimulator::multiply(const CsrMatrix &a, const CsrMatrix &b,
     out.plan = plan;
 
     if (plan.empty()) {
-        out.combined = sim_.multiply(a, b); // dimension check + shape
+        out.combined = sim.multiply(wholeOf(a), b); // dimension + shape
         return out;
     }
 
@@ -173,11 +242,11 @@ ShardedSimulator::multiply(const CsrMatrix &a, const CsrMatrix &b,
     out.shards.resize(plan.size());
     auto run_shard = [&](std::size_t i) {
         const ShardRange &r = plan.ranges()[i];
-        out.shards[i] = sim_.multiply(a.rowSlice(r.begin, r.end), b);
+        out.shards[i] = sim.multiply(a.rowSlice(r.begin, r.end), b);
     };
-    if (threads_ > 1 && plan.size() > 1) {
+    if (threads > 1 && plan.size() > 1) {
         ThreadPool pool(std::min<unsigned>(
-            threads_, static_cast<unsigned>(plan.size())));
+            threads, static_cast<unsigned>(plan.size())));
         std::vector<std::future<void>> futures;
         futures.reserve(plan.size());
         for (std::size_t i = 0; i < plan.size(); ++i)
@@ -227,7 +296,7 @@ ShardedSimulator::multiply(const CsrMatrix &a, const CsrMatrix &b,
                 static_cast<Bytes>(r.rows() + 1) * bytesPerRowPtr;
         out.stitchBytes +=
             static_cast<Bytes>(a.rows() + 1) * bytesPerRowPtr;
-        const mem::MemoryConfig &memcfg = config().memory;
+        const mem::MemoryConfig &memcfg = config.memory;
         const Bytes peak = memcfg.peakBytesPerCycle();
         // peak == 0 means unlimited bandwidth (the ideal backend):
         // stitching costs only the access latency.
@@ -237,12 +306,12 @@ ShardedSimulator::multiply(const CsrMatrix &a, const CsrMatrix &b,
     }
 
     c.cycles = max_cycles + out.stitchCycles;
-    c.seconds = static_cast<double>(c.cycles) / config().clockHz;
+    c.seconds = static_cast<double>(c.cycles) / config.clockHz;
     c.gflops = c.seconds > 0.0
                    ? static_cast<double>(c.flops) / c.seconds / 1e9
                    : 0.0;
     const double peak_bytes =
-        static_cast<double>(config().memory.peakBytesPerCycle()) *
+        static_cast<double>(config.memory.peakBytesPerCycle()) *
         static_cast<double>(c.cycles);
     c.bandwidthUtilization =
         peak_bytes > 0.0 ? static_cast<double>(c.bytesTotal) / peak_bytes
@@ -257,6 +326,30 @@ ShardedSimulator::multiply(const CsrMatrix &a, const CsrMatrix &b,
                 static_cast<double>(out.stitchBytes));
     c.stats.set("shard.nnz_imbalance", plan.nnzImbalance());
     return out;
+}
+
+} // namespace
+
+ShardedResult
+ShardedSimulator::multiply(const CsrMatrix &a, const CsrMatrix &b,
+                           const ShardPlan &plan) const
+{
+    return multiplyPlanned(sim_, config(), threads_, a, b, plan);
+}
+
+ShardedResult
+ShardedSimulator::multiply(const MappedCsr &a, const CsrMatrix &b) const
+{
+    const unsigned k =
+        shards_ > 0 ? shards_ : ThreadPool::hardwareThreads();
+    return multiply(a, b, ShardPlan::make(policy_, a.rowPtr(), k));
+}
+
+ShardedResult
+ShardedSimulator::multiply(const MappedCsr &a, const CsrMatrix &b,
+                           const ShardPlan &plan) const
+{
+    return multiplyPlanned(sim_, config(), threads_, a, b, plan);
 }
 
 } // namespace driver

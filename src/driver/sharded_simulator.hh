@@ -45,6 +45,8 @@
 #define SPARCH_DRIVER_SHARDED_SIMULATOR_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/sparch_simulator.hh"
@@ -52,6 +54,9 @@
 
 namespace sparch
 {
+
+class MappedCsr;
+
 namespace driver
 {
 
@@ -101,6 +106,25 @@ class ShardPlan
     static ShardPlan make(ShardPolicy policy, const CsrMatrix &a,
                           unsigned shards);
 
+    /**
+     * Cut directly against a CSR row-pointer array — row_ptr.size()
+     * is rows + 1 — without the matrix behind it. This is how file
+     * workloads plan against an .scsr's on-disk 64-bit row index
+     * (MappedCsr::rowPtr) before any element data is touched; the
+     * same inputs produce the same plan as the CsrMatrix overloads.
+     */
+    static ShardPlan rowBalanced(std::span<const std::uint64_t> row_ptr,
+                                 unsigned shards);
+
+    /** Greedy nnz split over a raw row-pointer array. */
+    static ShardPlan nnzBalanced(std::span<const std::uint64_t> row_ptr,
+                                 unsigned shards);
+
+    /** Dispatch on policy over a raw row-pointer array. */
+    static ShardPlan make(ShardPolicy policy,
+                          std::span<const std::uint64_t> row_ptr,
+                          unsigned shards);
+
     const std::vector<ShardRange> &ranges() const { return ranges_; }
     std::size_t size() const { return ranges_.size(); }
     bool empty() const { return ranges_.empty(); }
@@ -113,6 +137,10 @@ class ShardPlan
     double nnzImbalance() const;
 
   private:
+    explicit ShardPlan(std::vector<ShardRange> ranges)
+        : ranges_(std::move(ranges))
+    {}
+
     std::vector<ShardRange> ranges_;
 };
 
@@ -166,6 +194,18 @@ class ShardedSimulator
 
     /** Simulate with an explicit, caller-built plan over a's rows. */
     ShardedResult multiply(const CsrMatrix &a, const CsrMatrix &b,
+                           const ShardPlan &plan) const;
+
+    /**
+     * Out-of-core left operand: plan against the mapped file's
+     * on-disk row index, then materialize only one row block per
+     * shard — no single materialization of the whole of a. Results
+     * are bit-identical to multiplying a.toCsr() with the same plan.
+     */
+    ShardedResult multiply(const MappedCsr &a, const CsrMatrix &b) const;
+
+    /** Out-of-core left operand with an explicit plan. */
+    ShardedResult multiply(const MappedCsr &a, const CsrMatrix &b,
                            const ShardPlan &plan) const;
 
     const SpArchConfig &config() const { return sim_.config(); }

@@ -11,6 +11,7 @@
 #include "matrix/generators.hh"
 #include "matrix/matrix_market.hh"
 #include "matrix/rmat.hh"
+#include "matrix/scsr.hh"
 
 namespace sparch
 {
@@ -163,10 +164,26 @@ uniformWorkload(Index rows, Index cols, std::uint64_t nnz,
     return w;
 }
 
+namespace
+{
+
+/**
+ * Display name of a file workload: the path minus its extension, so
+ * the same matrix sweeps under the same name — and produces the same
+ * CSV bytes — whether it is read from data/m.mtx or data/m.scsr.
+ */
+std::string
+fileWorkloadName(const std::string &path)
+{
+    return std::filesystem::path(path).replace_extension("").string();
+}
+
+} // namespace
+
 Workload
 matrixMarketWorkload(const std::string &path)
 {
-    Workload w(path, [path] {
+    Workload w(fileWorkloadName(path), [path] {
         return readMatrixMarketFile(path);
     });
     // Probe the file eagerly so a bad path surfaces when the workload
@@ -184,23 +201,49 @@ matrixMarketWorkload(const std::string &path)
         }
     });
 
-    // Fold the file's size and mtime into the cache identity so a
-    // rewritten input never serves stale cached results. A missing
-    // file keeps the bare path; the validator rejects it at
-    // registration anyway.
+    // Fold a hash of the file's bytes into the cache identity so a
+    // rewritten input never serves stale cached results (size+mtime
+    // was fragile: converts and same-second rewrites preserve both).
+    // A missing or unreadable file keeps the bare path; the validator
+    // rejects it at registration anyway.
     std::ostringstream identity;
     identity << "mtx:" << path;
-    std::error_code ec;
-    const auto size = std::filesystem::file_size(path, ec);
-    if (!ec)
-        identity << "|size=" << size;
-    const auto mtime = std::filesystem::last_write_time(path, ec);
-    if (!ec) {
-        identity << "|mtime="
-                 << mtime.time_since_epoch().count();
+    try {
+        identity << "|fnv=" << std::hex << fnv1aFile(path);
+    } catch (const FatalError &) {
     }
     w.withIdentity(identity.str());
     w.withSpec("mtx:" + path, 0, 0);
+    return w;
+}
+
+Workload
+scsrWorkload(const std::string &path)
+{
+    Workload w(fileWorkloadName(path), [path] {
+        return MappedCsr::open(path).toCsr();
+    });
+    w.withValidator([path] {
+        try {
+            readScsrHeader(path);
+        } catch (const FatalError &e) {
+            fatal("workload '", path, "': ", fatalDetail(e));
+        }
+    });
+
+    // The header checksum covers the section content hash, so it pins
+    // the file's full contents — one page read, no re-hash of a
+    // GB-scale file. Invalid files keep the bare path identity and
+    // are rejected loudly by the validator at registration.
+    std::ostringstream identity;
+    identity << "scsr:" << path;
+    try {
+        identity << "|sum=" << std::hex
+                 << readScsrHeader(path).header_checksum;
+    } catch (const FatalError &) {
+    }
+    w.withIdentity(identity.str());
+    w.withSpec("scsr:" + path, 0, 0);
     return w;
 }
 

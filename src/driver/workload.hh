@@ -176,6 +176,14 @@ Workload uniformWorkload(Index rows, Index cols, std::uint64_t nnz,
 Workload matrixMarketWorkload(const std::string &path);
 
 /**
+ * Binary .scsr file squared. Loading goes through the mmap-backed
+ * MappedCsr view, the header is validated (checksummed) at
+ * registration, and the cache identity pins the header checksum so a
+ * re-converted file never serves stale cached results.
+ */
+Workload scsrWorkload(const std::string &path);
+
+/**
  * One pruned-MLP layer Y = W x X: sparse weights `hidden x hidden` and
  * a sparse activation batch `hidden x batch`, both at `density`
  * (compressed DNN inference, the paper's motivating application).

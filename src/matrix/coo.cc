@@ -19,10 +19,15 @@ CooMatrix::add(Index row, Index col, Value value)
 void
 CooMatrix::canonicalize(bool drop_zeros)
 {
-    std::sort(triplets_.begin(), triplets_.end(),
-              [](const Triplet &a, const Triplet &b) {
-                  return a.row != b.row ? a.row < b.row : a.col < b.col;
-              });
+    // Stable so duplicates of one coordinate keep insertion order:
+    // the merge below then sums them left-to-right in that order,
+    // which is what lets the streaming .scsr converter (which sums in
+    // file order) produce bit-identical values to this path.
+    std::stable_sort(triplets_.begin(), triplets_.end(),
+                     [](const Triplet &a, const Triplet &b) {
+                         return a.row != b.row ? a.row < b.row
+                                               : a.col < b.col;
+                     });
 
     std::vector<Triplet> merged;
     merged.reserve(triplets_.size());

@@ -1,13 +1,16 @@
 #include "matrix/matrix_market.hh"
 
 #include <cctype>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <limits>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
+#include "matrix/mm_scan.hh"
 
 namespace sparch
 {
@@ -124,23 +127,62 @@ readMatrixMarket(std::istream &in)
     if (expected <= (1ULL << 32))
         coo.triplets().reserve(expected);
 
+    // Buffered from_chars tokenizing (mm_scan.hh), shared with the
+    // .scsr converter so text and binary paths accept the same
+    // syntax. Entries are line-oriented: a line may carry several,
+    // one may not span lines, and every data line must parse — a
+    // trailing region of junk that the old token-by-token loop would
+    // have silently ignored is now an error.
     const bool pattern = header.field == MmField::Pattern;
-    for (std::uint64_t i = 0; i < header.entries; ++i) {
-        std::uint64_t r = 0, c = 0;
-        double v = 1.0;
-        if (!(in >> r >> c))
-            fatal("matrix market: truncated at entry ", i);
-        if (!pattern && !(in >> v))
-            fatal("matrix market: missing value at entry ", i);
-        if (r < 1 || r > rows || c < 1 || c > cols)
-            fatal("matrix market: entry ", i, " coordinate (", r, ",", c,
-                  ") out of range");
-        const Index ri = static_cast<Index>(r - 1);
-        const Index ci = static_cast<Index>(c - 1);
-        coo.add(ri, ci, v);
-        if (symmetric && ri != ci)
-            coo.add(ci, ri, v);
+    std::vector<char> buf(1 << 16);
+    std::vector<mmscan::Entry> entries;
+    std::size_t carry = 0;
+    std::uint64_t seen = 0;
+    bool eof = false;
+    while (!eof) {
+        const std::size_t want = buf.size() - carry;
+        in.read(buf.data() + carry, static_cast<std::streamsize>(want));
+        const std::size_t got = static_cast<std::size_t>(in.gcount());
+        const std::size_t total = carry + got;
+        eof = got < want;
+        std::size_t cut = total;
+        if (!eof) {
+            while (cut > 0 && buf[cut - 1] != '\n')
+                --cut;
+            if (cut == 0) {
+                // One line overflows the buffer; grow and keep
+                // reading — the in-memory reader has no reason to cap
+                // line length.
+                carry = total;
+                buf.resize(buf.size() * 2);
+                continue;
+            }
+        }
+        entries.clear();
+        if (mmscan::parseChunk(buf.data(), buf.data() + cut, pattern,
+                               entries) < 0)
+            fatal("matrix market: malformed entry line after entry ", seen);
+        for (const mmscan::Entry &e : entries) {
+            if (e.row < 1 || e.row > rows || e.col < 1 || e.col > cols) {
+                fatal("matrix market: entry ", seen, " coordinate (", e.row,
+                      ",", e.col, ") out of range");
+            }
+            const Index ri = static_cast<Index>(e.row - 1);
+            const Index ci = static_cast<Index>(e.col - 1);
+            coo.add(ri, ci, e.value);
+            if (symmetric && ri != ci)
+                coo.add(ci, ri, e.value);
+            ++seen;
+        }
+        std::memmove(buf.data(), buf.data() + cut, total - cut);
+        carry = total - cut;
     }
+    if (seen < header.entries)
+        fatal("matrix market: truncated at entry ", seen, " (size line ",
+              "declares ", header.entries, ")");
+    if (seen > header.entries)
+        fatal("matrix market: size line declares ", header.entries,
+              " entries but the file contains ", seen);
     coo.canonicalize();
     return CsrMatrix::fromCoo(coo);
 }

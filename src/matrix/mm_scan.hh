@@ -1,0 +1,136 @@
+/**
+ * @file
+ * from_chars tokenizer for Matrix Market entry lines.
+ *
+ * Shared by readMatrixMarket's buffered inner loop and the streaming
+ * .scsr converter's parser workers, so text and binary paths accept
+ * exactly the same data syntax. Compared with the old istream `>>`
+ * extraction this is line-oriented: blank lines are skipped, '\r' line
+ * endings are tolerated, a line may carry several entries, but one
+ * entry may not span lines.
+ */
+
+#ifndef SPARCH_MATRIX_MM_SCAN_HH
+#define SPARCH_MATRIX_MM_SCAN_HH
+
+#include <charconv>
+#include <cstdint>
+#include <vector>
+
+namespace sparch::mmscan
+{
+
+/** One parsed coordinate entry, still 1-based as in the file. */
+struct Entry {
+    std::uint64_t row = 0;
+    std::uint64_t col = 0;
+    double value = 1.0;
+};
+
+inline bool
+isSpace(char c)
+{
+    return c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v';
+}
+
+inline const char *
+skipSpace(const char *p, const char *end)
+{
+    while (p != end && isSpace(*p))
+        ++p;
+    return p;
+}
+
+/** Parse one unsigned decimal token; advances p past it on success. */
+inline bool
+parseU64(const char *&p, const char *end, std::uint64_t &out)
+{
+    const auto [next, ec] = std::from_chars(p, end, out);
+    if (ec != std::errc() || next == p)
+        return false;
+    p = next;
+    return true;
+}
+
+/**
+ * Parse one floating-point token; advances p past it on success.
+ * istream extraction accepted an explicit leading '+', which
+ * from_chars does not, so strip it here.
+ */
+inline bool
+parseDouble(const char *&p, const char *end, double &out)
+{
+    const char *q = p;
+    if (q != end && *q == '+')
+        ++q;
+    const auto [next, ec] = std::from_chars(q, end, out);
+    if (ec != std::errc() || next == q)
+        return false;
+    p = next;
+    return true;
+}
+
+/**
+ * Parse every entry on one line [begin, end) (no trailing '\n').
+ * Pattern files carry no value token; entries get value 1.0.
+ *
+ * Returns the number of entries appended to `out`, 0 for a blank
+ * line, or -1 if the line is malformed (stray characters, missing
+ * value, partial entry).
+ */
+inline int
+parseLine(const char *begin, const char *end, bool pattern,
+          std::vector<Entry> &out)
+{
+    const char *p = skipSpace(begin, end);
+    int parsed = 0;
+    while (p != end) {
+        Entry e;
+        if (!parseU64(p, end, e.row))
+            return -1;
+        p = skipSpace(p, end);
+        if (!parseU64(p, end, e.col))
+            return -1;
+        if (!pattern) {
+            p = skipSpace(p, end);
+            if (!parseDouble(p, end, e.value))
+                return -1;
+        }
+        // A token must end at whitespace or end-of-line; "1 2 3x" is
+        // corrupt, not an entry followed by junk.
+        if (p != end && !isSpace(*p))
+            return -1;
+        out.push_back(e);
+        ++parsed;
+        p = skipSpace(p, end);
+    }
+    return parsed;
+}
+
+/**
+ * Split [begin, end) into lines and parse each through parseLine.
+ * Returns the number of entries appended, or -(offset+1) of the start
+ * of the first malformed line.
+ */
+inline std::int64_t
+parseChunk(const char *begin, const char *end, bool pattern,
+           std::vector<Entry> &out)
+{
+    std::int64_t parsed = 0;
+    const char *line = begin;
+    while (line < end) {
+        const char *nl = line;
+        while (nl != end && *nl != '\n')
+            ++nl;
+        const int n = parseLine(line, nl, pattern, out);
+        if (n < 0)
+            return -static_cast<std::int64_t>(line - begin) - 1;
+        parsed += n;
+        line = (nl == end) ? end : nl + 1;
+    }
+    return parsed;
+}
+
+} // namespace sparch::mmscan
+
+#endif // SPARCH_MATRIX_MM_SCAN_HH

@@ -1,0 +1,134 @@
+#include "matrix/mmap_file.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace sparch
+{
+
+namespace
+{
+
+/** errno as text, for fatal messages. */
+std::string
+errnoText()
+{
+    return std::strerror(errno);
+}
+
+} // namespace
+
+MappedFile::~MappedFile()
+{
+    reset();
+}
+
+MappedFile::MappedFile(MappedFile &&other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      writable_(std::exchange(other.writable_, false)),
+      path_(std::move(other.path_))
+{
+}
+
+MappedFile &
+MappedFile::operator=(MappedFile &&other) noexcept
+{
+    if (this != &other) {
+        reset();
+        addr_ = std::exchange(other.addr_, nullptr);
+        size_ = std::exchange(other.size_, 0);
+        writable_ = std::exchange(other.writable_, false);
+        path_ = std::move(other.path_);
+    }
+    return *this;
+}
+
+MappedFile
+MappedFile::openRead(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        fatal("mmap: cannot open '", path, "': ", errnoText());
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        fatal("mmap: cannot stat '", path, "': ", errnoText());
+    }
+    MappedFile f;
+    f.size_ = static_cast<std::size_t>(st.st_size);
+    f.path_ = path;
+    if (f.size_ == 0) {
+        // POSIX rejects zero-length mappings, and no on-disk format of
+        // ours has a zero-byte encoding, so an empty file is corrupt.
+        ::close(fd);
+        fatal("mmap: '", path, "' is empty");
+    }
+    void *addr = ::mmap(nullptr, f.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // the mapping keeps its own reference
+    if (addr == MAP_FAILED)
+        fatal("mmap: cannot map '", path, "': ", errnoText());
+    f.addr_ = addr;
+    return f;
+}
+
+MappedFile
+MappedFile::createReadWrite(const std::string &path, std::size_t bytes)
+{
+    SPARCH_ASSERT(bytes > 0, "createReadWrite needs a nonzero size");
+    const int fd =
+        ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        fatal("mmap: cannot create '", path, "': ", errnoText());
+    if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+        ::close(fd);
+        fatal("mmap: cannot size '", path, "' to ", bytes,
+              " bytes: ", errnoText());
+    }
+    void *addr =
+        ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (addr == MAP_FAILED)
+        fatal("mmap: cannot map '", path, "' read-write: ", errnoText());
+    MappedFile f;
+    f.addr_ = addr;
+    f.size_ = bytes;
+    f.writable_ = true;
+    f.path_ = path;
+    return f;
+}
+
+char *
+MappedFile::mutableData()
+{
+    SPARCH_ASSERT(writable_, "mutableData on a read-only mapping");
+    return static_cast<char *>(addr_);
+}
+
+void
+MappedFile::sync()
+{
+    if (addr_ != nullptr && writable_)
+        ::msync(addr_, size_, MS_SYNC);
+}
+
+void
+MappedFile::reset()
+{
+    if (addr_ != nullptr) {
+        ::munmap(addr_, size_);
+        addr_ = nullptr;
+    }
+    size_ = 0;
+    writable_ = false;
+}
+
+} // namespace sparch

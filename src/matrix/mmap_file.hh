@@ -1,0 +1,88 @@
+/**
+ * @file
+ * RAII memory-mapped file.
+ *
+ * All raw mmap/munmap (and the open/ftruncate/close plumbing around
+ * them) in the tree lives in mmap_file.cc; everything else holds a
+ * MappedFile so unmapping can never be forgotten or doubled. The
+ * sparch-audit `raw-mmap` rule enforces this ownership.
+ */
+
+#ifndef SPARCH_MATRIX_MMAP_FILE_HH
+#define SPARCH_MATRIX_MMAP_FILE_HH
+
+#include <cstddef>
+#include <string>
+
+namespace sparch
+{
+
+/**
+ * A whole file mapped into the address space. Move-only; the mapping
+ * is released on destruction. Read-only mappings back zero-copy views
+ * (MappedCsr); read-write mappings back the converter's scratch file.
+ */
+class MappedFile
+{
+  public:
+    MappedFile() = default;
+    ~MappedFile();
+
+    MappedFile(MappedFile &&other) noexcept;
+    MappedFile &operator=(MappedFile &&other) noexcept;
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    /** Map an existing file read-only. Fatal if it cannot be mapped. */
+    static MappedFile openRead(const std::string &path);
+
+    /**
+     * Create (or truncate) a file of exactly `bytes` bytes and map it
+     * read-write. `bytes` must be nonzero. Fatal on any failure.
+     */
+    static MappedFile createReadWrite(const std::string &path,
+                                      std::size_t bytes);
+
+    const char *
+    data() const
+    {
+        return static_cast<const char *>(addr_);
+    }
+
+    /** Writable base address; panics if the mapping is read-only. */
+    char *mutableData();
+
+    std::size_t
+    size() const
+    {
+        return size_;
+    }
+
+    bool
+    valid() const
+    {
+        return addr_ != nullptr;
+    }
+
+    const std::string &
+    path() const
+    {
+        return path_;
+    }
+
+    /** Flush a read-write mapping's dirty pages to the file. */
+    void sync();
+
+    /** Unmap now (idempotent); the destructor calls this. */
+    void reset();
+
+  private:
+    void *addr_ = nullptr;
+    std::size_t size_ = 0;
+    bool writable_ = false;
+    std::string path_;
+};
+
+} // namespace sparch
+
+#endif // SPARCH_MATRIX_MMAP_FILE_HH

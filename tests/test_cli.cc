@@ -329,7 +329,10 @@ TEST(CliGridSpec, SeedsAxisDoesNotReplicateMatrixMarketFiles)
     std::remove(path.c_str());
     // 3 uniform replicates + 1 mtx instance.
     ASSERT_EQ(grid.workloads.size(), 4u);
-    EXPECT_EQ(grid.workloads[3].name(), path);
+    // File workloads are named by path minus extension, so .mtx and
+    // .scsr inputs of the same matrix sweep under one name.
+    EXPECT_EQ(grid.workloads[3].name(),
+              path.substr(0, path.size() - 4));
 }
 
 TEST(CliGridSpec, MemoryBackendsAsConfigAxes)

@@ -18,6 +18,11 @@ Enforces invariants the compiler cannot see:
                            or carries an explicit allow annotation.
   nolint-reason            every NOLINT marker names specific checks
                            and carries a written justification.
+  raw-mmap                 no raw mmap/munmap/mremap/msync calls
+                           anywhere but src/matrix/mmap_file.cc, the
+                           RAII wrapper that owns every mapping (a raw
+                           call elsewhere is a leak or double-unmap
+                           waiting to happen).
   config-field-coverage    the field registries (*.def) and the config
                            structs cover each other exactly, and every
                            config enum value has a registered CLI
@@ -56,12 +61,15 @@ RULES = {
     "schedule-point-coverage": "synchronization site without a schedule point",
     "nolint-reason": "NOLINT without specific checks and a justification",
     "config-field-coverage": "field registry and struct disagree",
+    "raw-mmap": "raw mmap call outside the MappedFile wrapper",
     "bad-annotation": "malformed sparch-audit annotation",
 }
 
 # Path scopes for the tree scan (fixture mode ignores these).
 KEYED_SCOPE = ("src/driver", "src/cli")
 SCHEDULE_SCOPE = ("src/driver", "src/exec", "src/check")
+# The one file allowed to touch the mmap syscall family directly.
+MMAP_OWNER = "src/matrix/mmap_file.cc"
 
 SOURCE_EXTS = (".cc", ".hh", ".cpp", ".hpp", ".h")
 
@@ -402,6 +410,8 @@ SYNC_SITE_RE = re.compile(
 
 NOLINT_RE = re.compile(r"NOLINT(?:NEXTLINE|BEGIN|END)?\b(\([^)]*\))?")
 
+RAW_MMAP_RE = re.compile(r"\b(?:mmap|mmap64|munmap|mremap|msync)\s*\(")
+
 
 def check_nondet(path, code, starts, ann, out):
     unordered = set(UNORDERED_DECL_RE.findall(code))
@@ -480,6 +490,17 @@ def check_schedule_points(path, code, starts, ann, out):
             "synchronization site in a function with no "
             "SPARCH_SCHEDULE_POINT (add one, or annotate: "
             "// sparch-audit: allow(schedule-point-coverage, why))"))
+
+
+def check_raw_mmap(path, code, starts, ann, out):
+    for lineno, line in enumerate(code.split("\n"), start=1):
+        if RAW_MMAP_RE.search(line) and not ann.allows(
+                "raw-mmap", lineno):
+            out.append(Violation(
+                path, lineno, "raw-mmap",
+                "raw mmap-family call outside %s; hold a MappedFile "
+                "instead so unmapping cannot be forgotten or doubled" %
+                MMAP_OWNER))
 
 
 def check_nolint(path, comments, ann, out):
@@ -792,6 +813,8 @@ def scan_file(path, rel, fixture_mode, out):
     check_alloc_in_hot(rel, code, starts, ann, out)
     if in_sched:
         check_schedule_points(rel, code, starts, ann, out)
+    if rel.replace(os.sep, "/") != MMAP_OWNER:
+        check_raw_mmap(rel, code, starts, ann, out)
     check_nolint(rel, comments, ann, out)
     return comments
 
